@@ -1,0 +1,57 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table/figure of the paper's Section 6
+and records the series rows under ``benchmarks/results/`` so
+EXPERIMENTS.md can cite actual measured numbers.
+
+``REPRO_SCALE`` (default 1.0) scales workload sizes: the defaults are
+laptop-scale versions of the paper's sweeps with identical structure
+(same topologies, same data placement, same ASR grids).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    return max(minimum, int(value * scale()))
+
+
+class SeriesRecorder:
+    """Appends labelled measurement rows to a per-figure results file."""
+
+    def __init__(self, figure: str):
+        self.figure = figure
+        RESULTS_DIR.mkdir(exist_ok=True)
+        self.path = RESULTS_DIR / f"{figure}.txt"
+
+    def record(self, label: str, **metrics: object) -> None:
+        parts = [f"{key}={value}" for key, value in metrics.items()]
+        line = f"{label:>32}  " + "  ".join(parts)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        print(line)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fresh_results():
+    """Truncate result files once per session."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for path in RESULTS_DIR.glob("*.txt"):
+        path.unlink()
+    yield
+
+
+@pytest.fixture(scope="module")
+def recorder(request):
+    return SeriesRecorder(request.module.FIGURE)

@@ -1,0 +1,64 @@
+"""Figure 7: chain of varying length, data at EVERY peer.
+
+Paper claim: the number of unfolded rules — and with it unfolding and
+evaluation time — grows exponentially with the number of peers,
+because every tuple at every peer may be inserted locally or derived
+from downstream, and the unfolding covers all combinations for each
+side of every join.  (Our counts follow 1 + pc(n-1), pc(i) = 1 + 3
+pc(i-1): 2, 5, 14, 41, 122 — a steeper constant than the paper's DB2
+prototype reported, same exponential shape.)
+"""
+
+import pytest
+
+from repro.workloads import chain, prepare_storage, run_target_query
+
+from conftest import scaled
+
+FIGURE = "fig07"
+
+PEER_COUNTS = (2, 3, 4, 5, 6)
+
+
+@pytest.fixture(scope="module")
+def systems():
+    built = {}
+    for peers in PEER_COUNTS:
+        system = chain(
+            peers, data_peers=range(peers), base_size=scaled(20)
+        )
+        built[peers] = (system, prepare_storage(system))
+    yield built
+    for _, storage in built.values():
+        storage.close()
+
+
+@pytest.mark.parametrize("peers", PEER_COUNTS)
+def test_fig07_point(benchmark, systems, recorder, peers):
+    system, storage = systems[peers]
+
+    def run():
+        return run_target_query(system, storage=storage)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    recorder.record(
+        f"peers={peers}",
+        rules=result.unfolded_rules,
+        unfold_ms=round(result.unfold_seconds * 1e3, 1),
+        eval_ms=round(result.evaluation_seconds * 1e3, 1),
+        tuples=result.instance_tuples,
+    )
+    expected_rules = {2: 2, 3: 5, 4: 14, 5: 41, 6: 122}
+    assert result.unfolded_rules == expected_rules[peers]
+
+
+def test_fig07_shape(benchmark, systems, recorder):
+    """Exponential growth check: rules more than double per peer."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    counts = [
+        run_target_query(system, storage=storage).unfolded_rules
+        for system, storage in systems.values()
+    ]
+    ratios = [b / a for a, b in zip(counts, counts[1:])]
+    assert all(r >= 2 for r in ratios)
+    recorder.record("shape", rule_counts=counts, growth_ratios=[round(r, 2) for r in ratios])

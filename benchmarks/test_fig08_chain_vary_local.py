@@ -1,0 +1,62 @@
+"""Figure 8: fixed-length chain, varying the number of peers WITH data.
+
+Paper claim: for a chain of 20 peers, unfolded rules / unfolding time /
+evaluation time grow exponentially with the number of peers supplying
+local data.  Data peers sit at the upstream end, as in Section 6.1.1's
+"most of the data contributed by a small subset of authoritative
+peers".
+"""
+
+import pytest
+
+from repro.workloads import chain, prepare_storage, run_target_query, upstream_data_peers
+
+from conftest import scaled
+
+FIGURE = "fig08"
+
+CHAIN_LENGTH = 12
+DATA_PEER_COUNTS = (1, 2, 3, 4, 5)
+
+
+@pytest.fixture(scope="module")
+def systems():
+    built = {}
+    for count in DATA_PEER_COUNTS:
+        system = chain(
+            CHAIN_LENGTH,
+            data_peers=upstream_data_peers(CHAIN_LENGTH, count),
+            base_size=scaled(20),
+        )
+        built[count] = (system, prepare_storage(system))
+    yield built
+    for _, storage in built.values():
+        storage.close()
+
+
+@pytest.mark.parametrize("data_peers", DATA_PEER_COUNTS)
+def test_fig08_point(benchmark, systems, recorder, data_peers):
+    system, storage = systems[data_peers]
+
+    def run():
+        return run_target_query(system, storage=storage)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    recorder.record(
+        f"data_peers={data_peers}",
+        rules=result.unfolded_rules,
+        unfold_ms=round(result.unfold_seconds * 1e3, 1),
+        eval_ms=round(result.evaluation_seconds * 1e3, 1),
+    )
+
+
+def test_fig08_shape(benchmark, systems, recorder):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    counts = [
+        run_target_query(system, storage=storage).unfolded_rules
+        for system, storage in systems.values()
+    ]
+    recorder.record("shape", rule_counts=counts)
+    # Exponential in the number of data peers.
+    ratios = [b / a for a, b in zip(counts, counts[1:])]
+    assert all(r >= 2 for r in ratios)

@@ -1,0 +1,60 @@
+"""Figure 9: chain and branched topologies, varying base size.
+
+Paper claim: instance size grows linearly with base size, and query
+processing time also grows (roughly) linearly, staying modest even at
+the largest base sizes.
+"""
+
+import pytest
+
+from repro.workloads import branched, chain, prepare_storage, run_target_query
+
+from conftest import scaled
+
+FIGURE = "fig09"
+
+PEERS = 12
+BASE_SIZES = tuple(scaled(size) for size in (100, 200, 400, 800))
+
+
+@pytest.fixture(scope="module")
+def systems():
+    built = {}
+    for kind, build in (("chain", chain), ("branched", branched)):
+        for base in BASE_SIZES:
+            system = build(PEERS, base_size=base)
+            built[(kind, base)] = (system, prepare_storage(system))
+    yield built
+    for _, storage in built.values():
+        storage.close()
+
+
+@pytest.mark.parametrize("kind", ["chain", "branched"])
+@pytest.mark.parametrize("base", BASE_SIZES)
+def test_fig09_point(benchmark, systems, recorder, kind, base):
+    system, storage = systems[(kind, base)]
+
+    def run():
+        return run_target_query(system, storage=storage)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    recorder.record(
+        f"{kind} base={base}",
+        rules=result.unfolded_rules,
+        total_ms=round(result.query_processing_seconds * 1e3, 1),
+        instance_tuples=result.instance_tuples,
+    )
+
+
+def test_fig09_linear_instance_growth(benchmark, systems, recorder):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for kind in ("chain", "branched"):
+        sizes = [
+            systems[(kind, base)][0].instance_size() for base in BASE_SIZES
+        ]
+        # Instance size is proportional to base size.
+        ratios = [
+            size / base for size, base in zip(sizes, BASE_SIZES)
+        ]
+        assert max(ratios) / min(ratios) < 1.05
+        recorder.record(f"{kind} linearity", tuples=sizes)

@@ -1,0 +1,66 @@
+"""Figure 10: chain and branched topologies, varying the number of
+peers at fixed base size.
+
+Paper claims: materialized instance size and query processing time
+grow roughly linearly with the number of peers (branched slightly
+steeper), and the scaling limit comes from the underlying DBMS's
+query-size cap — DB2 rejected the generated SQL beyond 80 peers; our
+SQLite analogue is its 64-table join limit.
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.workloads import branched, chain, prepare_storage, run_target_query
+
+from conftest import scaled
+
+FIGURE = "fig10"
+
+PEER_COUNTS = (5, 10, 15, 20, 25)
+
+
+@pytest.fixture(scope="module")
+def systems():
+    built = {}
+    for kind, build in (("chain", chain), ("branched", branched)):
+        for peers in PEER_COUNTS:
+            system = build(peers, base_size=scaled(100))
+            built[(kind, peers)] = (system, prepare_storage(system))
+    yield built
+    for _, storage in built.values():
+        storage.close()
+
+
+@pytest.mark.parametrize("kind", ["chain", "branched"])
+@pytest.mark.parametrize("peers", PEER_COUNTS)
+def test_fig10_point(benchmark, systems, recorder, kind, peers):
+    system, storage = systems[(kind, peers)]
+
+    def run():
+        return run_target_query(system, storage=storage)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    recorder.record(
+        f"{kind} peers={peers}",
+        rules=result.unfolded_rules,
+        total_ms=round(result.query_processing_seconds * 1e3, 1),
+        instance_tuples=result.instance_tuples,
+        max_join=result.stats.max_join_width,
+    )
+
+
+def test_fig10_dbms_query_size_limit(benchmark, recorder):
+    """The paper could not scale beyond 80 peers because the unfolded
+    SQL exceeded DB2's limits; SQLite's 64-table join cap plays the
+    same role here, hit near chain length ~65 (the paper hit DB2's at
+    ~80 peers)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    system = chain(70, base_size=1)
+    storage = prepare_storage(system)
+    try:
+        with pytest.raises(StorageError, match="64"):
+            run_target_query(system, storage=storage)
+        recorder.record("dbms_limit", peers=70, outcome="join-width cap hit")
+    finally:
+        storage.close()

@@ -1,0 +1,81 @@
+"""Figure 11: ASR types and lengths on a 20-peer chain, few data peers.
+
+Paper claims: every ASR type yields a significant improvement over the
+no-ASR baseline, and the benefit grows with ASR path length — on this
+sparse chain the indexed paths are completely subsumed by the query's
+paths, so even complete-path ASRs are fully exploitable.
+"""
+
+import pytest
+
+from repro.workloads import chain, prepare_storage, run_target_query
+
+from conftest import scaled
+
+FIGURE = "fig11"
+
+PEERS = 20
+KINDS = ("complete", "subpath", "prefix", "suffix")
+LENGTHS = (1, 2, 4, 6, 8, 10)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    system = chain(PEERS, base_size=scaled(300))
+    storage = prepare_storage(system)
+    yield system, storage
+    storage.close()
+
+
+def test_fig11_baseline(benchmark, workload, recorder):
+    system, storage = workload
+
+    def run():
+        return run_target_query(system, storage=storage)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    recorder.record(
+        "no-ASR",
+        eval_ms=round(result.evaluation_seconds * 1e3, 2),
+        total_ms=round(result.query_processing_seconds * 1e3, 2),
+        max_join=result.stats.max_join_width,
+    )
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("length", LENGTHS)
+def test_fig11_point(benchmark, workload, recorder, kind, length):
+    system, storage = workload
+
+    def run():
+        return run_target_query(
+            system, storage=storage, asr_length=length, asr_kind=kind
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    recorder.record(
+        f"{kind} L={length}",
+        eval_ms=round(result.evaluation_seconds * 1e3, 2),
+        total_ms=round(result.query_processing_seconds * 1e3, 2),
+        max_join=result.stats.max_join_width,
+        asr_rows=result.asr_rows,
+    )
+
+
+def test_fig11_asrs_reduce_joins(benchmark, workload, recorder):
+    """Longer ASRs leave fewer joins per rule — the mechanism behind
+    the paper's speedup curve."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    system, storage = workload
+    widths = {}
+    for length in (2, 6, 10):
+        result = run_target_query(
+            system, storage=storage, asr_length=length, asr_kind="suffix"
+        )
+        widths[length] = result.stats.max_join_width
+    baseline = run_target_query(system, storage=storage).stats.max_join_width
+    assert widths[2] < baseline
+    assert widths[10] < widths[2]
+    recorder.record("join-widths", baseline=baseline, **{
+        f"L{length}": width for length, width in widths.items()
+    })

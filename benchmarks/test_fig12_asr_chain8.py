@@ -1,0 +1,92 @@
+"""Figure 12: ASR types and lengths on an 8-peer chain, HALF of the
+peers with local data.
+
+Paper claims: with more data peers there are many unfolded rules using
+combinations of subpaths, so subpath/prefix/suffix ASRs generally beat
+complete-path ASRs, and suffix ASRs beat prefix ASRs for the
+target-anchored query (paths end at a specific node).
+"""
+
+import pytest
+
+from repro.workloads import chain, prepare_storage, run_target_query, upstream_data_peers
+
+from conftest import scaled
+
+FIGURE = "fig12"
+
+PEERS = 8
+DATA_PEERS = upstream_data_peers(PEERS, 4)
+KINDS = ("complete", "subpath", "prefix", "suffix")
+LENGTHS = (1, 2, 3, 4, 5, 6, 7)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    system = chain(PEERS, data_peers=DATA_PEERS, base_size=scaled(300))
+    storage = prepare_storage(system)
+    yield system, storage
+    storage.close()
+
+
+def test_fig12_baseline(benchmark, workload, recorder):
+    system, storage = workload
+
+    def run():
+        return run_target_query(system, storage=storage)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    recorder.record(
+        "no-ASR",
+        rules=result.unfolded_rules,
+        eval_ms=round(result.evaluation_seconds * 1e3, 2),
+        total_ms=round(result.query_processing_seconds * 1e3, 2),
+    )
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("length", LENGTHS)
+def test_fig12_point(benchmark, workload, recorder, kind, length):
+    system, storage = workload
+
+    def run():
+        return run_target_query(
+            system, storage=storage, asr_length=length, asr_kind=kind
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    recorder.record(
+        f"{kind} L={length}",
+        eval_ms=round(result.evaluation_seconds * 1e3, 2),
+        total_ms=round(result.query_processing_seconds * 1e3, 2),
+        max_join=result.stats.max_join_width,
+    )
+
+
+def test_fig12_segment_asrs_apply_to_more_rules(benchmark, workload, recorder):
+    """Rules stop at many depths here, so suffix/subpath segments are
+    usable where a long complete path is not: measured as how many
+    provenance atoms remain un-rewritten."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.indexing import ASRManager, asr_definitions_for
+    from repro.proql import SQLEngine
+    from repro.workloads.topologies import target_relation
+
+    system, storage = workload
+    leftovers = {}
+    for kind in ("complete", "suffix"):
+        manager = ASRManager(storage)
+        manager.register_all(
+            asr_definitions_for(system, target_relation(), 5, kind)
+        )
+        engine = SQLEngine(storage)
+        rules = manager.rewrite(engine.unfolder.full_ancestry(target_relation()))
+        leftovers[kind] = sum(
+            1
+            for rule in rules
+            for item in rule.items
+            if item.kind == "prov"
+        )
+        manager.drop_all()
+    recorder.record("unrewritten-prov-atoms", **leftovers)
+    assert leftovers["suffix"] <= leftovers["complete"]

@@ -1,0 +1,80 @@
+"""Figure 13: ASR types and lengths on a 20-peer branched topology.
+
+Paper claims: unfolded rules traverse combinations of branches, so
+complete-path and prefix ASRs that would cross branch boundaries help
+fewer rules; subpath and suffix ASRs provide the larger benefit at
+longer lengths.  (Our advisor windows ASRs within non-branching chain
+segments, so the "crossing" effect appears as shorter usable windows.)
+"""
+
+import pytest
+
+from repro.workloads import branched, leaf_peers, prepare_storage, run_target_query
+
+from conftest import scaled
+
+FIGURE = "fig13"
+
+PEERS = 20
+KINDS = ("complete", "subpath", "prefix", "suffix")
+LENGTHS = (1, 2, 3, 4, 5, 6)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    system = branched(
+        PEERS, data_peers=leaf_peers(PEERS)[:4], base_size=scaled(150)
+    )
+    storage = prepare_storage(system)
+    yield system, storage
+    storage.close()
+
+
+def test_fig13_baseline(benchmark, workload, recorder):
+    system, storage = workload
+
+    def run():
+        return run_target_query(system, storage=storage)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    recorder.record(
+        "no-ASR",
+        rules=result.unfolded_rules,
+        eval_ms=round(result.evaluation_seconds * 1e3, 2),
+        total_ms=round(result.query_processing_seconds * 1e3, 2),
+        max_join=result.stats.max_join_width,
+    )
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("length", LENGTHS)
+def test_fig13_point(benchmark, workload, recorder, kind, length):
+    system, storage = workload
+
+    def run():
+        return run_target_query(
+            system, storage=storage, asr_length=length, asr_kind=kind
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    recorder.record(
+        f"{kind} L={length}",
+        eval_ms=round(result.evaluation_seconds * 1e3, 2),
+        total_ms=round(result.query_processing_seconds * 1e3, 2),
+        max_join=result.stats.max_join_width,
+    )
+
+
+def test_fig13_asr_still_beats_baseline(benchmark, workload, recorder):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    system, storage = workload
+    baseline = run_target_query(system, storage=storage)
+    indexed = run_target_query(
+        system, storage=storage, asr_length=4, asr_kind="suffix"
+    )
+    assert indexed.stats.max_join_width < baseline.stats.max_join_width
+    recorder.record(
+        "check",
+        baseline_join=baseline.stats.max_join_width,
+        suffix4_join=indexed.stats.max_join_width,
+    )

@@ -1,0 +1,49 @@
+"""Section 6.1.2's side observation: annotation computation adds little
+over the graph-projection component — "the graph projection component
+dominates execution time"."""
+
+import pytest
+
+from repro.proql import SQLEngine
+from repro.workloads import chain, prepare_storage
+from repro.workloads.topologies import target_relation
+
+from conftest import scaled
+
+FIGURE = "sec612"
+
+PROJECTION = (
+    "FOR [{rel} $x] INCLUDE PATH [$x] <-+ [] RETURN $x"
+)
+ANNOTATED = (
+    "EVALUATE TRUST OF {{ FOR [{rel} $x] INCLUDE PATH [$x] <-+ [] RETURN $x }}"
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    system = chain(8, base_size=scaled(150))
+    storage = prepare_storage(system)
+    yield SQLEngine(storage)
+    storage.close()
+
+
+def test_projection_only(benchmark, engine, recorder):
+    query = PROJECTION.format(rel=target_relation())
+    result = benchmark.pedantic(lambda: engine.run(query), rounds=3, iterations=1)
+    recorder.record(
+        "projection",
+        sql_ms=round(result.stats.sql_seconds * 1e3, 2),
+        rows=result.stats.rows,
+    )
+
+
+def test_projection_plus_annotation(benchmark, engine, recorder):
+    query = ANNOTATED.format(rel=target_relation())
+    result = benchmark.pedantic(lambda: engine.run(query), rounds=3, iterations=1)
+    recorder.record(
+        "with TRUST annotation",
+        sql_ms=round(result.stats.sql_seconds * 1e3, 2),
+        annotated=len(result.annotated_rows),
+    )
+    assert result.annotations

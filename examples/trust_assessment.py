@@ -1,0 +1,102 @@
+"""Trust assessment in a CDSS (use case Q7, Sections 1-2).
+
+A bioinformatics-style chain of five peers shares protein annotations.
+The target peer wants to decide, per materialized tuple, whether to
+trust it — based on which sources contributed it, which mappings it
+traveled through, and attribute-level trust conditions.  Because
+provenance was materialized once, *different* trust policies can be
+evaluated instantly without re-running the exchange.
+
+Run:  python examples/trust_assessment.py
+"""
+
+from repro.cdss import TrustPolicy, attribute_condition
+from repro.provenance import annotate
+from repro.semirings import TrustSemiring, get_semiring
+from repro.workloads import chain, upstream_data_peers
+from repro.workloads.topologies import target_relation
+
+
+def main() -> None:
+    # Five peers; the two most-upstream ones are data contributors.
+    system = chain(5, data_peers=upstream_data_peers(5, 2), base_size=30)
+    print(
+        f"built chain CDSS: {len(system.peers)} peers, "
+        f"{system.instance_size()} materialized tuples"
+    )
+
+    target_nodes = sorted(system.graph.tuples_in(target_relation()))
+    semiring: TrustSemiring = get_semiring("TRUST")
+
+    # Policy 1: distrust everything contributed by peer P4.
+    policy1 = TrustPolicy()
+    policy1.distrust_relation("P4_R1")
+    policy1.distrust_relation("P4_R2")
+    trusted1 = system.trusted(policy1)
+
+    # Policy 2: distrust the mapping from peer P3 to P2 (say it was
+    # authored by an unreliable curator).
+    policy2 = TrustPolicy()
+    policy2.distrust_mapping("m3")
+    trusted2 = system.trusted(policy2)
+
+    # Policy 3: attribute-level condition — trust entries whose first
+    # payload attribute (a synthetic quality score) is even.
+    schema = system.catalog["P4_R1"]
+    policy3 = TrustPolicy()
+    policy3.trust_if(
+        "P4_R1", attribute_condition(schema, "a1", lambda v: v % 2 == 0)
+    )
+    trusted3 = system.trusted(policy3)
+
+    print(f"\n{'tuple key':>12}  {'no-P4':>6}  {'no-m3':>6}  {'a1-even':>8}")
+    for node in target_nodes[:12]:
+        print(
+            f"{node.values[0]:>12}  "
+            f"{str(trusted1[node]):>6}  "
+            f"{str(trusted2[node]):>6}  "
+            f"{str(trusted3[node]):>8}"
+        )
+
+    def count(trusted):
+        return sum(1 for node in target_nodes if trusted[node])
+
+    print(
+        f"\ntrusted at target peer: "
+        f"policy1={count(trusted1)}/{len(target_nodes)}, "
+        f"policy2={count(trusted2)}/{len(target_nodes)}, "
+        f"policy3={count(trusted3)}/{len(target_nodes)}"
+    )
+
+    # The same provenance graph also answers: which base tuples does a
+    # distrusted result depend on?  (lineage, use case Q6)
+    doubtful = next(
+        node for node in target_nodes if not trusted2[node]
+    )
+    lineage = system.lineage(doubtful)
+    print(f"\nlineage of distrusted {doubtful}:")
+    for leaf in sorted(lineage, key=str)[:4]:
+        print(f"  {leaf}")
+
+    # Everything above is also expressible in ProQL; e.g. policy 2:
+    from repro.proql import GraphEngine
+
+    engine = GraphEngine(system.graph, system.catalog)
+    result = engine.run(
+        f"""
+        EVALUATE TRUST OF {{
+          FOR [{target_relation()} $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+        }} ASSIGNING EACH mapping $p($z) {{
+          CASE $p = m3 : SET false
+          DEFAULT : SET $z
+        }}
+        """
+    )
+    agreement = all(
+        result.annotations[node] == trusted2[node] for node in target_nodes
+    )
+    print(f"\nProQL TRUST query agrees with TrustPolicy API: {agreement}")
+
+
+if __name__ == "__main__":
+    main()

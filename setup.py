@@ -1,0 +1,14 @@
+"""Legacy setup shim for offline editable installs (no wheel package)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Querying Data Provenance' (ProQL, SIGMOD 2010)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,21 @@
+"""Collaborative data sharing system substrate (Sections 2 and 6.1)."""
+
+from repro.cdss.mapping import (
+    SchemaMapping,
+    parse_mappings,
+    provenance_relation_name,
+)
+from repro.cdss.peer import Peer
+from repro.cdss.system import CDSS, local_rule_name
+from repro.cdss.trust import TrustPolicy, attribute_condition
+
+__all__ = [
+    "CDSS",
+    "Peer",
+    "SchemaMapping",
+    "TrustPolicy",
+    "attribute_condition",
+    "local_rule_name",
+    "parse_mappings",
+    "provenance_relation_name",
+]

@@ -1,0 +1,51 @@
+"""Peers of a collaborative data sharing system (Section 2).
+
+A peer owns a *public schema* (a set of relations) plus, per relation,
+a local-contribution table ``R_l`` holding the data it created locally.
+The public relation is the union of local contributions and data
+imported along incoming mappings — materialized by update exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import SchemaError
+from repro.relational.schema import RelationSchema, local_name
+
+
+@dataclass
+class Peer:
+    """A CDSS participant with its public relations."""
+
+    name: str
+    relations: list[RelationSchema] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("peer name must be non-empty")
+        names = [r.name for r in self.relations]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate relation names at peer {self.name}")
+
+    def add_relation(self, schema: RelationSchema) -> None:
+        if any(r.name == schema.name for r in self.relations):
+            raise SchemaError(
+                f"peer {self.name} already has relation {schema.name}"
+            )
+        self.relations.append(schema)
+
+    def relation_names(self) -> list[str]:
+        return [r.name for r in self.relations]
+
+    def local_relation_names(self) -> list[str]:
+        return [local_name(r.name) for r in self.relations]
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        relations: Iterable[RelationSchema],
+    ) -> "Peer":
+        return cls(name, list(relations))

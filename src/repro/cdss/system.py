@@ -1,0 +1,240 @@
+"""The CDSS itself: peers + mappings + update exchange (Section 2).
+
+:class:`CDSS` assembles the full data-exchange substrate the paper's
+storage and query layers sit on:
+
+* a catalog of every public relation and its local-contribution table;
+* auto-generated local rules ``L_R: R(x̄) :- R_l(x̄)`` (Example 2.1's
+  L1–L4), so base data appears in the provenance graph as leaf tuples;
+* **update exchange**: (incremental) semi-naive materialization of all
+  peers' instances, recording the provenance graph;
+* **deletion propagation** (use case Q5): after local deletions,
+  re-derive derivability from the remaining leaves and garbage-collect
+  tuples (and derivations) that are no longer supported — provenance
+  makes this a graph computation instead of a view recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.cdss.mapping import SchemaMapping
+from repro.cdss.peer import Peer
+from repro.cdss.trust import TrustPolicy
+from repro.datalog.evaluation import EvaluationResult, evaluate
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import Program, Rule
+from repro.errors import SchemaError
+from repro.provenance.annotate import annotate
+from repro.provenance.graph import ProvenanceGraph, TupleNode
+from repro.relational.instance import Catalog, Instance, Row
+from repro.relational.schema import RelationSchema, is_local_name, local_name
+from repro.semirings.registry import get_semiring
+
+
+def local_rule_name(relation: str) -> str:
+    """Name of the auto-generated local-contribution rule for *relation*."""
+    return f"L_{relation}"
+
+
+class CDSS:
+    """A collaborative data sharing system instance."""
+
+    def __init__(self, peers: Iterable[Peer] = ()):
+        self.peers: dict[str, Peer] = {}
+        self.mappings: dict[str, SchemaMapping] = {}
+        self.catalog = Catalog()
+        self._local_rules: dict[str, Rule] = {}
+        self.instance = Instance(self.catalog)
+        self.graph = ProvenanceGraph()
+        self._pending: dict[str, set[Row]] = {}
+        self._exchanged_once = False
+        for peer in peers:
+            self.add_peer(peer)
+
+    # -- construction ------------------------------------------------------------
+
+    def add_peer(self, peer: Peer) -> Peer:
+        if peer.name in self.peers:
+            raise SchemaError(f"duplicate peer {peer.name}")
+        self.peers[peer.name] = peer
+        for schema in peer.relations:
+            self._register_relation(schema)
+        return peer
+
+    def _register_relation(self, schema: RelationSchema) -> None:
+        self.catalog.add(schema)
+        self.catalog.add(schema.local_contribution())
+        terms = ", ".join(schema.attribute_names)
+        rule = parse_rule(
+            f"{local_rule_name(schema.name)}: "
+            f"{schema.name}({terms}) :- {local_name(schema.name)}({terms})"
+        )
+        self._local_rules[schema.name] = rule
+        # The instance tracks catalog growth lazily; rebuild its view.
+        self.instance.catalog = self.catalog
+
+    def add_mapping(self, text_or_mapping: str | SchemaMapping, name: str | None = None) -> SchemaMapping:
+        """Register a mapping given as rule text or a SchemaMapping."""
+        if isinstance(text_or_mapping, SchemaMapping):
+            mapping = text_or_mapping
+        else:
+            default = name or f"m{len(self.mappings) + 1}"
+            mapping = SchemaMapping.parse(text_or_mapping, self.catalog, default)
+        if mapping.name in self.mappings:
+            raise SchemaError(f"duplicate mapping name {mapping.name}")
+        for atom in mapping.body + mapping.head:
+            if atom.relation not in self.catalog:
+                raise SchemaError(
+                    f"mapping {mapping.name} references unknown relation "
+                    f"{atom.relation}"
+                )
+            if atom.arity != self.catalog[atom.relation].arity:
+                raise SchemaError(
+                    f"mapping {mapping.name}: atom {atom} does not match the "
+                    f"arity of {atom.relation}"
+                )
+        self.mappings[mapping.name] = mapping
+        return mapping
+
+    def add_mappings(self, texts: Iterable[str]) -> list[SchemaMapping]:
+        return [self.add_mapping(text) for text in texts]
+
+    # -- programs ------------------------------------------------------------
+
+    def local_rules(self) -> list[Rule]:
+        return list(self._local_rules.values())
+
+    def program(self) -> Program:
+        """Local-contribution rules + all schema mappings."""
+        return Program(self.local_rules() + [m.rule for m in self.mappings.values()])
+
+    # -- data ------------------------------------------------------------
+
+    def insert_local(self, relation: str, row: Sequence[object]) -> bool:
+        """Queue a local insertion into *relation*'s contribution table."""
+        if relation not in self.catalog:
+            raise SchemaError(f"unknown relation {relation}")
+        target = relation if is_local_name(relation) else local_name(relation)
+        row = tuple(row)
+        if self.instance.insert(target, row):
+            self._pending.setdefault(target, set()).add(row)
+            return True
+        return False
+
+    def insert_local_many(
+        self, relation: str, rows: Iterable[Sequence[object]]
+    ) -> int:
+        return sum(self.insert_local(relation, row) for row in rows)
+
+    def exchange(self) -> EvaluationResult:
+        """Run (incremental) update exchange.
+
+        The first call materializes everything; later calls seed the
+        semi-naive evaluation with only the pending local insertions,
+        so unchanged derivations are not re-fired.
+        """
+        initial_delta: Mapping[str, set[Row]] | None
+        if self._exchanged_once:
+            initial_delta = dict(self._pending)
+        else:
+            initial_delta = None
+        result = evaluate(
+            self.program(),
+            self.instance,
+            graph=self.graph,
+            initial_delta=initial_delta,
+        )
+        self._pending.clear()
+        self._exchanged_once = True
+        return result
+
+    # -- deletion propagation (Q5) --------------------------------------------
+
+    def delete_local(self, relation: str, row: Sequence[object]) -> bool:
+        """Delete a local contribution (no propagation until
+        :meth:`propagate_deletions`)."""
+        target = relation if is_local_name(relation) else local_name(relation)
+        row = tuple(row)
+        self._pending.get(target, set()).discard(row)
+        return self.instance.delete(target, row)
+
+    def propagate_deletions(self) -> int:
+        """Garbage-collect underivable tuples after local deletions.
+
+        Uses the DERIVABILITY semiring over the stored provenance graph
+        (the paper's Q5: "provenance can speed up this test"): a leaf is
+        derivable iff its local tuple still exists; any tuple whose
+        annotation becomes ``false`` is removed from the instance, and
+        its graph nodes are dropped.  Returns the number of removed
+        tuples (including local-leaf nodes).
+        """
+        semiring = get_semiring("DERIVABILITY")
+        derivable = annotate(
+            self.graph,
+            semiring,
+            leaf_assignment=lambda node: self.instance.contains(
+                node.relation, node.values
+            ),
+        )
+        dead_tuples = {node for node, value in derivable.items() if not value}
+        if not dead_tuples:
+            return 0
+        dead_derivations = {
+            deriv
+            for deriv in self.graph.derivations
+            if any(src in dead_tuples for src in deriv.sources)
+            or any(tgt in dead_tuples for tgt in deriv.targets)
+        }
+        survivors_t = [t for t in self.graph.tuples if t not in dead_tuples]
+        survivors_d = [d for d in self.graph.derivations if d not in dead_derivations]
+        removed = 0
+        for node in dead_tuples:
+            if self.instance.delete(node.relation, node.values):
+                removed += 1
+        self.graph = self.graph.subgraph(survivors_t, survivors_d)
+        return removed
+
+    # -- queries over the graph ---------------------------------------------------
+
+    def derivability(self) -> dict[TupleNode, bool]:
+        """Derivability annotation of every tuple (Q5)."""
+        return annotate(self.graph, get_semiring("DERIVABILITY"))
+
+    def lineage(self, node: TupleNode) -> frozenset:
+        """Set of local base tuples *node* derives from (Q6)."""
+        values = annotate(
+            self.graph,
+            get_semiring("LINEAGE"),
+            leaf_assignment=lambda leaf: frozenset([leaf]),
+        )
+        result = values[node]
+        from repro.semirings.events import BOTTOM
+
+        return frozenset() if result is BOTTOM else result
+
+    def trusted(self, policy: TrustPolicy) -> dict[TupleNode, bool]:
+        """Trust annotation of every tuple under *policy* (Q7)."""
+        return annotate(
+            self.graph,
+            get_semiring("TRUST"),
+            leaf_assignment=policy.leaf_assignment(),
+            mapping_functions=policy.mapping_functions(),
+        )
+
+    # -- stats ------------------------------------------------------------
+
+    def instance_size(self, public_only: bool = True) -> int:
+        """Total number of materialized tuples."""
+        total = 0
+        for relation in self.catalog.names():
+            if public_only and is_local_name(relation):
+                continue
+            total += self.instance.size(relation)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CDSS peers={len(self.peers)} mappings={len(self.mappings)} "
+            f"tuples={self.instance_size()}>"
+        )

@@ -1,0 +1,89 @@
+"""Trust policies for CDSS peers (use case Q7, Section 2.1).
+
+A :class:`TrustPolicy` collects the two kinds of assignments the
+TRUST semiring needs:
+
+* **leaf conditions** — per-relation predicates deciding whether a
+  local/base tuple is trusted (the paper: "we must check each EDB
+  tuple to see whether it is trusted");
+* **distrusted mappings** — mappings associated with the distrust
+  function Dm (false on all inputs) instead of the neutral Nm.
+
+The policy compiles into the ``leaf_assignment`` and
+``mapping_functions`` arguments of :func:`repro.provenance.annotate`,
+and is also what ProQL's ``ASSIGNING EACH`` clauses build internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.provenance.graph import TupleNode
+from repro.relational.schema import RelationSchema, public_name
+from repro.semirings.base import MappingFunction
+from repro.semirings.standard import TrustSemiring
+
+#: Predicate over the attribute values of one tuple.
+TupleCondition = Callable[[tuple], bool]
+
+
+@dataclass
+class TrustPolicy:
+    """Declarative trust configuration for one evaluating peer."""
+
+    #: relation name -> predicate on tuple values; applies to leaves of
+    #: that relation's local-contribution table.
+    leaf_conditions: dict[str, TupleCondition] = field(default_factory=dict)
+    #: mappings whose derivations are never trusted.
+    distrusted_mappings: set[str] = field(default_factory=set)
+    #: trust verdict for leaves of relations without a condition.
+    default_trust: bool = True
+
+    def trust_relation(self, relation: str) -> None:
+        self.leaf_conditions[relation] = lambda values: True
+
+    def distrust_relation(self, relation: str) -> None:
+        self.leaf_conditions[relation] = lambda values: False
+
+    def trust_if(self, relation: str, condition: TupleCondition) -> None:
+        self.leaf_conditions[relation] = condition
+
+    def distrust_mapping(self, mapping: str) -> None:
+        self.distrusted_mappings.add(mapping)
+
+    # -- compilation ---------------------------------------------------------
+
+    def leaf_assignment(self) -> Callable[[TupleNode], bool]:
+        """Leaf-node trust assignment for the TRUST semiring."""
+
+        def assign(node: TupleNode) -> bool:
+            condition = self.leaf_conditions.get(
+                public_name(node.relation)
+            ) or self.leaf_conditions.get(node.relation)
+            if condition is None:
+                return self.default_trust
+            return bool(condition(node.values))
+
+        return assign
+
+    def mapping_functions(self) -> Mapping[str, MappingFunction]:
+        semiring = TrustSemiring()
+        distrust = semiring.distrust_function()
+        return {name: distrust for name in self.distrusted_mappings}
+
+
+def attribute_condition(
+    schema: RelationSchema,
+    attribute: str,
+    predicate: Callable[[object], bool],
+) -> TupleCondition:
+    """Build a tuple condition testing one named attribute.
+
+    >>> schema = RelationSchema.of("A", ["id", "h"], key=["id"])
+    >>> cond = attribute_condition(schema, "h", lambda h: h < 6)
+    >>> cond((1, 5)), cond((1, 7))
+    (True, False)
+    """
+    position = schema.position_of(attribute)
+    return lambda values: predicate(values[position])

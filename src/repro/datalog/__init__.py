@@ -1,0 +1,44 @@
+"""Datalog-with-mappings substrate: terms, atoms, rules, parsing,
+homomorphisms, and provenance-recording evaluation."""
+
+from repro.datalog.atoms import Atom
+from repro.datalog.evaluation import (
+    EvaluationResult,
+    evaluate,
+    evaluate_naive,
+)
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.rules import Program, Rule
+from repro.datalog.terms import (
+    Constant,
+    SkolemTerm,
+    SkolemValue,
+    Term,
+    Variable,
+    fresh_wildcard,
+)
+from repro.datalog.unification import (
+    Homomorphism,
+    find_homomorphism,
+    find_homomorphisms,
+)
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "EvaluationResult",
+    "Homomorphism",
+    "Program",
+    "Rule",
+    "SkolemTerm",
+    "SkolemValue",
+    "Term",
+    "Variable",
+    "evaluate",
+    "evaluate_naive",
+    "find_homomorphism",
+    "find_homomorphisms",
+    "fresh_wildcard",
+    "parse_program",
+    "parse_rule",
+]

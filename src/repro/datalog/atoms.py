@@ -1,0 +1,93 @@
+"""Atoms: relation symbols applied to terms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.datalog.terms import (
+    Constant,
+    SkolemTerm,
+    Term,
+    Variable,
+    ground,
+    substitute,
+    variables_of,
+)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``relation(t1, ..., tn)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Iterator[Variable]:
+        for term in self.terms:
+            yield from variables_of(term)
+
+    def has_skolems(self) -> bool:
+        return any(isinstance(t, SkolemTerm) for t in self.terms)
+
+    def ground(self, subst: Mapping[Variable, object]) -> tuple[object, ...]:
+        """Instantiate into a concrete tuple of values."""
+        return tuple(ground(t, subst) for t in self.terms)
+
+    def substitute(self, subst: Mapping[Variable, Term]) -> "Atom":
+        """Apply a term-to-term substitution (rule unfolding)."""
+        return Atom(self.relation, tuple(substitute(t, subst) for t in self.terms))
+
+    def rename(self, suffix: str) -> "Atom":
+        """Rename every variable by appending *suffix* (for freshening)."""
+        mapping = {v: Variable(v.name + suffix) for v in self.variables()}
+        return self.substitute(mapping)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+def match_tuple(
+    atom: Atom,
+    row: Sequence[object],
+    binding: dict[Variable, object],
+) -> dict[Variable, object] | None:
+    """Try to extend *binding* so that *atom* matches *row*.
+
+    Returns the extended binding, or None on mismatch.  Skolem terms
+    match :class:`SkolemValue` rows positionally by unifying argument
+    values; in practice mapping bodies contain only constants and
+    variables, and Skolems appear in heads.
+    """
+    if len(row) != atom.arity:
+        return None
+    out = dict(binding)
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        elif isinstance(term, Variable):
+            if term in out:
+                if out[term] != value:
+                    return None
+            else:
+                out[term] = value
+        else:  # SkolemTerm in a body: match structurally
+            from repro.datalog.terms import SkolemValue
+
+            if not isinstance(value, SkolemValue) or value.function != term.function:
+                return None
+            if len(value.args) != len(term.args):
+                return None
+            sub = match_tuple(
+                Atom("__skolem__", term.args), value.args, out
+            )
+            if sub is None:
+                return None
+            out = sub
+    return out

@@ -1,0 +1,189 @@
+"""Parser for textual Datalog mappings.
+
+Accepts the paper's notation (Example 2.1), e.g.::
+
+    m1: C(i, n) :- A(i, s, _), N(i, n, false)
+    m5: O(n, h, true) :- A(i, _, h), C(i, n)
+    L1: A(i, s, l) :- A_l(i, s, l)
+
+Conventions:
+
+* a rule is ``name: head-atoms :- body-atoms`` (the ``name:`` prefix and
+  body are optional — a body-less rule is a fact template);
+* identifiers in term position are **variables**;
+* ``_`` is an anonymous wildcard (each occurrence a fresh variable);
+* numbers, single-quoted strings, ``true``/``false`` are constants;
+* ``f(x, y)`` in term position is a Skolem term;
+* ``%`` starts a comment; rules are separated by newlines.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Program, Rule
+from repro.datalog.terms import Constant, SkolemTerm, Term, fresh_wildcard
+from repro.datalog.terms import Variable
+from repro.errors import DatalogParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>:-)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<punct>[():,._])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DatalogParseError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind or "", match.group()))
+    return tokens
+
+
+class _RuleParser:
+    """Recursive-descent parser over one rule's token list."""
+
+    def __init__(self, tokens: list[tuple[str, str]], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise DatalogParseError(f"unexpected end of rule: {self.text!r}")
+        self.pos += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, tok = self.next()
+        if tok != value:
+            raise DatalogParseError(
+                f"expected {value!r}, found {tok!r} in rule {self.text!r}"
+            )
+
+    def at(self, value: str) -> bool:
+        token = self.peek()
+        return token is not None and token[1] == value
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_rule(self, default_name: str) -> Rule:
+        name = default_name
+        # Optional "name:" prefix — a name token followed by ':' that is
+        # not immediately part of an atom (atoms are name '(' ...).
+        if (
+            self.pos + 1 < len(self.tokens)
+            and self.tokens[self.pos][0] == "name"
+            and self.tokens[self.pos + 1][1] == ":"
+        ):
+            name = self.next()[1]
+            self.next()  # ':'
+        head = self.parse_atoms()
+        body: tuple[Atom, ...] = ()
+        if self.at(":-"):
+            self.next()
+            body = self.parse_atoms()
+        if self.peek() is not None:
+            raise DatalogParseError(
+                f"trailing tokens after rule {self.text!r}: {self.peek()!r}"
+            )
+        return Rule(name, head, body)
+
+    def parse_atoms(self) -> tuple[Atom, ...]:
+        atoms = [self.parse_atom()]
+        while self.at(","):
+            self.next()
+            atoms.append(self.parse_atom())
+        return tuple(atoms)
+
+    def parse_atom(self) -> Atom:
+        kind, relation = self.next()
+        if kind != "name":
+            raise DatalogParseError(
+                f"expected relation name, found {relation!r} in {self.text!r}"
+            )
+        self.expect("(")
+        terms: list[Term] = []
+        if not self.at(")"):
+            terms.append(self.parse_term())
+            while self.at(","):
+                self.next()
+                terms.append(self.parse_term())
+        self.expect(")")
+        return Atom(relation, tuple(terms))
+
+    def parse_term(self) -> Term:
+        kind, tok = self.next()
+        if kind == "number":
+            return Constant(float(tok) if "." in tok else int(tok))
+        if kind == "string":
+            return Constant(tok[1:-1].replace("\\'", "'"))
+        if tok == "_":
+            return fresh_wildcard()
+        if kind == "name":
+            if tok == "true":
+                return Constant(True)
+            if tok == "false":
+                return Constant(False)
+            if tok == "null":
+                return Constant(None)
+            if self.at("("):  # Skolem term
+                self.next()
+                args: list[Term] = []
+                if not self.at(")"):
+                    args.append(self.parse_term())
+                    while self.at(","):
+                        self.next()
+                        args.append(self.parse_term())
+                self.expect(")")
+                return SkolemTerm(tok, tuple(args))
+            return Variable(tok)
+        raise DatalogParseError(f"unexpected token {tok!r} in {self.text!r}")
+
+
+def _rule_lines(text: str) -> Iterator[str]:
+    for raw in text.splitlines():
+        line = raw.split("%", 1)[0].strip()
+        if line:
+            yield line
+
+
+def parse_rule(text: str, name: str = "rule") -> Rule:
+    """Parse a single rule.  *name* is used if the text has no prefix.
+
+    >>> rule = parse_rule("m1: C(i, n) :- A(i, s, _), N(i, n, false)")
+    >>> rule.name, len(rule.head), len(rule.body)
+    ('m1', 1, 2)
+    """
+    return _RuleParser(_tokenize(text), text).parse_rule(name)
+
+
+def parse_program(text: str) -> Program:
+    """Parse one rule per non-empty line into a :class:`Program`.
+
+    Unnamed rules are auto-named ``r1, r2, ...`` by position.
+    """
+    rules = []
+    for index, line in enumerate(_rule_lines(text), start=1):
+        rules.append(parse_rule(line, name=f"r{index}"))
+    return Program(rules)

@@ -1,0 +1,194 @@
+"""Rules and programs of the mapping Datalog dialect.
+
+A :class:`Rule` generalizes plain Datalog in two paper-mandated ways:
+
+* the head may contain *several* atoms (a GLAV schema mapping with
+  ``n`` target atoms, Section 2: "a schema mapping M in general may
+  have m source atoms and n target atoms"), and
+* head-only (existential) variables are Skolemized into labeled nulls
+  (footnote 1 of the paper).
+
+Every rule carries a ``name`` (``m1``, ``L1``, ...) because derivation
+nodes in the provenance graph are labeled with the mapping that
+produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import SkolemTerm, Term, Variable
+from repro.errors import DatalogError
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``name : head1, ..., headn :- body1, ..., bodym``."""
+
+    name: str
+    head: tuple[Atom, ...]
+    body: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.head:
+            raise DatalogError(f"rule {self.name} has an empty head")
+
+    # -- variable bookkeeping ----------------------------------------------
+
+    def body_variables(self) -> set[Variable]:
+        return {v for atom in self.body for v in atom.variables()}
+
+    def head_variables(self) -> set[Variable]:
+        return {v for atom in self.head for v in atom.variables()}
+
+    def variables(self) -> set[Variable]:
+        return self.body_variables() | self.head_variables()
+
+    def is_safe(self) -> bool:
+        """Safe iff every head variable occurs in the body.
+
+        (After :meth:`skolemize`, existential variables have been folded
+        into Skolem terms whose arguments are body variables, so a
+        skolemized mapping is safe.)
+        """
+        return self.head_variables() <= self.body_variables()
+
+    def check_safe(self) -> "Rule":
+        if not self.is_safe():
+            loose = {v.name for v in self.head_variables() - self.body_variables()}
+            raise DatalogError(
+                f"rule {self.name} is unsafe: head variables {sorted(loose)} "
+                "do not occur in the body (skolemize() existentials first)"
+            )
+        return self
+
+    # -- Skolemization -------------------------------------------------------
+
+    def skolemize(self) -> "Rule":
+        """Replace head-only variables with Skolem terms.
+
+        Each existential head variable ``x`` becomes
+        ``f_<name>_<x>(v1, ..., vk)`` over the rule's *frontier*
+        variables (body variables that also appear in the head), the
+        standard construction for data exchange with TGDs.
+        """
+        body_vars = self.body_variables()
+        existential = [v for v in self.head_variables() if v not in body_vars]
+        if not existential:
+            return self
+        frontier = tuple(
+            sorted(
+                (v for v in self.head_variables() if v in body_vars),
+                key=lambda v: v.name,
+            )
+        )
+        mapping: dict[Variable, Term] = {
+            v: SkolemTerm(f"f_{self.name}_{v.name}", frontier) for v in existential
+        }
+        new_head = tuple(atom.substitute(mapping) for atom in self.head)
+        return Rule(self.name, new_head, self.body)
+
+    # -- structural helpers ---------------------------------------------------
+
+    def source_relations(self) -> tuple[str, ...]:
+        return tuple(atom.relation for atom in self.body)
+
+    def target_relations(self) -> tuple[str, ...]:
+        return tuple(atom.relation for atom in self.head)
+
+    def rename_variables(self, suffix: str) -> "Rule":
+        mapping = {v: Variable(v.name + suffix) for v in self.variables()}
+        return Rule(
+            self.name,
+            tuple(a.substitute(mapping) for a in self.head),
+            tuple(a.substitute(mapping) for a in self.body),
+        )
+
+    def __str__(self) -> str:
+        head = ", ".join(str(a) for a in self.head)
+        if not self.body:
+            return f"{self.name}: {head}."
+        body = ", ".join(str(a) for a in self.body)
+        return f"{self.name}: {head} :- {body}"
+
+
+@dataclass
+class Program:
+    """An ordered, name-indexed collection of rules."""
+
+    rules: list[Rule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [r.name for r in self.rules]
+        if len(set(names)) != len(names):
+            raise DatalogError(f"duplicate rule names in program: {names}")
+
+    def add(self, rule: Rule) -> None:
+        if any(r.name == rule.name for r in self.rules):
+            raise DatalogError(f"duplicate rule name {rule.name}")
+        self.rules.append(rule)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __getitem__(self, name: str) -> Rule:
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        raise DatalogError(f"no rule named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(r.name == name for r in self.rules)
+
+    def rules_defining(self, relation: str) -> list[Rule]:
+        """Rules with *relation* in their head."""
+        return [r for r in self.rules if relation in r.target_relations()]
+
+    def rules_using(self, relation: str) -> list[Rule]:
+        """Rules with *relation* in their body."""
+        return [r for r in self.rules if relation in r.source_relations()]
+
+    def relations(self) -> set[str]:
+        out: set[str] = set()
+        for rule in self.rules:
+            out.update(rule.source_relations())
+            out.update(rule.target_relations())
+        return out
+
+    def idb_relations(self) -> set[str]:
+        return {rel for rule in self.rules for rel in rule.target_relations()}
+
+    def edb_relations(self) -> set[str]:
+        return self.relations() - self.idb_relations()
+
+    def is_recursive(self) -> bool:
+        """True iff the relation dependency graph has a cycle."""
+        deps: dict[str, set[str]] = {}
+        for rule in self.rules:
+            for head_rel in rule.target_relations():
+                deps.setdefault(head_rel, set()).update(rule.source_relations())
+        seen: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(rel: str) -> bool:
+            state = seen.get(rel)
+            if state == 0:
+                return True
+            if state == 1:
+                return False
+            seen[rel] = 0
+            for dep in deps.get(rel, ()):
+                if visit(dep):
+                    return True
+            seen[rel] = 1
+            return False
+
+        return any(visit(rel) for rel in deps)
+
+    @classmethod
+    def from_rules(cls, rules: Iterable[Rule]) -> "Program":
+        return cls(list(rules))

@@ -1,0 +1,154 @@
+"""Terms of the Datalog dialect used for schema mappings.
+
+The paper (Example 2.1, footnote 1) uses Datalog extended with:
+
+* multi-atom heads (GLAV / tuple-generating-dependency mappings), and
+* Skolem functions that stand for labeled nulls created by existential
+  variables in mapping heads.
+
+Terms are therefore constants, variables, the anonymous wildcard ``_``
+(each occurrence distinct), and Skolem terms ``f(t1, ..., tn)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
+
+Term = Union["Constant", "Variable", "SkolemTerm"]
+
+_wildcard_counter = itertools.count()
+
+
+class Constant:
+    """A ground value (int, str, float, or bool).
+
+    A plain slotted class with a cached hash: terms are hashed millions
+    of times during unfolding, where dataclass-generated hashing was a
+    measured bottleneck.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: object):
+        self.value = value
+        self._hash = hash(("Constant", value))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Constant(value={self.value!r})"
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return repr(self.value)
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+class Variable:
+    """A named logic variable (slotted, cached hash — see Constant)."""
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._hash = hash(("Variable", name))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __lt__(self, other: "Variable") -> bool:
+        return self.name < other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Variable(name={self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SkolemTerm:
+    """``function(args...)`` — a labeled null parameterized by terms.
+
+    During evaluation, a ground Skolem term is represented by a
+    :class:`SkolemValue`, which compares equal iff function and
+    arguments match (the standard canonical-universal-solution
+    treatment of labeled nulls in data exchange).
+    """
+
+    function: str
+    args: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.function}({inner})"
+
+
+@dataclass(frozen=True)
+class SkolemValue:
+    """The *value* of a ground Skolem term (a labeled null)."""
+
+    function: str
+    args: tuple[object, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.function}({inner})"
+
+
+def fresh_wildcard() -> Variable:
+    """A fresh variable for one occurrence of ``_``."""
+    return Variable(f"__w{next(_wildcard_counter)}")
+
+
+def is_wildcard(term: Term) -> bool:
+    return isinstance(term, Variable) and term.name.startswith("__w")
+
+
+Substitution = Mapping[Variable, object]
+
+
+def variables_of(term: Term) -> Iterator[Variable]:
+    """Yield every variable occurring in *term* (depth-first)."""
+    if isinstance(term, Variable):
+        yield term
+    elif isinstance(term, SkolemTerm):
+        for arg in term.args:
+            yield from variables_of(arg)
+
+
+def ground(term: Term, subst: Substitution) -> object:
+    """Apply *subst* to *term*, producing a concrete value.
+
+    Raises KeyError if a variable is unbound — callers are expected to
+    only ground terms whose variables are all bound (safe rules).
+    """
+    if isinstance(term, Constant):
+        return term.value
+    if isinstance(term, Variable):
+        return subst[term]
+    if isinstance(term, SkolemTerm):
+        return SkolemValue(term.function, tuple(ground(a, subst) for a in term.args))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def substitute(term: Term, subst: Mapping[Variable, Term]) -> Term:
+    """Apply a *term-to-term* substitution (used by rule unfolding)."""
+    if isinstance(term, Constant):
+        return term
+    if isinstance(term, Variable):
+        return subst.get(term, term)
+    if isinstance(term, SkolemTerm):
+        return SkolemTerm(term.function, tuple(substitute(a, subst) for a in term.args))
+    raise TypeError(f"not a term: {term!r}")

@@ -1,0 +1,195 @@
+"""Homomorphisms between conjunctions of atoms.
+
+Used by the ASR rewriting algorithm of Figure 4 (``findHomomorphism``):
+a homomorphism from a path rule *p* into a rule *r* maps variables of
+*p* to variables/constants of *r* so that every atom of ``body(p)`` is
+mapped onto some atom of ``body(r)``.  We additionally return *which*
+atoms of *r* were covered, so the rewriter can remove them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, SkolemTerm, Term, Variable
+
+
+@dataclass(frozen=True)
+class Homomorphism:
+    """A variable mapping plus the indices of target atoms used.
+
+    ``mapping`` sends variables of the source conjunction to *terms* of
+    the target conjunction.  ``covered`` gives, per source atom, the
+    index of the target atom it maps onto.
+    """
+
+    mapping: dict[Variable, Term]
+    covered: tuple[int, ...]
+
+    def apply(self, term: Term) -> Term:
+        if isinstance(term, Variable):
+            return self.mapping.get(term, term)
+        if isinstance(term, SkolemTerm):
+            return SkolemTerm(term.function, tuple(self.apply(a) for a in term.args))
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        return Atom(atom.relation, tuple(self.apply(t) for t in atom.terms))
+
+
+def _match_terms(
+    src: Term, dst: Term, mapping: dict[Variable, Term]
+) -> dict[Variable, Term] | None:
+    """Extend *mapping* so that src maps to dst; None on failure."""
+    if isinstance(src, Constant):
+        return mapping if src == dst else None
+    if isinstance(src, Variable):
+        bound = mapping.get(src)
+        if bound is None:
+            out = dict(mapping)
+            out[src] = dst
+            return out
+        return mapping if bound == dst else None
+    if isinstance(src, SkolemTerm):
+        if not isinstance(dst, SkolemTerm) or src.function != dst.function:
+            return None
+        if len(src.args) != len(dst.args):
+            return None
+        current: dict[Variable, Term] | None = mapping
+        for s_arg, d_arg in zip(src.args, dst.args):
+            current = _match_terms(s_arg, d_arg, current)
+            if current is None:
+                return None
+        return current
+    raise TypeError(f"not a term: {src!r}")
+
+
+def _match_atom(
+    src: Atom, dst: Atom, mapping: dict[Variable, Term]
+) -> dict[Variable, Term] | None:
+    if src.relation != dst.relation or src.arity != dst.arity:
+        return None
+    current: dict[Variable, Term] | None = mapping
+    for s_term, d_term in zip(src.terms, dst.terms):
+        current = _match_terms(s_term, d_term, current)
+        if current is None:
+            return None
+    return current
+
+
+def find_homomorphisms(
+    source: Sequence[Atom],
+    target: Sequence[Atom],
+    distinct_targets: bool = True,
+) -> Iterator[Homomorphism]:
+    """Enumerate homomorphisms from *source* atoms into *target* atoms.
+
+    With ``distinct_targets`` (the default, matching the rewriting
+    algorithm's intent of replacing a set of joined atoms by one ASR
+    atom) no two source atoms may map onto the same target atom.
+    """
+
+    def search(
+        index: int, mapping: dict[Variable, Term], used: tuple[int, ...]
+    ) -> Iterator[Homomorphism]:
+        if index == len(source):
+            yield Homomorphism(dict(mapping), used)
+            return
+        for t_index, t_atom in enumerate(target):
+            if distinct_targets and t_index in used:
+                continue
+            extended = _match_atom(source[index], t_atom, mapping)
+            if extended is not None:
+                yield from search(index + 1, extended, used + (t_index,))
+
+    yield from search(0, {}, ())
+
+
+def find_homomorphism(
+    source: Sequence[Atom],
+    target: Sequence[Atom],
+    distinct_targets: bool = True,
+) -> Homomorphism | None:
+    """First homomorphism from *source* into *target*, or None."""
+    return next(find_homomorphisms(source, target, distinct_targets), None)
+
+
+def _resolve(term: Term, subst: dict[Variable, Term]) -> Term:
+    """Follow variable bindings to a representative term."""
+    while isinstance(term, Variable) and term in subst:
+        term = subst[term]
+    return term
+
+
+def _occurs(variable: Variable, term: Term, subst: dict[Variable, Term]) -> bool:
+    term = _resolve(term, subst)
+    if term == variable:
+        return True
+    if isinstance(term, SkolemTerm):
+        return any(_occurs(variable, arg, subst) for arg in term.args)
+    return False
+
+
+def _unify_terms(
+    left: Term, right: Term, subst: dict[Variable, Term]
+) -> dict[Variable, Term] | None:
+    left, right = _resolve(left, subst), _resolve(right, subst)
+    if left == right:
+        return subst
+    if isinstance(left, Variable):
+        if _occurs(left, right, subst):
+            return None
+        out = dict(subst)
+        out[left] = right
+        return out
+    if isinstance(right, Variable):
+        return _unify_terms(right, left, subst)
+    if isinstance(left, Constant) or isinstance(right, Constant):
+        return None  # distinct constants, or constant vs Skolem
+    if isinstance(left, SkolemTerm) and isinstance(right, SkolemTerm):
+        if left.function != right.function or len(left.args) != len(right.args):
+            return None
+        current: dict[Variable, Term] | None = subst
+        for l_arg, r_arg in zip(left.args, right.args):
+            current = _unify_terms(l_arg, r_arg, current)
+            if current is None:
+                return None
+        return current
+    return None
+
+
+def _flatten(subst: dict[Variable, Term]) -> dict[Variable, Term]:
+    """Resolve chains so every binding maps to a representative."""
+
+    def deep(term: Term) -> Term:
+        term = _resolve(term, subst)
+        if isinstance(term, SkolemTerm):
+            return SkolemTerm(term.function, tuple(deep(a) for a in term.args))
+        return term
+
+    return {var: deep(var) for var in subst}
+
+
+def unify_atoms(left: Atom, right: Atom) -> dict[Variable, Term] | None:
+    """Most general unifier of two atoms (both may contain variables).
+
+    Returns a substitution (variable -> term) or None.  Used by rule
+    unfolding (Section 4.2.4) to match a body atom against a mapping's
+    head atom.
+
+    >>> from repro.datalog.parser import parse_rule
+    >>> r = parse_rule("X(i, n) :- Y(i, s, n)")
+    >>> theta = unify_atoms(r.head[0], Atom("X", (Variable("a"), Variable("a"))))
+    >>> theta is not None
+    True
+    """
+    if left.relation != right.relation or left.arity != right.arity:
+        return None
+    subst: dict[Variable, Term] | None = {}
+    for l_term, r_term in zip(left.terms, right.terms):
+        subst = _unify_terms(l_term, r_term, subst)
+        if subst is None:
+            return None
+    return _flatten(subst)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ProQL reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single type at API boundaries.  Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Invalid relation schema, unknown attribute, or arity mismatch."""
+
+
+class DatalogError(ReproError):
+    """Malformed Datalog rule or program."""
+
+class DatalogParseError(DatalogError):
+    """Syntax error while parsing Datalog rule text."""
+
+
+class EvaluationError(ReproError):
+    """Failure during fixpoint evaluation or data exchange."""
+
+
+class SemiringError(ReproError):
+    """Invalid semiring value or unsupported semiring operation."""
+
+
+class ProvenanceError(ReproError):
+    """Inconsistent provenance graph (dangling node, bad derivation)."""
+
+
+class CycleError(ProvenanceError):
+    """An operation requiring acyclic provenance met a cyclic graph."""
+
+
+class ProQLError(ReproError):
+    """Base class for ProQL language errors."""
+
+class ProQLSyntaxError(ProQLError):
+    """Syntax error in ProQL query text; carries position information."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class ProQLSemanticError(ProQLError):
+    """Well-formed but meaningless query (unbound variable, unknown
+    relation or mapping, invalid ASSIGNING clause, ...)."""
+
+
+class StorageError(ReproError):
+    """Relational storage layer failure (SQLite, encoding, views)."""
+
+
+class IndexingError(ReproError):
+    """Invalid ASR definition (e.g. overlapping ASRs) or rewrite failure."""

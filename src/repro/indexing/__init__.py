@@ -1,0 +1,27 @@
+"""ASR indexing for provenance paths (Section 5)."""
+
+from repro.indexing.advisor import asr_definitions_for, mapping_chains
+from repro.indexing.asr import (
+    ASR_KINDS,
+    KIND_ASR,
+    ASRDefinition,
+    ComposedPath,
+    chain_windows,
+    check_non_overlapping,
+)
+from repro.indexing.manager import ASRManager
+from repro.indexing.rewriting import unfold_asrs, unfold_path
+
+__all__ = [
+    "ASR_KINDS",
+    "ASRDefinition",
+    "ASRManager",
+    "ComposedPath",
+    "KIND_ASR",
+    "asr_definitions_for",
+    "chain_windows",
+    "check_non_overlapping",
+    "mapping_chains",
+    "unfold_asrs",
+    "unfold_path",
+]

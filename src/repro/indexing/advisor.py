@@ -1,0 +1,100 @@
+"""Automated ASR selection for a mapping topology (Section 8's
+future-work direction, and the scheme Section 6.4's experiments use:
+"for each maximum path length, we essentially split the chain into
+paths up to this length").
+
+:func:`asr_definitions_for` decomposes the schema graph upstream of a
+target relation into non-branching mapping chains, windows each chain
+into segments of at most ``length`` (aligned to the downstream end),
+and emits one :class:`ASRDefinition` per window — guaranteed
+non-overlapping, as Section 5.2 requires.
+"""
+
+from __future__ import annotations
+
+from repro.cdss.system import CDSS
+from repro.indexing.asr import ASRDefinition, chain_windows
+from repro.proql.schema_graph import SchemaGraph
+
+
+def mapping_chains(cdss: CDSS, target_relation: str) -> list[tuple[str, ...]]:
+    """Maximal non-branching mapping chains upstream of the target.
+
+    Each chain is ordered source→target.  Chains break at relations
+    with more than one incoming or outgoing mapping (branch points of
+    e.g. the branched topology of Figure 6), so no mapping appears in
+    two chains.
+    """
+    graph = SchemaGraph.of(cdss)
+    chains: list[tuple[str, ...]] = []
+    assigned: set[str] = set()
+
+    def walk_chain(mapping: str) -> tuple[str, ...]:
+        """Extend a chain upstream from *mapping* while unambiguous."""
+        chain = [mapping]
+        current = mapping
+        while True:
+            sources = [
+                r
+                for r in dict.fromkeys(graph.sources_of(current))
+            ]
+            upstream: list[str] = []
+            for relation in sources:
+                upstream.extend(graph.mappings_into(relation))
+            upstream = [m for m in dict.fromkeys(upstream) if m not in assigned]
+            if len(upstream) != 1:
+                break
+            # The single upstream mapping must feed only this chain.
+            nxt = upstream[0]
+            consumers = {
+                consumer
+                for relation in set(graph.targets_of(nxt))
+                for consumer in graph.mappings_from(relation)
+            }
+            if consumers - {current}:
+                break
+            chain.append(nxt)
+            assigned.add(nxt)
+            current = nxt
+        return tuple(reversed(chain))  # source -> target
+
+    frontier = [target_relation]
+    seen_relations: set[str] = set()
+    while frontier:
+        relation = frontier.pop()
+        if relation in seen_relations:
+            continue
+        seen_relations.add(relation)
+        for mapping in graph.mappings_into(relation):
+            if mapping in assigned:
+                continue
+            assigned.add(mapping)
+            chain = walk_chain(mapping)
+            chains.append(chain)
+            for name in chain:
+                for source in graph.sources_of(name):
+                    frontier.append(source)
+    return chains
+
+
+def asr_definitions_for(
+    cdss: CDSS,
+    target_relation: str,
+    length: int,
+    kind: str = "complete",
+    prefix: str = "ASR",
+) -> list[ASRDefinition]:
+    """One ASR per window of every upstream chain (Section 6.4 setup).
+
+    >>> # for a chain of 7 mappings and length 3 this yields windows of
+    >>> # sizes 3, 3, 1 aligned to the target side
+    """
+    definitions: list[ASRDefinition] = []
+    counter = 0
+    for chain in mapping_chains(cdss, target_relation):
+        for window in chain_windows(chain, length):
+            definitions.append(
+                ASRDefinition(f"{prefix}_{counter}", window, kind)
+            )
+            counter += 1
+    return definitions

@@ -1,0 +1,96 @@
+"""ASR rewriting of unfolded rules — the algorithm of Figure 4.
+
+``unfold_asrs`` greedily rewrites each rule: for every registered ASR
+it considers the indexed (sub)paths in inverse order of length and,
+when a homomorphism from the (sub)path's provenance atoms into the
+rule body exists (``find_homomorphism``), replaces those atoms with a
+single ASR atom (``unfold_path``).  Because registered ASRs must be
+non-overlapping, this greedy longest-first strategy yields a minimal
+rewriting (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Term, Variable, fresh_wildcard
+from repro.datalog.unification import find_homomorphism
+from repro.indexing.asr import KIND_ASR, ASRDefinition, ComposedPath
+from repro.proql.unfolding import KIND_PROV, BodyItem, UnfoldedRule
+
+
+def unfold_path(
+    rule: UnfoldedRule,
+    composed: ComposedPath,
+    start: int,
+    end: int,
+) -> UnfoldedRule | None:
+    """Try to rewrite *rule* using the segment [start, end) of an ASR.
+
+    Returns the rewritten rule, or None when no homomorphism from the
+    segment's provenance atoms into the rule body exists (Figure 4,
+    ``unfoldPath``).
+    """
+    segment = composed.segment_atoms(start, end)
+    prov_positions = [
+        index for index, item in enumerate(rule.items) if item.kind == KIND_PROV
+    ]
+    targets = [rule.items[index].atom for index in prov_positions]
+    homomorphism = find_homomorphism(list(segment), targets)
+    if homomorphism is None:
+        return None
+    segment_vars = set(composed.segment_columns(start, end))
+    terms: list[Term] = []
+    not_null = set(rule.not_null)
+    for column in composed.columns:
+        if column in segment_vars:
+            image = homomorphism.apply(column)
+            terms.append(image)
+            if isinstance(image, Variable):
+                not_null.add(image)
+        else:
+            terms.append(fresh_wildcard())
+    asr_atom = Atom(composed.definition.name, tuple(terms))
+    covered = {prov_positions[t_index] for t_index in homomorphism.covered}
+    items: list[BodyItem] = []
+    inserted = False
+    for index, item in enumerate(rule.items):
+        if index in covered:
+            if not inserted:
+                items.append(BodyItem(asr_atom, KIND_ASR))
+                inserted = True
+            continue
+        items.append(item)
+    return replace(
+        rule, items=tuple(items), not_null=frozenset(not_null)
+    )
+
+
+def unfold_asrs(
+    rules: list[UnfoldedRule],
+    composed_paths: list[ComposedPath],
+) -> list[UnfoldedRule]:
+    """Figure 4's ``unfoldASRs``: rewrite every rule greedily.
+
+    For each rule, repeat until no ASR applies; per ASR, try its
+    indexed paths longest-first and take the first that unfolds.
+    """
+    out: list[UnfoldedRule] = []
+    for rule in rules:
+        did_something = True
+        while did_something:
+            did_something = False
+            for composed in composed_paths:
+                found = False
+                for start, end in composed.definition.segments():
+                    if found:
+                        break
+                    rewritten = unfold_path(rule, composed, start, end)
+                    if rewritten is not None:
+                        rule = rewritten
+                        found = True
+                if found:
+                    did_something = True
+        out.append(rule)
+    return out

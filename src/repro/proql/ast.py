@@ -1,0 +1,232 @@
+"""Abstract syntax of ProQL (Section 3.2).
+
+A query is either a *graph projection* (FOR / WHERE / INCLUDE PATH /
+RETURN) or an *annotation computation* wrapping a projection
+(EVALUATE <semiring> OF { ... } ASSIGNING EACH ...).
+
+Path expressions alternate tuple-node specs ``[relation? $var?]`` with
+derivation steps ``<-`` (any mapping), ``<m`` (named mapping), ``<$p``
+(mapping bound to a variable), or ``<-+`` (a path of length >= 1,
+which may not be bound to a variable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# -- path expressions ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TupleSpec:
+    """``[relation? $variable?]`` — a tuple-node position in a path."""
+
+    relation: Optional[str] = None
+    variable: Optional[str] = None
+
+    def __str__(self) -> str:
+        inner = " ".join(
+            part
+            for part in (self.relation, f"${self.variable}" if self.variable else None)
+            if part
+        )
+        return f"[{inner}]"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One derivation-edge traversal between two tuple specs.
+
+    ``kind`` is ``"one"`` for single-step edges (``<-``, ``<m``,
+    ``<$p``) or ``"plus"`` for ``<-+`` (one or more steps).
+    """
+
+    kind: str = "one"
+    mapping: Optional[str] = None
+    variable: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.kind == "plus":
+            return "<-+"
+        if self.mapping is not None:
+            return f"<{self.mapping}"
+        if self.variable is not None:
+            return f"<${self.variable}"
+        return "<-"
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """``spec0 step1 spec1 step2 spec2 ...`` (len(specs) == len(steps)+1)."""
+
+    specs: tuple[TupleSpec, ...]
+    steps: tuple[Step, ...] = ()
+
+    def __post_init__(self) -> None:
+        assert len(self.specs) == len(self.steps) + 1
+
+    def variables(self) -> list[str]:
+        out = [s.variable for s in self.specs if s.variable]
+        out.extend(s.variable for s in self.steps if s.variable)
+        return out
+
+    def __str__(self) -> str:
+        parts = [str(self.specs[0])]
+        for step, spec in zip(self.steps, self.specs[1:]):
+            parts.append(str(step))
+            parts.append(str(spec))
+        return " ".join(parts)
+
+
+# -- conditions and value expressions ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant operand (number, string, boolean)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """``$x`` — a reference to a bound variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """``$x.attribute`` — attribute of the tuple bound to ``$x``."""
+
+    variable: str
+    attribute: str
+
+
+@dataclass(frozen=True)
+class Identifier:
+    """A bare name: a mapping name in ``$p = m1`` or a symbolic value
+    (e.g. a confidentiality level) in a SET expression."""
+
+    name: str
+
+
+Operand = Union[Literal, VarRef, AttrAccess, Identifier, "BinaryOp"]
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic in SET expressions: ``$z + 1``, ``$z * 2``."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+
+@dataclass(frozen=True)
+class Compare:
+    """``left <op> right`` with op in =, !=, <, <=, >, >=."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+
+@dataclass(frozen=True)
+class Membership:
+    """``$x in R`` — the tuple bound to ``$x`` belongs to relation R
+    (or to R's local-contribution table)."""
+
+    variable: str
+    relation: str
+
+
+@dataclass(frozen=True)
+class PathCondition:
+    """A path expression used in WHERE as an existential condition."""
+
+    path: PathExpr
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Condition"
+
+
+@dataclass(frozen=True)
+class And:
+    operands: tuple["Condition", ...]
+
+
+@dataclass(frozen=True)
+class Or:
+    operands: tuple["Condition", ...]
+
+
+Condition = Union[Compare, Membership, PathCondition, Not, And, Or]
+
+
+# -- query blocks ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Projection:
+    """FOR ... [WHERE ...] [INCLUDE PATH ...] RETURN ... (Section 3.2.1)."""
+
+    for_paths: tuple[PathExpr, ...]
+    where: Optional[Condition]
+    include_paths: tuple[PathExpr, ...]
+    return_vars: tuple[str, ...]
+
+    def bound_variables(self) -> set[str]:
+        out: set[str] = set()
+        for path in self.for_paths:
+            out.update(path.variables())
+        return out
+
+
+@dataclass(frozen=True)
+class CaseClause:
+    """``CASE <condition> : SET <expression>``."""
+
+    condition: Condition
+    value: Operand
+
+
+@dataclass(frozen=True)
+class LeafAssignClause:
+    """``ASSIGNING EACH leaf_node $y { CASE ... DEFAULT ... }``."""
+
+    variable: str
+    cases: tuple[CaseClause, ...]
+    default: Optional[Operand] = None
+
+
+@dataclass(frozen=True)
+class MappingAssignClause:
+    """``ASSIGNING EACH mapping $p($z) { CASE ... DEFAULT ... }``."""
+
+    variable: str
+    parameter: str
+    cases: tuple[CaseClause, ...]
+    default: Optional[Operand] = None
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """``EVALUATE <semiring> OF { projection } [ASSIGNING ...]*``."""
+
+    semiring: str
+    projection: Projection
+    leaf_assign: Optional[LeafAssignClause] = None
+    mapping_assign: Optional[MappingAssignClause] = None
+
+
+Query = Union[Projection, Evaluation]
+
+
+def projection_of(query: Query) -> Projection:
+    """The graph-projection component of any query."""
+    return query.projection if isinstance(query, Evaluation) else query

@@ -1,0 +1,206 @@
+"""Evaluation of ProQL conditions and SET expressions.
+
+Conditions appear in WHERE clauses (over path-bound variables) and in
+CASE clauses of ASSIGNING blocks (over leaf nodes / mapping names).
+The environment maps variable names to:
+
+* :class:`TupleNode` — tuple-node variables,
+* :class:`DerivationNode` or a plain mapping-name string — derivation
+  variables (``$p = m1`` compares the mapping name),
+* arbitrary semiring values — the mapping-function parameter ``$z``.
+
+Attribute access on a relation that lacks the attribute, or comparison
+of incompatible values, makes the enclosing comparison **false** rather
+than an error (queries range over heterogeneous relations; a condition
+like ``$y in A and $y.height >= 6`` must simply not fire for non-A
+tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import ProQLSemanticError
+from repro.proql.ast import (
+    And,
+    AttrAccess,
+    BinaryOp,
+    Compare,
+    Condition,
+    Identifier,
+    Literal,
+    Membership,
+    Not,
+    Operand,
+    Or,
+    PathCondition,
+    VarRef,
+)
+from repro.provenance.graph import DerivationNode, TupleNode
+from repro.relational.instance import Catalog
+from repro.relational.schema import local_name, public_name
+
+#: Sentinel for "this operand does not evaluate" (wrong relation, etc.).
+UNDEFINED = object()
+
+Environment = Mapping[str, Any]
+
+#: Callback deciding an existential path condition under an environment.
+PathChecker = Callable[[PathCondition, Environment], bool]
+
+
+def _attribute_value(node: TupleNode, attribute: str, catalog: Catalog) -> Any:
+    for candidate in (node.relation, public_name(node.relation)):
+        schema = catalog.get(candidate)
+        if schema is not None and attribute in schema.attribute_names:
+            return node.values[schema.position_of(attribute)]
+    return UNDEFINED
+
+
+def eval_operand(
+    operand: Operand, env: Environment, catalog: Catalog
+) -> Any:
+    """Evaluate an operand to a raw value (or UNDEFINED)."""
+    if isinstance(operand, Literal):
+        return operand.value
+    if isinstance(operand, Identifier):
+        return operand.name
+    if isinstance(operand, VarRef):
+        if operand.name not in env:
+            raise ProQLSemanticError(f"unbound variable ${operand.name}")
+        return env[operand.name]
+    if isinstance(operand, AttrAccess):
+        if operand.variable not in env:
+            raise ProQLSemanticError(f"unbound variable ${operand.variable}")
+        node = env[operand.variable]
+        if not isinstance(node, TupleNode):
+            return UNDEFINED
+        return _attribute_value(node, operand.attribute, catalog)
+    if isinstance(operand, BinaryOp):
+        left = eval_operand(operand.left, env, catalog)
+        right = eval_operand(operand.right, env, catalog)
+        if left is UNDEFINED or right is UNDEFINED:
+            return UNDEFINED
+        try:
+            return left + right if operand.op == "+" else left * right
+        except TypeError:
+            return UNDEFINED
+    raise ProQLSemanticError(f"cannot evaluate operand {operand!r}")
+
+
+def _comparable(value: Any) -> Any:
+    """Normalize node values for comparison."""
+    if isinstance(value, DerivationNode):
+        return value.mapping
+    return value
+
+
+def compare_values(left: Any, op: str, right: Any) -> bool:
+    """Three-valued-ish comparison: UNDEFINED or type clash => False."""
+    if left is UNDEFINED or right is UNDEFINED:
+        return False
+    left, right = _comparable(left), _comparable(right)
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise ProQLSemanticError(f"unknown comparison operator {op!r}")
+
+
+def tuple_in_relation(node: TupleNode, relation: str) -> bool:
+    """``$x in R`` — true for tuples of R or of R's local table."""
+    return node.relation in (relation, local_name(relation)) or public_name(
+        node.relation
+    ) == relation
+
+
+def eval_condition(
+    condition: Condition,
+    env: Environment,
+    catalog: Catalog,
+    path_checker: PathChecker | None = None,
+) -> bool:
+    """Evaluate a WHERE/CASE condition under *env*."""
+    if isinstance(condition, Compare):
+        return compare_values(
+            eval_operand(condition.left, env, catalog),
+            condition.op,
+            eval_operand(condition.right, env, catalog),
+        )
+    if isinstance(condition, Membership):
+        if condition.variable not in env:
+            raise ProQLSemanticError(f"unbound variable ${condition.variable}")
+        node = env[condition.variable]
+        return isinstance(node, TupleNode) and tuple_in_relation(
+            node, condition.relation
+        )
+    if isinstance(condition, Not):
+        return not eval_condition(condition.operand, env, catalog, path_checker)
+    if isinstance(condition, And):
+        return all(
+            eval_condition(c, env, catalog, path_checker)
+            for c in condition.operands
+        )
+    if isinstance(condition, Or):
+        return any(
+            eval_condition(c, env, catalog, path_checker)
+            for c in condition.operands
+        )
+    if isinstance(condition, PathCondition):
+        if path_checker is None:
+            raise ProQLSemanticError(
+                "path conditions are not supported in this context"
+            )
+        return path_checker(condition, env)
+    raise ProQLSemanticError(f"cannot evaluate condition {condition!r}")
+
+
+def mapping_name_constraints(
+    condition: Condition | None, variable: str
+) -> set[str] | None:
+    """Extract ``$p = m`` constraints on a derivation variable.
+
+    Returns the set of allowed mapping names if the condition restricts
+    *variable* to an explicit disjunction of names, else None (meaning
+    unconstrained).  Used by the schema-graph matcher (Section 4.2.2)
+    to prune mappings before unfolding; the full condition is always
+    re-checked against actual bindings afterwards.
+    """
+    if condition is None:
+        return None
+    if isinstance(condition, Compare) and condition.op == "=":
+        sides = (condition.left, condition.right)
+        for this, other in (sides, sides[::-1]):
+            if isinstance(this, VarRef) and this.name == variable:
+                if isinstance(other, Identifier):
+                    return {other.name}
+                if isinstance(other, Literal) and isinstance(other.value, str):
+                    return {other.value}
+        return None
+    if isinstance(condition, Or):
+        out: set[str] = set()
+        for operand in condition.operands:
+            names = mapping_name_constraints(operand, variable)
+            if names is None:
+                return None
+            out |= names
+        return out
+    if isinstance(condition, And):
+        result: set[str] | None = None
+        for operand in condition.operands:
+            names = mapping_name_constraints(operand, variable)
+            if names is not None:
+                result = names if result is None else (result & names)
+        return result
+    return None

@@ -1,0 +1,110 @@
+"""Tokenizer for ProQL query text."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ProQLSyntaxError
+
+#: Keywords (matched case-insensitively for the uppercase paper style;
+#: ``leaf_node`` and ``mapping`` appear lowercase in the paper).
+KEYWORDS = {
+    "FOR",
+    "WHERE",
+    "INCLUDE",
+    "PATH",
+    "RETURN",
+    "EVALUATE",
+    "OF",
+    "ASSIGNING",
+    "EACH",
+    "CASE",
+    "SET",
+    "DEFAULT",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "LEAF_NODE",
+    "MAPPING",
+    "TRUE",
+    "FALSE",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD, IDENT, VAR, NUMBER, STRING, or a literal symbol
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*|--[^\n]*)
+  | (?P<plusarrow><-\+)
+  | (?P<arrow><-)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<var>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[\[\]{}(),.:+*])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*, raising :class:`ProQLSyntaxError` with position
+    info on illegal characters.
+
+    >>> [t.kind for t in tokenize("FOR [O $x]")]
+    ['KEYWORD', '[', 'IDENT', 'VAR', ']']
+    """
+    tokens: list[Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ProQLSyntaxError(
+                f"unexpected character {text[pos]!r}",
+                line,
+                pos - line_start + 1,
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        column = pos - line_start + 1
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            line += value.count("\n")
+            if "\n" in value:
+                line_start = pos - len(value.rsplit("\n", 1)[-1])
+            continue
+        if kind == "ident":
+            if value.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", value.upper(), line, column))
+            else:
+                tokens.append(Token("IDENT", value, line, column))
+        elif kind == "var":
+            tokens.append(Token("VAR", value[1:], line, column))
+        elif kind == "number":
+            tokens.append(Token("NUMBER", value, line, column))
+        elif kind == "string":
+            tokens.append(Token("STRING", value, line, column))
+        elif kind == "plusarrow":
+            tokens.append(Token("<-+", value, line, column))
+        elif kind == "arrow":
+            tokens.append(Token("<-", value, line, column))
+        elif kind == "op":
+            tokens.append(Token("OP", value, line, column))
+        else:  # punct
+            tokens.append(Token(value, value, line, column))
+    return tokens

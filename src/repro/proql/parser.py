@@ -1,0 +1,325 @@
+"""Recursive-descent parser for ProQL (grammar of Section 3.2 / [31])."""
+
+from __future__ import annotations
+
+from repro.errors import ProQLSyntaxError
+from repro.proql.ast import (
+    And,
+    AttrAccess,
+    BinaryOp,
+    CaseClause,
+    Compare,
+    Condition,
+    Evaluation,
+    Identifier,
+    LeafAssignClause,
+    Literal,
+    MappingAssignClause,
+    Membership,
+    Not,
+    Operand,
+    Or,
+    PathCondition,
+    PathExpr,
+    Projection,
+    Query,
+    Step,
+    TupleSpec,
+    VarRef,
+)
+from repro.proql.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token | None:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ProQLSyntaxError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> ProQLSyntaxError:
+        token = token or self.peek()
+        if token is None:
+            return ProQLSyntaxError(f"{message} (at end of query)")
+        return ProQLSyntaxError(
+            f"{message}, found {token.value!r}", token.line, token.column
+        )
+
+    def at(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def at_keyword(self, word: str) -> bool:
+        return self.at("KEYWORD", word)
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        if not self.at(kind, value):
+            raise self.error(f"expected {value or kind}")
+        return self.next()
+
+    def expect_keyword(self, word: str) -> Token:
+        return self.expect("KEYWORD", word)
+
+    # -- query ------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        if self.at_keyword("EVALUATE"):
+            query: Query = self.parse_evaluation()
+        else:
+            query = self.parse_projection()
+        if self.peek() is not None:
+            raise self.error("trailing input after query")
+        return query
+
+    def parse_evaluation(self) -> Evaluation:
+        self.expect_keyword("EVALUATE")
+        semiring = self.expect("IDENT").value
+        self.expect_keyword("OF")
+        self.expect("{")
+        projection = self.parse_projection()
+        self.expect("}")
+        leaf_assign = None
+        mapping_assign = None
+        while self.at_keyword("ASSIGNING"):
+            self.next()
+            self.expect_keyword("EACH")
+            if self.at_keyword("LEAF_NODE"):
+                if leaf_assign is not None:
+                    raise self.error("duplicate leaf_node ASSIGNING clause")
+                leaf_assign = self.parse_leaf_assign()
+            elif self.at_keyword("MAPPING"):
+                if mapping_assign is not None:
+                    raise self.error("duplicate mapping ASSIGNING clause")
+                mapping_assign = self.parse_mapping_assign()
+            else:
+                raise self.error("expected leaf_node or mapping")
+        return Evaluation(semiring.upper(), projection, leaf_assign, mapping_assign)
+
+    def parse_leaf_assign(self) -> LeafAssignClause:
+        self.expect_keyword("LEAF_NODE")
+        variable = self.expect("VAR").value
+        cases, default = self.parse_case_block()
+        return LeafAssignClause(variable, cases, default)
+
+    def parse_mapping_assign(self) -> MappingAssignClause:
+        self.expect_keyword("MAPPING")
+        variable = self.expect("VAR").value
+        self.expect("(")
+        parameter = self.expect("VAR").value
+        self.expect(")")
+        cases, default = self.parse_case_block()
+        return MappingAssignClause(variable, parameter, cases, default)
+
+    def parse_case_block(self) -> tuple[tuple[CaseClause, ...], Operand | None]:
+        self.expect("{")
+        cases: list[CaseClause] = []
+        default: Operand | None = None
+        while not self.at("}"):
+            if self.at_keyword("CASE"):
+                self.next()
+                condition = self.parse_condition()
+                self.expect(":")
+                self.expect_keyword("SET")
+                value = self.parse_value_expression()
+                cases.append(CaseClause(condition, value))
+            elif self.at_keyword("DEFAULT"):
+                if default is not None:
+                    raise self.error("duplicate DEFAULT")
+                self.next()
+                self.expect(":")
+                self.expect_keyword("SET")
+                default = self.parse_value_expression()
+            else:
+                raise self.error("expected CASE or DEFAULT")
+        self.expect("}")
+        return tuple(cases), default
+
+    # -- projection ------------------------------------------------------------
+
+    def parse_projection(self) -> Projection:
+        self.expect_keyword("FOR")
+        for_paths = [self.parse_path()]
+        while self.at(","):
+            self.next()
+            for_paths.append(self.parse_path())
+        where = None
+        if self.at_keyword("WHERE"):
+            self.next()
+            where = self.parse_condition()
+        include_paths: list[PathExpr] = []
+        if self.at_keyword("INCLUDE"):
+            self.next()
+            self.expect_keyword("PATH")
+            include_paths.append(self.parse_path())
+            while self.at(","):
+                self.next()
+                include_paths.append(self.parse_path())
+        self.expect_keyword("RETURN")
+        return_vars = [self.expect("VAR").value]
+        while self.at(","):
+            self.next()
+            return_vars.append(self.expect("VAR").value)
+        return Projection(
+            tuple(for_paths), where, tuple(include_paths), tuple(return_vars)
+        )
+
+    # -- paths ------------------------------------------------------------
+
+    def parse_path(self) -> PathExpr:
+        specs = [self.parse_tuple_spec()]
+        steps: list[Step] = []
+        while True:
+            step = self.try_parse_step()
+            if step is None:
+                break
+            steps.append(step)
+            specs.append(self.parse_tuple_spec())
+        return PathExpr(tuple(specs), tuple(steps))
+
+    def parse_tuple_spec(self) -> TupleSpec:
+        self.expect("[")
+        relation = None
+        variable = None
+        if self.at("IDENT"):
+            relation = self.next().value
+        if self.at("VAR"):
+            variable = self.next().value
+        self.expect("]")
+        return TupleSpec(relation, variable)
+
+    def try_parse_step(self) -> Step | None:
+        if self.at("<-+"):
+            self.next()
+            return Step("plus")
+        if self.at("<-"):
+            self.next()
+            return Step("one")
+        if self.at("OP", "<"):
+            # '<mapping' or '<$var' — only if followed by IDENT or VAR.
+            after = self.peek(1)
+            if after is not None and after.kind == "IDENT":
+                self.next()
+                return Step("one", mapping=self.next().value)
+            if after is not None and after.kind == "VAR":
+                self.next()
+                return Step("one", variable=self.next().value)
+        return None
+
+    # -- conditions ------------------------------------------------------------
+
+    def parse_condition(self) -> Condition:
+        return self.parse_or()
+
+    def parse_or(self) -> Condition:
+        operands = [self.parse_and()]
+        while self.at_keyword("OR"):
+            self.next()
+            operands.append(self.parse_and())
+        return operands[0] if len(operands) == 1 else Or(tuple(operands))
+
+    def parse_and(self) -> Condition:
+        operands = [self.parse_not()]
+        while self.at_keyword("AND"):
+            self.next()
+            operands.append(self.parse_not())
+        return operands[0] if len(operands) == 1 else And(tuple(operands))
+
+    def parse_not(self) -> Condition:
+        if self.at_keyword("NOT"):
+            self.next()
+            return Not(self.parse_not())
+        return self.parse_atom_condition()
+
+    def parse_atom_condition(self) -> Condition:
+        if self.at("("):
+            self.next()
+            inner = self.parse_condition()
+            self.expect(")")
+            return inner
+        if self.at("["):
+            # A path expression as an existential condition.
+            return PathCondition(self.parse_path())
+        if self.at("VAR") and self.peek(1) is not None and (
+            self.peek(1).kind == "KEYWORD" and self.peek(1).value == "IN"
+        ):
+            variable = self.next().value
+            self.next()  # IN
+            relation = self.expect("IDENT").value
+            return Membership(variable, relation)
+        left = self.parse_value_expression()
+        if not self.at("OP"):
+            raise self.error("expected comparison operator")
+        op = self.next().value
+        right = self.parse_value_expression()
+        return Compare(left, op, right)
+
+    # -- value expressions ---------------------------------------------------------
+
+    def parse_value_expression(self) -> Operand:
+        left = self.parse_value_term()
+        while self.at("+"):
+            self.next()
+            right = self.parse_value_term()
+            left = BinaryOp("+", left, right)
+        return left
+
+    def parse_value_term(self) -> Operand:
+        left = self.parse_value_atom()
+        while self.at("*"):
+            self.next()
+            right = self.parse_value_atom()
+            left = BinaryOp("*", left, right)
+        return left
+
+    def parse_value_atom(self) -> Operand:
+        if self.at("NUMBER"):
+            raw = self.next().value
+            return Literal(float(raw) if "." in raw else int(raw))
+        if self.at("STRING"):
+            raw = self.next().value
+            return Literal(raw[1:-1].replace("\\'", "'"))
+        if self.at("KEYWORD", "TRUE"):
+            self.next()
+            return Literal(True)
+        if self.at("KEYWORD", "FALSE"):
+            self.next()
+            return Literal(False)
+        if self.at("VAR"):
+            variable = self.next().value
+            if self.at("."):
+                self.next()
+                attribute = self.expect("IDENT").value
+                return AttrAccess(variable, attribute)
+            return VarRef(variable)
+        if self.at("IDENT"):
+            return Identifier(self.next().value)
+        if self.at("("):
+            self.next()
+            inner = self.parse_value_expression()
+            self.expect(")")
+            return inner
+        raise self.error("expected a value expression")
+
+
+def parse_query(text: str) -> Query:
+    """Parse ProQL text into an AST.
+
+    >>> query = parse_query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+    >>> query.return_vars
+    ('x',)
+    """
+    return _Parser(tokenize(text), text).parse_query()

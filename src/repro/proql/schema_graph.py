@@ -1,0 +1,121 @@
+"""The provenance schema graph (Section 4.2.1, Figure 3).
+
+A schema-level abstraction of possible derivations: one *relation
+node* per public relation, one *mapping node* per schema mapping, with
+edges source-relation → mapping → target-relation.  Intuitively a
+Dataguide over the provenance; ProQL patterns are matched against it
+to decide which mappings and relations can participate in a query
+before any data is touched (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.cdss.mapping import SchemaMapping
+from repro.cdss.system import CDSS
+from repro.errors import ProQLSemanticError
+
+
+@dataclass
+class SchemaGraph:
+    """Bipartite relation/mapping graph with backward traversal."""
+
+    mappings: dict[str, SchemaMapping]
+    #: relation -> mappings that have it among their targets
+    into: dict[str, list[str]]
+    #: relation -> mappings that have it among their sources
+    out_of: dict[str, list[str]]
+    relations: set[str]
+
+    @classmethod
+    def of(cls, cdss: CDSS) -> "SchemaGraph":
+        into: dict[str, list[str]] = {}
+        out_of: dict[str, list[str]] = {}
+        relations: set[str] = set()
+        for mapping in cdss.mappings.values():
+            for relation in set(mapping.target_relations()):
+                into.setdefault(relation, []).append(mapping.name)
+                relations.add(relation)
+            for relation in set(mapping.source_relations()):
+                out_of.setdefault(relation, []).append(mapping.name)
+                relations.add(relation)
+        for peer in cdss.peers.values():
+            relations.update(peer.relation_names())
+        return cls(dict(cdss.mappings), into, out_of, relations)
+
+    # -- traversal -----------------------------------------------------------
+
+    def mappings_into(self, relation: str) -> list[str]:
+        """Mappings that can derive tuples of *relation*."""
+        return list(self.into.get(relation, ()))
+
+    def mappings_from(self, relation: str) -> list[str]:
+        """Mappings that consume tuples of *relation*."""
+        return list(self.out_of.get(relation, ()))
+
+    def sources_of(self, mapping: str) -> tuple[str, ...]:
+        return self.mappings[mapping].source_relations()
+
+    def targets_of(self, mapping: str) -> tuple[str, ...]:
+        return self.mappings[mapping].target_relations()
+
+    def check_relation(self, relation: str) -> str:
+        if relation not in self.relations:
+            raise ProQLSemanticError(f"unknown relation {relation!r} in pattern")
+        return relation
+
+    # -- reachability -----------------------------------------------------------
+
+    def upstream_mappings(
+        self, anchors: Iterable[str], allowed: set[str] | None = None
+    ) -> set[str]:
+        """All mappings on backward paths from the *anchors* relations.
+
+        ``allowed`` optionally restricts the mapping universe (used when
+        WHERE constrains a derivation variable to specific mappings).
+        """
+        seen_relations: set[str] = set()
+        seen_mappings: set[str] = set()
+        stack = list(anchors)
+        while stack:
+            relation = stack.pop()
+            if relation in seen_relations:
+                continue
+            seen_relations.add(relation)
+            for name in self.mappings_into(relation):
+                if allowed is not None and name not in allowed:
+                    continue
+                if name in seen_mappings:
+                    continue
+                seen_mappings.add(name)
+                stack.extend(self.sources_of(name))
+        return seen_mappings
+
+    def simple_paths_into(
+        self,
+        anchor: str,
+        max_length: int | None = None,
+    ) -> Iterator[tuple[str, ...]]:
+        """Enumerate simple backward mapping paths ending at *anchor*.
+
+        Yields tuples of mapping names ordered downstream-first (the
+        mapping deriving *anchor* first), never repeating a mapping
+        within one path (Section 4.2.2 prevents paths from cycling).
+        """
+
+        def walk(
+            relation: str, used: tuple[str, ...]
+        ) -> Iterator[tuple[str, ...]]:
+            if max_length is not None and len(used) >= max_length:
+                return
+            for name in self.mappings_into(relation):
+                if name in used:
+                    continue
+                extended = used + (name,)
+                yield extended
+                for source in set(self.sources_of(name)):
+                    yield from walk(source, extended)
+
+        yield from walk(anchor, ())

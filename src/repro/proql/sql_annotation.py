@@ -1,0 +1,415 @@
+"""SQL-side annotation aggregation (Section 4.2.4, last paragraph).
+
+The paper pushes annotation computation into the RDBMS: each unfolded
+conjunctive rule is compiled with an additional column holding the
+semiring expression of its derivation-tree shape, the blocks are
+combined with UNION ALL, and an aggregation query GROUPs BY the tuple,
+combining the per-tree annotations — SUM for derivability/trust
+(0/1-encoded, thresholded with HAVING > 0) and for the number of
+derivations, MIN for weight/cost.
+
+This module implements exactly that for the SQL-friendly semirings
+(DERIVABILITY, TRUST, WEIGHT/COST, COUNT) and the standard annotation
+query shape ``EVALUATE S OF { FOR [R $x] INCLUDE PATH [$x] <-+ []
+RETURN $x }``.  Leaf CASE conditions compile to SQL CASE expressions
+over the leaf relations' columns; mapping functions must be the
+identity or constants (the paper's Nm / Dm).  Anything richer falls
+back to the graph-side evaluator, which remains the general path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cdss.system import CDSS
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ProQLSemanticError
+from repro.proql.ast import (
+    And,
+    AttrAccess,
+    Compare,
+    Condition,
+    Evaluation,
+    Identifier,
+    LeafAssignClause,
+    Literal,
+    MappingAssignClause,
+    Membership,
+    Not,
+    Operand,
+    Or,
+    VarRef,
+)
+from repro.proql.sql_translator import SchemaLookup
+from repro.proql.unfolding import UnfoldedRule
+from repro.relational.schema import public_name
+from repro.semirings.base import Semiring
+from repro.semirings.registry import get_semiring
+from repro.storage.encoding import quote_identifier
+
+#: Semirings whose values and operations have direct SQL encodings.
+SQL_SEMIRINGS = {
+    "DERIVABILITY": ("SUM", "> 0"),
+    "TRUST": ("SUM", "> 0"),
+    "WEIGHT": ("MIN", None),
+    "COST": ("MIN", None),
+    "COUNT": ("SUM", None),
+    "DERIVATIONS": ("SUM", None),
+}
+
+
+def _sql_literal(semiring: Semiring, value: object) -> str:
+    value = semiring.validate(value)
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    raise ProQLSemanticError(
+        f"cannot encode {value!r} as a SQL annotation literal"
+    )
+
+
+def _one_literal(semiring: Semiring) -> str:
+    return _sql_literal(semiring, semiring.one)
+
+
+class _RuleExpression:
+    """Builds the per-rule annotation expression column."""
+
+    def __init__(
+        self,
+        rule: UnfoldedRule,
+        semiring: Semiring,
+        cdss: CDSS,
+        locations: Mapping[Variable, tuple[str, str]],
+        leaf_clause: LeafAssignClause | None,
+        mapping_values: Mapping[str, object | None],
+    ):
+        self.rule = rule
+        self.semiring = semiring
+        self.cdss = cdss
+        self.locations = locations
+        self.leaf_clause = leaf_clause
+        self.mapping_values = mapping_values
+        self._head_index = {}
+        for spec in rule.specs:
+            for atom in spec.head:
+                self._head_index.setdefault(atom, spec)
+
+    # -- leaf CASE compilation ------------------------------------------------------
+
+    def _column(self, atom: Atom, attribute: str) -> str:
+        schema = self.cdss.catalog[public_name(atom.relation)]
+        position = schema.position_of(attribute)
+        term = atom.terms[position]
+        if isinstance(term, Constant):
+            return _value_literal(term.value)
+        if isinstance(term, Variable) and term in self.locations:
+            alias, column = self.locations[term]
+            if alias:
+                return f"{alias}.{quote_identifier(column)}"
+            return quote_identifier(column)
+        raise ProQLSemanticError(
+            f"attribute {attribute} of {atom} is not available in SQL"
+        )
+
+    def _condition_sql(self, condition: Condition, atom: Atom, var: str) -> str:
+        """Compile a CASE condition to SQL over the leaf atom.
+
+        Membership tests resolve statically against the leaf's
+        relation; attribute accesses become column references.
+        """
+        if isinstance(condition, Membership):
+            matches = public_name(atom.relation) == condition.relation
+            return "1 = 1" if matches else "1 = 0"
+        if isinstance(condition, Compare):
+            from repro.errors import SchemaError
+
+            try:
+                left = self._operand_sql(condition.left, atom, var)
+                right = self._operand_sql(condition.right, atom, var)
+            except SchemaError:
+                # Attribute absent from this leaf's relation: the
+                # comparison is statically false, mirroring the graph
+                # engine's semantics for heterogeneous leaves.
+                return "1 = 0"
+            operator = "=" if condition.op == "=" else condition.op
+            return f"({left} {operator} {right})"
+        if isinstance(condition, And):
+            inner = " AND ".join(
+                self._condition_sql(c, atom, var) for c in condition.operands
+            )
+            return f"({inner})"
+        if isinstance(condition, Or):
+            inner = " OR ".join(
+                self._condition_sql(c, atom, var) for c in condition.operands
+            )
+            return f"({inner})"
+        if isinstance(condition, Not):
+            return f"(NOT {self._condition_sql(condition.operand, atom, var)})"
+        raise ProQLSemanticError(
+            f"condition {condition!r} is not SQL-compilable"
+        )
+
+    def _operand_sql(self, operand: Operand, atom: Atom, var: str) -> str:
+        if isinstance(operand, Literal):
+            return _value_literal(operand.value)
+        if isinstance(operand, Identifier):
+            return _value_literal(operand.name)
+        if isinstance(operand, AttrAccess):
+            if operand.variable != var:
+                raise ProQLSemanticError(
+                    f"CASE condition references ${operand.variable}, "
+                    f"expected ${var}"
+                )
+            return self._column(atom, operand.attribute)
+        raise ProQLSemanticError(f"operand {operand!r} is not SQL-compilable")
+
+    def _leaf_sql(self, atom: Atom) -> str:
+        if self.leaf_clause is None:
+            return _one_literal(self.semiring)
+        clause = self.leaf_clause
+        default = (
+            _sql_literal(self.semiring, _constant_of(clause.default))
+            if clause.default is not None
+            else _one_literal(self.semiring)
+        )
+        expression = default
+        # Build nested CASEs from the last case outwards so the first
+        # matching CASE wins (footnote 3 of the paper).
+        for case in reversed(clause.cases):
+            condition = self._condition_sql(case.condition, atom, clause.variable)
+            value = _sql_literal(self.semiring, _constant_of(case.value))
+            expression = f"CASE WHEN {condition} THEN {value} ELSE {expression} END"
+        return expression
+
+    # -- derivation-tree expression ----------------------------------------------------
+
+    def _product(self, parts: list[str]) -> str:
+        if len(parts) == 1:
+            return parts[0]
+        name = self.semiring.name
+        if name in ("DERIVABILITY", "TRUST"):
+            return f"MIN({', '.join(parts)})"
+        if name in ("WEIGHT", "COST"):
+            return f"({' + '.join(parts)})"
+        return f"({' * '.join(parts)})"  # COUNT
+
+    def expression(self, atom: Atom, depth: int = 0) -> str:
+        if depth > 200:  # pragma: no cover - cyclic specs are prevented upstream
+            raise ProQLSemanticError("annotation expression too deep")
+        spec = self._head_index.get(atom)
+        if spec is None:
+            return self._leaf_sql(atom)
+        constant = self.mapping_values.get(spec.mapping, None)
+        if constant is not None:
+            # A constant mapping function replaces the whole subtree
+            # (its value on any non-zero input; the subtree's rows only
+            # exist when the derivation does, so the input is non-zero).
+            return _sql_literal(self.semiring, constant)
+        parts = [self.expression(source, depth + 1) for source in spec.body]
+        return self._product(parts)
+
+
+def _value_literal(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    raise ProQLSemanticError(f"cannot encode {value!r} in SQL")
+
+
+def _constant_of(operand: Operand) -> object:
+    if isinstance(operand, Literal):
+        return operand.value
+    if isinstance(operand, Identifier):
+        return operand.name
+    raise ProQLSemanticError(
+        "SQL-side annotation supports constant SET values only "
+        "(use the graph engine for value-dependent assignments)"
+    )
+
+
+def _mapping_constants(
+    clause: MappingAssignClause | None, mappings: set[str]
+) -> dict[str, object | None]:
+    """Per-mapping constant value, or None for the identity function."""
+    if clause is None:
+        return {name: None for name in mappings}
+    out: dict[str, object | None] = {}
+    for name in mappings:
+        value: object | None = None
+        for case in clause.cases:
+            names = _case_mapping_names(case.condition, clause.variable)
+            if names is None:
+                raise ProQLSemanticError(
+                    "SQL-side annotation requires CASE conditions of the "
+                    "form $p = <mapping>"
+                )
+            if name in names:
+                value = _constant_of(case.value)
+                break
+        else:
+            if clause.default is not None and not _is_identity(
+                clause.default, clause.parameter
+            ):
+                value = _constant_of(clause.default)
+        out[name] = value
+    return out
+
+
+def _is_identity(operand: Operand, parameter: str) -> bool:
+    return isinstance(operand, VarRef) and operand.name == parameter
+
+
+def _case_mapping_names(condition: Condition, variable: str) -> set[str] | None:
+    from repro.proql.conditions import mapping_name_constraints
+
+    return mapping_name_constraints(condition, variable)
+
+
+@dataclass
+class AnnotationQuery:
+    """The full aggregation query plus decoding metadata."""
+
+    sql: str
+    parameters: tuple[object, ...]
+    relation: str
+    semiring: Semiring
+    #: anchor attribute types, in schema order (for decoding)
+    types: tuple[str, ...]
+
+
+def compile_annotation_query(
+    evaluation: Evaluation,
+    rules: list[UnfoldedRule],
+    cdss: CDSS,
+    schema_lookup: SchemaLookup,
+    codec,
+) -> AnnotationQuery:
+    """Compile an EVALUATE query into one SQL aggregation statement.
+
+    ``rules`` must be the full-ancestry unfolding of the projection's
+    anchor relation (the caller checks the query shape).
+    """
+    name = evaluation.semiring
+    if name not in SQL_SEMIRINGS:
+        raise ProQLSemanticError(
+            f"semiring {name} has no SQL aggregation encoding; "
+            "use the graph-side evaluator"
+        )
+    semiring = get_semiring(name)
+    if not rules:
+        raise ProQLSemanticError("no unfolded rules to aggregate over")
+    relation = rules[0].anchor.relation
+    schema = cdss.catalog[relation]
+    mapping_names = {
+        spec.mapping for rule in rules for spec in rule.specs
+    }
+    mapping_values = _mapping_constants(evaluation.mapping_assign, mapping_names)
+
+    from repro.proql.sql_translator import compile_rule
+
+    blocks: list[str] = []
+    parameters: list[object] = []
+    for rule in rules:
+        compiled = compile_rule(rule, schema_lookup, codec)
+        # Recover (alias, column) locations from the compiled SELECT:
+        # compile_rule aliases each variable column by its name.
+        locations = _locations_of(rule, schema_lookup)
+        builder = _RuleExpression(
+            rule,
+            semiring,
+            cdss,
+            locations,
+            evaluation.leaf_assign,
+            mapping_values,
+        )
+        annotation = builder.expression(rule.anchor)
+        anchor_columns = ", ".join(
+            _anchor_column(rule, attribute_index, locations)
+            for attribute_index in range(schema.arity)
+        )
+        inner_sql = compiled.sql
+        blocks.append(
+            f"SELECT {anchor_columns}, {annotation} AS ann "
+            f"FROM ({inner_sql})"
+        )
+        parameters.extend(compiled.parameters)
+    aggregate, having = SQL_SEMIRINGS[name]
+    group_columns = ", ".join(f"a{i}" for i in range(schema.arity))
+    union = "\nUNION ALL\n".join(blocks)
+    sql = (
+        f"SELECT {group_columns}, {aggregate}(ann) AS value FROM (\n"
+        f"{union}\n) GROUP BY {group_columns}"
+    )
+    if having:
+        sql += f" HAVING {aggregate}(ann) {having}"
+    return AnnotationQuery(
+        sql,
+        tuple(parameters),
+        relation,
+        semiring,
+        tuple(attribute.type for attribute in schema.attributes),
+    )
+
+
+def _locations_of(
+    rule: UnfoldedRule, schema_lookup: SchemaLookup
+) -> dict[Variable, tuple[str, str]]:
+    """First-occurrence (alias, column) per variable — mirrors the
+    traversal order of :func:`compile_rule`, but the expressions here
+    wrap the compiled SELECT, so they address its *output* columns
+    (aliased by variable name)."""
+    locations: dict[Variable, tuple[str, str]] = {}
+    for item in rule.items:
+        for position, term in enumerate(item.atom.terms):
+            if isinstance(term, Variable) and term not in locations:
+                # compile_rule's SELECT exposes each variable as a
+                # column named after it; address those.
+                locations[term] = ("", term.name)
+    return locations
+
+
+def _anchor_column(
+    rule: UnfoldedRule,
+    position: int,
+    locations: Mapping[Variable, tuple[str, str]],
+) -> str:
+    term = rule.anchor.terms[position]
+    if isinstance(term, Constant):
+        return f"{_value_literal(term.value)} AS a{position}"
+    if isinstance(term, Variable):
+        _, column = locations[term]
+        return f"{quote_identifier(column)} AS a{position}"
+    raise ProQLSemanticError(
+        f"anchor term {term} is not SQL-compilable (Skolem in the head?)"
+    )
+
+
+def is_sql_aggregatable(evaluation: Evaluation) -> bool:
+    """True iff the query matches the SQL-aggregation shape: a single
+    anchored FOR spec with a full-ancestry INCLUDE and a supported
+    semiring."""
+    if evaluation.semiring not in SQL_SEMIRINGS:
+        return False
+    projection = evaluation.projection
+    if len(projection.for_paths) != 1 or projection.where is not None:
+        return False
+    for_path = projection.for_paths[0]
+    if for_path.steps or for_path.specs[0].relation is None:
+        return False
+    if len(projection.include_paths) != 1:
+        return False
+    include = projection.include_paths[0]
+    return (
+        len(include.steps) == 1
+        and include.steps[0].kind == "plus"
+        and include.specs[1].relation is None
+        and include.specs[0].variable == for_path.specs[0].variable
+    )

@@ -1,0 +1,16 @@
+"""Provenance graphs, annotation evaluation, and export."""
+
+from repro.provenance.annotate import LeafAssignment, annotate, provenance_polynomial
+from repro.provenance.export import to_dot, to_json
+from repro.provenance.graph import DerivationNode, ProvenanceGraph, TupleNode
+
+__all__ = [
+    "DerivationNode",
+    "LeafAssignment",
+    "ProvenanceGraph",
+    "TupleNode",
+    "annotate",
+    "provenance_polynomial",
+    "to_dot",
+    "to_json",
+]

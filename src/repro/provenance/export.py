@@ -1,0 +1,85 @@
+"""Export provenance graphs for interactive browsers (Section 1).
+
+Declarative ProQL projections produce subgraphs; these helpers render
+them as Graphviz DOT or JSON so graphical tools can visualize "the
+relationship between tuples in different relations, or the derivation
+of certain results" without knowing the physical representation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.provenance.graph import DerivationNode, ProvenanceGraph, TupleNode
+
+
+def _tuple_id(node: TupleNode) -> str:
+    return f"t_{abs(hash(node)):x}"
+
+
+def _deriv_id(node: DerivationNode) -> str:
+    return f"d_{abs(hash(node)):x}"
+
+
+def to_dot(
+    graph: ProvenanceGraph,
+    annotations: Mapping[TupleNode, Any] | None = None,
+    highlight: frozenset[TupleNode] | set[TupleNode] = frozenset(),
+) -> str:
+    """Render *graph* in Graphviz DOT, mirroring Figure 1's notation:
+    rectangles for tuples, ellipses for derivations, bold for leaves
+    (the paper's boldface base data)."""
+    lines = [
+        "digraph provenance {",
+        "  rankdir=RL;",
+        '  node [fontname="Helvetica"];',
+    ]
+    for node in sorted(graph.tuples):
+        label = str(node)
+        if annotations is not None and node in annotations:
+            label += f"\\n= {annotations[node]}"
+        style = "bold" if graph.is_leaf(node) else "solid"
+        if node in highlight:
+            style += ",filled"
+        lines.append(
+            f'  {_tuple_id(node)} [shape=box, style="{style}", label="{label}"];'
+        )
+    for deriv in sorted(graph.derivations):
+        lines.append(
+            f'  {_deriv_id(deriv)} [shape=ellipse, label="{deriv.mapping}"];'
+        )
+        for source in deriv.sources:
+            lines.append(f"  {_tuple_id(source)} -> {_deriv_id(deriv)};")
+        for target in deriv.targets:
+            lines.append(f"  {_deriv_id(deriv)} -> {_tuple_id(target)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_json(
+    graph: ProvenanceGraph,
+    annotations: Mapping[TupleNode, Any] | None = None,
+) -> str:
+    """Serialize *graph* as a JSON document with node/edge lists."""
+    tuples = []
+    for node in sorted(graph.tuples):
+        entry: dict[str, Any] = {
+            "id": _tuple_id(node),
+            "relation": node.relation,
+            "values": [repr(v) for v in node.values],
+            "leaf": graph.is_leaf(node),
+        }
+        if annotations is not None and node in annotations:
+            entry["annotation"] = repr(annotations[node])
+        tuples.append(entry)
+    derivations = [
+        {
+            "id": _deriv_id(deriv),
+            "mapping": deriv.mapping,
+            "sources": [_tuple_id(s) for s in deriv.sources],
+            "targets": [_tuple_id(t) for t in deriv.targets],
+        }
+        for deriv in sorted(graph.derivations)
+    ]
+    return json.dumps({"tuples": tuples, "derivations": derivations}, indent=2)

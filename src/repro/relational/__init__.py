@@ -1,0 +1,21 @@
+"""Relational substrate: schemas, catalogs, and set-semantics instances."""
+
+from repro.relational.instance import Catalog, Instance, Row
+from repro.relational.schema import (
+    Attribute,
+    RelationSchema,
+    is_local_name,
+    local_name,
+    public_name,
+)
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "Instance",
+    "RelationSchema",
+    "Row",
+    "is_local_name",
+    "local_name",
+    "public_name",
+]

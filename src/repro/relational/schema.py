@@ -1,0 +1,151 @@
+"""Relation schemas: named attributes, types, and keys.
+
+The paper's storage encoding (Section 4.1) identifies every tuple by the
+key of its relation, so keys are first-class here: each
+:class:`RelationSchema` declares which attributes form its primary key,
+and :meth:`RelationSchema.key_of` projects a tuple onto that key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+
+#: Attribute types supported by the relational substrate.  These map
+#: directly onto SQLite storage classes in :mod:`repro.storage`.
+ATTRIBUTE_TYPES = ("int", "str", "float", "bool")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a relation."""
+
+    name: str
+    type: str = "int"
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+        if self.type not in ATTRIBUTE_TYPES:
+            raise SchemaError(
+                f"invalid attribute type {self.type!r} for {self.name!r}; "
+                f"expected one of {ATTRIBUTE_TYPES}"
+            )
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of one relation: name, ordered attributes, and key.
+
+    Parameters
+    ----------
+    name:
+        Relation name (used in Datalog atoms, ProQL patterns, SQL tables).
+    attributes:
+        Ordered attributes.
+    key:
+        Names of the key attributes.  Defaults to *all* attributes
+        (set semantics: the whole tuple identifies itself).
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    key: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in {self.name}: {names}")
+        if not self.key:
+            object.__setattr__(self, "key", tuple(names))
+        unknown = [k for k in self.key if k not in names]
+        if unknown:
+            raise SchemaError(f"key attributes {unknown} not in relation {self.name}")
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def position_of(self, attribute: str) -> int:
+        """Index of *attribute* in the schema, or raise SchemaError."""
+        try:
+            return self.attribute_names.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name} has no attribute {attribute!r}"
+            ) from None
+
+    @property
+    def key_positions(self) -> tuple[int, ...]:
+        return tuple(self.position_of(k) for k in self.key)
+
+    def key_of(self, values: Sequence[object]) -> tuple[object, ...]:
+        """Project a tuple of attribute values onto the key."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"tuple arity {len(values)} != schema arity {self.arity} "
+                f"for relation {self.name}"
+            )
+        return tuple(values[i] for i in self.key_positions)
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        attributes: Iterable[str | tuple[str, str] | Attribute],
+        key: Iterable[str] | None = None,
+    ) -> "RelationSchema":
+        """Convenient constructor.
+
+        ``attributes`` items may be plain names (typed ``int``),
+        ``(name, type)`` pairs, or :class:`Attribute` instances.
+
+        >>> RelationSchema.of("A", ["id", ("name", "str")], key=["id"]).arity
+        2
+        """
+        attrs = []
+        for item in attributes:
+            if isinstance(item, Attribute):
+                attrs.append(item)
+            elif isinstance(item, tuple):
+                attrs.append(Attribute(*item))
+            else:
+                attrs.append(Attribute(item))
+        return cls(name, tuple(attrs), tuple(key) if key is not None else ())
+
+    def local_contribution(self) -> "RelationSchema":
+        """Schema of this relation's local-contribution table ``<name>_l``.
+
+        The paper (Example 2.1) names these ``Al, Cl, Nl, Ol``; we use an
+        ``_l`` suffix to keep names unambiguous for multi-letter relations.
+        """
+        return RelationSchema(local_name(self.name), self.attributes, self.key)
+
+
+def local_name(relation_name: str) -> str:
+    """Name of the local-contribution table for *relation_name*."""
+    return f"{relation_name}_l"
+
+
+def is_local_name(relation_name: str) -> bool:
+    """True iff *relation_name* denotes a local-contribution table."""
+    return relation_name.endswith("_l")
+
+
+def public_name(relation_name: str) -> str:
+    """Inverse of :func:`local_name` (identity for non-local names)."""
+    if is_local_name(relation_name):
+        return relation_name[: -len("_l")]
+    return relation_name

@@ -1,0 +1,39 @@
+"""Semiring provenance framework (Section 2.1, Table 1)."""
+
+from repro.semirings.base import MappingFunction, Semiring
+from repro.semirings.events import (
+    BOTTOM,
+    EventDNF,
+    LineageSemiring,
+    ProbabilitySemiring,
+    event,
+)
+from repro.semirings.polynomial import Polynomial, PolynomialSemiring
+from repro.semirings.registry import get_semiring, known_semirings, register
+from repro.semirings.standard import (
+    BooleanSemiring,
+    ConfidentialitySemiring,
+    CountingSemiring,
+    TrustSemiring,
+    WeightSemiring,
+)
+
+__all__ = [
+    "BOTTOM",
+    "BooleanSemiring",
+    "ConfidentialitySemiring",
+    "CountingSemiring",
+    "EventDNF",
+    "LineageSemiring",
+    "MappingFunction",
+    "Polynomial",
+    "PolynomialSemiring",
+    "ProbabilitySemiring",
+    "Semiring",
+    "TrustSemiring",
+    "WeightSemiring",
+    "event",
+    "get_semiring",
+    "known_semirings",
+    "register",
+]

@@ -1,0 +1,130 @@
+"""Commutative semiring abstraction (Section 2.1, Table 1).
+
+A semiring supplies a domain of annotation values, an abstract sum
+``⊕`` (combining *alternative* derivations — union), an abstract
+product ``⊗`` (combining *joined* sources), and their identities
+``zero``/``one``.  Provenance graphs are evaluated bottom-up under a
+chosen semiring to turn base-tuple annotations into annotations for
+every derived tuple.
+
+Two structural properties matter for cyclic provenance (Section 2.1):
+``idempotent_plus`` (``a ⊕ a = a``) and ``absorptive``
+(``a ⊕ (a ⊗ b) = a``).  Semirings with both are guaranteed to reach a
+fixpoint on cyclic graphs; the number-of-derivations semiring has
+neither and may diverge, which the annotator detects.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import reduce
+from typing import Any, Callable, Iterable
+
+from repro.errors import SemiringError
+
+#: A unary function on semiring values, used for per-mapping functions
+#: (e.g. the paper's neutral Nm and distrust Dm).  Must satisfy
+#: f(zero) = zero and commute with (finite) sums.
+MappingFunction = Callable[[Any], Any]
+
+
+class Semiring(ABC):
+    """Abstract commutative semiring over annotation values."""
+
+    #: Canonical name used in ProQL's ``EVALUATE <name> OF`` clause.
+    name: str = "abstract"
+    #: a ⊕ a = a
+    idempotent_plus: bool = False
+    #: a ⊕ (a ⊗ b) = a
+    absorptive: bool = False
+
+    @property
+    @abstractmethod
+    def zero(self) -> Any:
+        """Identity of ⊕; annotation of underivable/absent tuples."""
+
+    @property
+    @abstractmethod
+    def one(self) -> Any:
+        """Identity of ⊗; the default annotation for leaf nodes."""
+
+    @abstractmethod
+    def plus(self, left: Any, right: Any) -> Any:
+        """Abstract sum: combine alternative derivations."""
+
+    @abstractmethod
+    def times(self, left: Any, right: Any) -> Any:
+        """Abstract product: combine joined sources."""
+
+    def validate(self, value: Any) -> Any:
+        """Check (and possibly normalize) an externally supplied value.
+
+        Subclasses override to reject values outside their domain.
+        Returns the normalized value.
+        """
+        return value
+
+    # -- n-ary conveniences --------------------------------------------------
+
+    def sum(self, values: Iterable[Any]) -> Any:
+        return reduce(self.plus, values, self.zero)
+
+    def product(self, values: Iterable[Any]) -> Any:
+        return reduce(self.times, values, self.one)
+
+    def is_zero(self, value: Any) -> bool:
+        return value == self.zero
+
+    #: Overrides the idempotent+absorptive criterion when convergence is
+    #: guaranteed another way (e.g. lineage: a bounded join-semilattice).
+    cycle_safe_override: bool | None = None
+
+    @property
+    def cycle_safe(self) -> bool:
+        """True iff fixpoint annotation of cyclic graphs converges."""
+        if self.cycle_safe_override is not None:
+            return self.cycle_safe_override
+        return self.idempotent_plus and self.absorptive
+
+    def default_leaf(self, node: Any) -> Any:
+        """Table 1's *base value* for a leaf node with no explicit
+        assignment.
+
+        Most semirings use ``one`` (true / weight 0 / count 1 ...);
+        LINEAGE and PROBABILITY override this to the node's own
+        identity ("tuple id" / "tuple probabilistic event"), which is
+        what makes their annotations informative without an ASSIGNING
+        clause.
+        """
+        return self.one
+
+    def identity_function(self) -> MappingFunction:
+        """The neutral mapping function Nm (returns input unchanged)."""
+        return lambda value: value
+
+    def constant_function(self, constant: Any) -> MappingFunction:
+        """A mapping function returning *constant* on every non-zero
+        input (and zero on zero, as the paper requires: one cannot
+        specify an assignment returning non-zero on zero input)."""
+        constant = self.validate(constant)
+
+        def apply(value: Any) -> Any:
+            return self.zero if self.is_zero(value) else constant
+
+        return apply
+
+    def check_mapping_function(self, function: MappingFunction) -> None:
+        """Sanity-check the f(0) = 0 restriction of Section 3.2.2."""
+        if not self.is_zero(function(self.zero)):
+            raise SemiringError(
+                f"mapping function violates f(0) = 0 in semiring {self.name}"
+            )
+
+    def __repr__(self) -> str:
+        return f"<Semiring {self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Semiring) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)

@@ -1,0 +1,218 @@
+"""Set-valued semirings of Table 1: lineage and probabilistic events.
+
+*Lineage* (row 5) is the set of all base tuples contributing to some
+derivation — both operations are set union, but the ⊕-identity must be
+a distinguished bottom element (the union-identity ``∅`` is the
+⊗-identity instead), so we use an explicit :data:`BOTTOM` sentinel.
+
+*Probability* (row 6) annotates tuples with *event expressions*:
+positive Boolean formulas over base-tuple events, kept in a canonical
+absorption-minimized DNF.  Computing actual probabilities is
+#P-complete in general (footnote 2 of the paper); we provide exact
+inclusion–exclusion for small expressions and a seeded Monte-Carlo
+estimator for larger ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SemiringError
+from repro.semirings.base import Semiring
+
+
+class _Bottom:
+    """Unique ⊕-identity for the lineage semiring."""
+
+    _instance: "_Bottom | None" = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+BOTTOM = _Bottom()
+
+
+class LineageSemiring(Semiring):
+    """(P(X) ∪ {⊥}, ∪, ∪, ⊥, ∅) — which-provenance (use case Q6).
+
+    Values are frozensets of base-tuple identifiers.  ⊥ absorbs in
+    products (a join with an underivable tuple is underivable) and is
+    the identity of sums.
+    """
+
+    name = "LINEAGE"
+    idempotent_plus = True
+    #: Union grows under products, so a ⊕ (a ⊗ b) = a ∪ b ≠ a in
+    #: general — lineage is *not* absorptive.  Cyclic evaluation still
+    #: converges because values live in a bounded join-semilattice
+    #: (subsets of the finite leaf set) and both operations are
+    #: monotone, hence the explicit override.
+    absorptive = False
+    cycle_safe_override = True
+
+    @property
+    def zero(self) -> Any:
+        return BOTTOM
+
+    @property
+    def one(self) -> frozenset:
+        return frozenset()
+
+    def plus(self, left: Any, right: Any) -> Any:
+        if left is BOTTOM:
+            return right
+        if right is BOTTOM:
+            return left
+        return left | right
+
+    def times(self, left: Any, right: Any) -> Any:
+        if left is BOTTOM or right is BOTTOM:
+            return BOTTOM
+        return left | right
+
+    def validate(self, value: Any) -> Any:
+        if value is BOTTOM:
+            return value
+        if isinstance(value, (set, frozenset)):
+            return frozenset(value)
+        # A bare identifier is promoted to a singleton lineage set.
+        if isinstance(value, (str, int, tuple)):
+            return frozenset([value])
+        raise SemiringError(f"{self.name} expects a set or id, got {value!r}")
+
+    def default_leaf(self, node: Any) -> Any:
+        """Table 1: the base value of a leaf is its own tuple id."""
+        return frozenset([node])
+
+
+#: A positive-DNF event expression: a frozenset of clauses, each clause
+#: a frozenset of base event identifiers (conjunction of events).
+EventDNF = frozenset
+
+
+def _absorb(clauses: Iterable[frozenset]) -> EventDNF:
+    """Drop clauses that are supersets of other clauses (absorption)."""
+    unique = sorted(set(clauses), key=len)
+    kept: list[frozenset] = []
+    for clause in unique:
+        if not any(k <= clause for k in kept):
+            kept.append(clause)
+    return frozenset(kept)
+
+
+def event(identifier: object) -> EventDNF:
+    """The atomic event expression for one base tuple."""
+    return frozenset([frozenset([identifier])])
+
+
+class ProbabilitySemiring(Semiring):
+    """Positive event expressions in absorption-minimized DNF.
+
+    ⊗ is event intersection (AND), ⊕ is event union (OR); ``zero`` is
+    the impossible event (empty DNF), ``one`` the certain event (the
+    DNF holding the empty clause).  Idempotent and absorptive, hence
+    cycle-safe.
+    """
+
+    name = "PROBABILITY"
+    idempotent_plus = True
+    absorptive = True
+
+    @property
+    def zero(self) -> EventDNF:
+        return frozenset()
+
+    @property
+    def one(self) -> EventDNF:
+        return frozenset([frozenset()])
+
+    def plus(self, left: EventDNF, right: EventDNF) -> EventDNF:
+        return _absorb(itertools.chain(left, right))
+
+    def times(self, left: EventDNF, right: EventDNF) -> EventDNF:
+        return _absorb(a | b for a in left for b in right)
+
+    def validate(self, value: Any) -> EventDNF:
+        if isinstance(value, frozenset) and all(
+            isinstance(c, frozenset) for c in value
+        ):
+            return _absorb(value)
+        if isinstance(value, (str, int, tuple)):
+            return event(value)
+        raise SemiringError(
+            f"{self.name} expects an event DNF or atomic event id, got {value!r}"
+        )
+
+    def default_leaf(self, node: Any) -> EventDNF:
+        """Table 1: the base value of a leaf is its own atomic event."""
+        return event(node)
+
+    # -- probability computation ------------------------------------------------
+
+    @staticmethod
+    def probability(
+        expression: EventDNF,
+        probabilities: Mapping[object, float],
+        exact_limit: int = 16,
+        samples: int = 20000,
+        seed: int = 0,
+    ) -> float:
+        """P[expression] under independent base events.
+
+        Uses exact inclusion–exclusion when the DNF has at most
+        ``exact_limit`` clauses, otherwise a seeded Monte-Carlo
+        estimate with ``samples`` draws.
+        """
+        clauses = list(expression)
+        if not clauses:
+            return 0.0
+        if any(len(c) == 0 for c in clauses):
+            return 1.0
+        for clause in clauses:
+            for base_event in clause:
+                if base_event not in probabilities:
+                    raise SemiringError(f"no probability for event {base_event!r}")
+        if len(clauses) <= exact_limit:
+            return ProbabilitySemiring._inclusion_exclusion(clauses, probabilities)
+        return ProbabilitySemiring._monte_carlo(clauses, probabilities, samples, seed)
+
+    @staticmethod
+    def _inclusion_exclusion(
+        clauses: list[frozenset], probabilities: Mapping[object, float]
+    ) -> float:
+        total = 0.0
+        for size in range(1, len(clauses) + 1):
+            sign = 1.0 if size % 2 == 1 else -1.0
+            for subset in itertools.combinations(clauses, size):
+                union: set = set()
+                for clause in subset:
+                    union |= clause
+                term = 1.0
+                for base_event in union:
+                    term *= probabilities[base_event]
+                total += sign * term
+        return min(max(total, 0.0), 1.0)
+
+    @staticmethod
+    def _monte_carlo(
+        clauses: list[frozenset],
+        probabilities: Mapping[object, float],
+        samples: int,
+        seed: int,
+    ) -> float:
+        rng = random.Random(seed)
+        events = sorted({e for clause in clauses for e in clause}, key=repr)
+        hits = 0
+        for _ in range(samples):
+            world = {e for e in events if rng.random() < probabilities[e]}
+            if any(clause <= world for clause in clauses):
+                hits += 1
+        return hits / samples

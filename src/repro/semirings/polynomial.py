@@ -1,0 +1,181 @@
+"""Free provenance polynomials ℕ[X] (Green–Karvounarakis–Tannen).
+
+The provenance graph of Figure 1 "encodes a (possibly recursively
+defined) set of provenance polynomials in a provenance semiring"
+(Section 2.1).  :class:`Polynomial` makes this encoding explicit:
+a multivariate polynomial with natural coefficients over base-tuple
+indeterminates.  Its universal property — evaluating the polynomial
+homomorphically in any commutative semiring equals annotating the
+graph directly in that semiring — is the key correctness invariant of
+the whole system, and our property-based tests exercise it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import SemiringError
+from repro.semirings.base import Semiring
+
+#: A monomial: sorted tuple of (indeterminate, exponent) pairs.
+Monomial = tuple[tuple[object, int], ...]
+
+
+def _merge_monomials(left: Monomial, right: Monomial) -> Monomial:
+    powers: dict[object, int] = {}
+    for var, exp in left + right:
+        powers[var] = powers.get(var, 0) + exp
+    return tuple(sorted(powers.items(), key=lambda item: repr(item[0])))
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """Immutable ℕ[X] polynomial: monomial → coefficient."""
+
+    terms: tuple[tuple[Monomial, int], ...] = ()
+
+    @staticmethod
+    def _normalize(terms: Mapping[Monomial, int]) -> "Polynomial":
+        cleaned = tuple(
+            sorted(
+                ((m, c) for m, c in terms.items() if c != 0),
+                key=lambda item: repr(item[0]),
+            )
+        )
+        return Polynomial(cleaned)
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Polynomial":
+        return Polynomial()
+
+    @staticmethod
+    def one() -> "Polynomial":
+        return Polynomial((((), 1),))
+
+    @staticmethod
+    def variable(name: object) -> "Polynomial":
+        return Polynomial(((((name, 1),), 1),))
+
+    @staticmethod
+    def constant(value: int) -> "Polynomial":
+        if value < 0:
+            raise SemiringError("ℕ[X] has natural coefficients only")
+        return Polynomial() if value == 0 else Polynomial((((), value),))
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        terms = dict(self.terms)
+        for monomial, coeff in other.terms:
+            terms[monomial] = terms.get(monomial, 0) + coeff
+        return Polynomial._normalize(terms)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        terms: dict[Monomial, int] = {}
+        for m1, c1 in self.terms:
+            for m2, c2 in other.terms:
+                merged = _merge_monomials(m1, m2)
+                terms[merged] = terms.get(merged, 0) + c1 * c2
+        return Polynomial._normalize(terms)
+
+    # -- inspection ------------------------------------------------------------
+
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def variables(self) -> set[object]:
+        return {var for monomial, _ in self.terms for var, _ in monomial}
+
+    def degree(self) -> int:
+        if not self.terms:
+            return 0
+        return max(
+            (sum(exp for _, exp in monomial) for monomial, _ in self.terms),
+            default=0,
+        )
+
+    def monomial_count(self) -> int:
+        return len(self.terms)
+
+    # -- the universal property ------------------------------------------------
+
+    def evaluate(
+        self,
+        semiring: Semiring,
+        assignment: Callable[[object], Any] | Mapping[object, Any],
+    ) -> Any:
+        """Evaluate homomorphically in *semiring* under *assignment*.
+
+        ``assignment`` maps each indeterminate (base-tuple id) to a
+        semiring value.  Coefficients ``c`` become ``1 ⊕ ... ⊕ 1`` and
+        exponents ``e`` become ``x ⊗ ... ⊗ x``, as the freeness of
+        ℕ[X] dictates.
+        """
+        if isinstance(assignment, Mapping):
+            mapping = assignment
+            lookup: Callable[[object], Any] = lambda var: mapping[var]
+        else:
+            lookup = assignment
+        total = semiring.zero
+        for monomial, coeff in self.terms:
+            value = semiring.one
+            for var, exp in monomial:
+                base = semiring.validate(lookup(var))
+                for _ in range(exp):
+                    value = semiring.times(value, base)
+            summed = semiring.zero
+            for _ in range(coeff):
+                summed = semiring.plus(summed, value)
+            total = semiring.plus(total, summed)
+        return total
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for monomial, coeff in self.terms:
+            factors = [
+                (str(var) if exp == 1 else f"{var}^{exp}") for var, exp in monomial
+            ]
+            body = "·".join(factors)
+            if not body:
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append(body)
+            else:
+                parts.append(f"{coeff}·{body}")
+        return " + ".join(parts)
+
+
+class PolynomialSemiring(Semiring):
+    """ℕ[X] itself as a semiring — the most general how-provenance."""
+
+    name = "POLYNOMIAL"
+    idempotent_plus = False
+    absorptive = False
+
+    @property
+    def zero(self) -> Polynomial:
+        return Polynomial.zero()
+
+    @property
+    def one(self) -> Polynomial:
+        return Polynomial.one()
+
+    def plus(self, left: Polynomial, right: Polynomial) -> Polynomial:
+        return left + right
+
+    def times(self, left: Polynomial, right: Polynomial) -> Polynomial:
+        return left * right
+
+    def validate(self, value: Any) -> Polynomial:
+        if isinstance(value, Polynomial):
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return Polynomial.constant(value)
+        if isinstance(value, (str, tuple)):
+            return Polynomial.variable(value)
+        raise SemiringError(f"{self.name} expects a polynomial, got {value!r}")

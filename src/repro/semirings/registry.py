@@ -1,0 +1,61 @@
+"""Name-based semiring registry backing ``EVALUATE <name> OF``.
+
+The built-in names mirror Table 1 and Section 3.2.2 (Q5–Q10):
+``DERIVABILITY``, ``TRUST``, ``CONFIDENTIALITY``, ``WEIGHT``,
+``LINEAGE``, ``PROBABILITY``, ``COUNT``, plus ``POLYNOMIAL`` for raw
+how-provenance.  "Future implementers of ProQL may wish to add
+additional semirings" — :func:`register` supports exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SemiringError
+from repro.semirings.base import Semiring
+from repro.semirings.events import LineageSemiring, ProbabilitySemiring
+from repro.semirings.polynomial import PolynomialSemiring
+from repro.semirings.standard import (
+    BooleanSemiring,
+    ConfidentialitySemiring,
+    CountingSemiring,
+    TrustSemiring,
+    WeightSemiring,
+)
+
+_FACTORIES: dict[str, Callable[[], Semiring]] = {}
+
+
+def register(name: str, factory: Callable[[], Semiring]) -> None:
+    """Register a semiring factory under *name* (case-insensitive)."""
+    _FACTORIES[name.upper()] = factory
+
+
+def get_semiring(name: str) -> Semiring:
+    """Instantiate the semiring registered under *name*.
+
+    >>> get_semiring("derivability").name
+    'DERIVABILITY'
+    """
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise SemiringError(f"unknown semiring {name!r}; known: {known}") from None
+    return factory()
+
+
+def known_semirings() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+register("DERIVABILITY", BooleanSemiring)
+register("TRUST", TrustSemiring)
+register("CONFIDENTIALITY", ConfidentialitySemiring)
+register("WEIGHT", WeightSemiring)
+register("COST", WeightSemiring)  # paper names the row "weight/cost"
+register("LINEAGE", LineageSemiring)
+register("PROBABILITY", ProbabilitySemiring)
+register("COUNT", CountingSemiring)
+register("DERIVATIONS", CountingSemiring)  # "number of derivations"
+register("POLYNOMIAL", PolynomialSemiring)

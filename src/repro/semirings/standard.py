@@ -1,0 +1,178 @@
+"""Scalar semirings of Table 1: derivability, trust, confidentiality,
+weight/cost, and number-of-derivations."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.errors import SemiringError
+from repro.semirings.base import Semiring
+
+
+class BooleanSemiring(Semiring):
+    """(bool, OR, AND, False, True).
+
+    Covers both the *derivability* use case (all base tuples annotated
+    ``True``) and the *trust* use case (base tuples annotated by trust
+    condition, mappings optionally distrusting — Table 1 rows 1–2).
+    """
+
+    name = "DERIVABILITY"
+    idempotent_plus = True
+    absorptive = True
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def plus(self, left: bool, right: bool) -> bool:
+        return left or right
+
+    def times(self, left: bool, right: bool) -> bool:
+        return left and right
+
+    def validate(self, value: Any) -> bool:
+        if isinstance(value, bool):
+            return value
+        if value in (0, 1):
+            return bool(value)
+        raise SemiringError(f"{self.name} expects a boolean, got {value!r}")
+
+
+class TrustSemiring(BooleanSemiring):
+    """Same algebra as derivability; distinct name for ProQL's
+    ``EVALUATE TRUST OF`` and the distrust mapping function Dm."""
+
+    name = "TRUST"
+
+    def distrust_function(self):
+        """The paper's Dm: returns false on all inputs."""
+        return self.constant_function(False)
+
+
+class ConfidentialitySemiring(Semiring):
+    """Ordered confidentiality/access-control levels (Table 1 row 3).
+
+    ``levels`` are ordered from *least* to *most* secure.  The product
+    is ``more_secure`` (a join of sources requires the strictest level
+    of any input — use case Q10) and the sum is ``less_secure`` (an
+    alternative derivation may lower the requirement).
+
+    ``one`` is the least secure level (joining with public data changes
+    nothing); ``zero`` is a synthetic top element stricter than every
+    real level (an underivable tuple is visible to no one).
+    """
+
+    name = "CONFIDENTIALITY"
+    idempotent_plus = True
+    absorptive = True
+
+    DEFAULT_LEVELS = ("P", "C", "S", "TS")  # public .. top-secret
+
+    def __init__(self, levels: Sequence[str] = DEFAULT_LEVELS):
+        if not levels or len(set(levels)) != len(levels):
+            raise SemiringError("confidentiality levels must be distinct, non-empty")
+        self.levels = tuple(levels)
+        self._rank = {level: i for i, level in enumerate(self.levels)}
+        self._top = "__NOACCESS__"
+        self._rank[self._top] = len(self.levels)
+
+    @property
+    def zero(self) -> str:
+        return self._top
+
+    @property
+    def one(self) -> str:
+        return self.levels[0]
+
+    def plus(self, left: str, right: str) -> str:
+        """less_secure(left, right)."""
+        return left if self._rank[left] <= self._rank[right] else right
+
+    def times(self, left: str, right: str) -> str:
+        """more_secure(left, right)."""
+        return left if self._rank[left] >= self._rank[right] else right
+
+    def validate(self, value: Any) -> str:
+        if value in self._rank:
+            return value
+        raise SemiringError(
+            f"unknown confidentiality level {value!r}; expected one of {self.levels}"
+        )
+
+
+class WeightSemiring(Semiring):
+    """The tropical min/plus semiring (Table 1 row 4).
+
+    Joined sources *add* their weights; alternative derivations keep
+    the *minimum*.  Used for ranked/keyword-search scoring (Q8).
+    Absorptive only over non-negative weights, which :meth:`validate`
+    enforces, so cyclic evaluation is safe.
+    """
+
+    name = "WEIGHT"
+    idempotent_plus = True
+    absorptive = True
+
+    @property
+    def zero(self) -> float:
+        return math.inf
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def plus(self, left: float, right: float) -> float:
+        return min(left, right)
+
+    def times(self, left: float, right: float) -> float:
+        return left + right
+
+    def validate(self, value: Any) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SemiringError(f"{self.name} expects a number, got {value!r}")
+        if value < 0:
+            raise SemiringError(
+                f"{self.name} requires non-negative weights (got {value}) "
+                "for absorption/cycle-safety"
+            )
+        return float(value)
+
+
+class CountingSemiring(Semiring):
+    """Natural numbers (ℕ, +, ×, 0, 1): number of derivations
+    (Table 1 row 7, the bag relational model).
+
+    Neither idempotent nor absorptive — annotation of cyclic graphs may
+    diverge (infinite counts), which the annotator reports.
+    """
+
+    name = "COUNT"
+    idempotent_plus = False
+    absorptive = False
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def plus(self, left: int, right: int) -> int:
+        return left + right
+
+    def times(self, left: int, right: int) -> int:
+        return left * right
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SemiringError(f"{self.name} expects an integer, got {value!r}")
+        if value < 0:
+            raise SemiringError(f"{self.name} expects a natural number, got {value}")
+        return value

@@ -1,0 +1,79 @@
+"""Value encoding between Python tuples and SQLite storage classes.
+
+SQLite natively stores ints, floats, and strings.  Booleans map to
+0/1 (decoded back through the schema's declared attribute type), and
+Skolem values (labeled nulls) are interned as tagged strings so that
+equal labeled nulls compare equal inside SQL joins — the property data
+exchange needs from its canonical universal solution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datalog.terms import SkolemValue
+from repro.errors import StorageError
+from repro.relational.schema import RelationSchema
+
+_SKOLEM_TAG = "@sk:"
+
+
+class ValueCodec:
+    """Encodes/decodes tuple values; interns Skolem values."""
+
+    def __init__(self) -> None:
+        self._skolems: dict[str, SkolemValue] = {}
+
+    def encode(self, value: object) -> object:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, SkolemValue):
+            key = _SKOLEM_TAG + str(value)
+            self._skolems[key] = value
+            return key
+        if value is None or isinstance(value, (int, float, str)):
+            return value
+        raise StorageError(f"cannot store value of type {type(value).__name__}")
+
+    def decode(self, value: object, attribute_type: str) -> object:
+        if isinstance(value, str) and value.startswith(_SKOLEM_TAG):
+            try:
+                return self._skolems[value]
+            except KeyError:
+                raise StorageError(f"unknown Skolem encoding {value!r}") from None
+        if attribute_type == "bool" and isinstance(value, int):
+            return bool(value)
+        return value
+
+    def encode_row(self, row: Sequence[object]) -> tuple[object, ...]:
+        return tuple(self.encode(v) for v in row)
+
+    def decode_row(
+        self, row: Sequence[object], schema: RelationSchema
+    ) -> tuple[object, ...]:
+        if len(row) != schema.arity:
+            raise StorageError(
+                f"row arity {len(row)} != schema arity {schema.arity} "
+                f"for {schema.name}"
+            )
+        return tuple(
+            self.decode(value, attr.type)
+            for value, attr in zip(row, schema.attributes)
+        )
+
+
+def sql_type(attribute_type: str) -> str:
+    """SQLite column type for one of our attribute types."""
+    return {
+        "int": "INTEGER",
+        "float": "REAL",
+        "str": "TEXT",
+        "bool": "INTEGER",
+    }.get(attribute_type, "TEXT")
+
+
+def quote_identifier(name: str) -> str:
+    """Defensively quote an SQL identifier."""
+    if '"' in name:
+        raise StorageError(f"illegal identifier {name!r}")
+    return f'"{name}"'

@@ -1,0 +1,192 @@
+"""SQLite-backed provenance storage (Section 4).
+
+The paper stores base relations, local-contribution relations, and one
+provenance relation per mapping inside an RDBMS (DB2 in their testbed);
+we use Python's bundled SQLite, which executes the same translated SQL
+(multi-way joins, UNION ALL, GROUP BY/HAVING) over the same encoding:
+
+* one table per relation, typed columns, B-tree index on the key;
+* one table ``P_m`` per non-superfluous mapping — one row per
+  derivation node — indexed on every column (path traversals may enter
+  a provenance relation from either side);
+* one *view* ``P_m`` per superfluous (single-source) mapping, defined
+  over its source relation (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Sequence
+
+from repro.cdss.mapping import SchemaMapping, provenance_relation_name
+from repro.cdss.system import CDSS
+from repro.datalog.terms import Constant, Variable
+from repro.errors import StorageError
+from repro.relational.schema import RelationSchema
+from repro.storage.encoding import ValueCodec, quote_identifier, sql_type
+from repro.storage.provrel import provenance_rows
+
+
+class SQLiteStorage:
+    """Materializes a CDSS instance + provenance graph into SQLite."""
+
+    def __init__(self, cdss: CDSS, path: str = ":memory:"):
+        self.cdss = cdss
+        self.codec = ValueCodec()
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA synchronous = OFF")
+        self.connection.execute("PRAGMA journal_mode = MEMORY")
+        self._initialized = False
+
+    # -- DDL ------------------------------------------------------------------
+
+    def _create_relation_table(self, schema: RelationSchema) -> None:
+        columns = ", ".join(
+            f"{quote_identifier(a.name)} {sql_type(a.type)}"
+            for a in schema.attributes
+        )
+        table = quote_identifier(schema.name)
+        self.connection.execute(f"CREATE TABLE {table} ({columns})")
+        key_cols = ", ".join(quote_identifier(k) for k in schema.key)
+        self.connection.execute(
+            f"CREATE INDEX {quote_identifier('ix_' + schema.name + '_key')} "
+            f"ON {table} ({key_cols})"
+        )
+
+    def _create_provenance_table(self, mapping: SchemaMapping) -> None:
+        schema = mapping.provenance_schema()
+        table = quote_identifier(schema.name)
+        columns = ", ".join(
+            f"{quote_identifier(a.name)} {sql_type(a.type)}"
+            for a in schema.attributes
+        )
+        self.connection.execute(f"CREATE TABLE {table} ({columns})")
+        for attribute in schema.attributes:
+            self.connection.execute(
+                f"CREATE INDEX "
+                f"{quote_identifier(f'ix_{schema.name}_{attribute.name}')} "
+                f"ON {table} ({quote_identifier(attribute.name)})"
+            )
+
+    def _create_provenance_view(self, mapping: SchemaMapping) -> None:
+        """Virtual P_m for a superfluous mapping: a projection of its
+        single source relation, filtered by any body constants."""
+        (body_atom,) = mapping.body
+        source_schema = self.cdss.catalog[body_atom.relation]
+        select_parts: list[str] = []
+        where_parts: list[str] = []
+        positions: dict[Variable, int] = {}
+        for position, term in enumerate(body_atom.terms):
+            attribute = quote_identifier(source_schema.attributes[position].name)
+            if isinstance(term, Variable):
+                if term in positions:
+                    first = quote_identifier(
+                        source_schema.attributes[positions[term]].name
+                    )
+                    where_parts.append(f"{first} = {attribute}")
+                else:
+                    positions[term] = position
+            elif isinstance(term, Constant):
+                value = self.codec.encode(term.value)
+                literal = repr(value) if isinstance(value, str) else str(value)
+                where_parts.append(f"{attribute} = {literal}")
+        for column in mapping.provenance_columns:
+            if column.variable not in positions:
+                raise StorageError(
+                    f"superfluous mapping {mapping.name}: column "
+                    f"{column.name} not recoverable from the source atom"
+                )
+            attribute = source_schema.attributes[positions[column.variable]].name
+            select_parts.append(
+                f"{quote_identifier(attribute)} AS {quote_identifier(column.name)}"
+            )
+        view = quote_identifier(provenance_relation_name(mapping.name))
+        source = quote_identifier(body_atom.relation)
+        where = f" WHERE {' AND '.join(where_parts)}" if where_parts else ""
+        self.connection.execute(
+            f"CREATE VIEW {view} AS SELECT {', '.join(select_parts)} "
+            f"FROM {source}{where}"
+        )
+
+    def initialize(self) -> None:
+        """Create all tables, indexes, and superfluous-mapping views."""
+        if self._initialized:
+            raise StorageError("storage already initialized")
+        for schema in self.cdss.catalog:
+            self._create_relation_table(schema)
+        for mapping in self.cdss.mappings.values():
+            if mapping.is_superfluous:
+                self._create_provenance_view(mapping)
+            else:
+                self._create_provenance_table(mapping)
+        self.connection.commit()
+        self._initialized = True
+
+    # -- loading ------------------------------------------------------------
+
+    def _insert_rows(
+        self, table_name: str, arity: int, rows: Iterable[Sequence[object]]
+    ) -> int:
+        placeholders = ", ".join("?" for _ in range(arity))
+        statement = (
+            f"INSERT INTO {quote_identifier(table_name)} VALUES ({placeholders})"
+        )
+        encoded = [self.codec.encode_row(row) for row in rows]
+        self.connection.executemany(statement, encoded)
+        return len(encoded)
+
+    def load(self) -> int:
+        """(Re)load every relation and provenance table from the CDSS.
+
+        Returns the total number of rows written.
+        """
+        if not self._initialized:
+            self.initialize()
+        total = 0
+        for schema in self.cdss.catalog:
+            table = quote_identifier(schema.name)
+            self.connection.execute(f"DELETE FROM {table}")
+            total += self._insert_rows(
+                schema.name, schema.arity, sorted(self.cdss.instance[schema.name])
+            )
+        for mapping in self.cdss.mappings.values():
+            if mapping.is_superfluous:
+                continue
+            schema = mapping.provenance_schema()
+            self.connection.execute(
+                f"DELETE FROM {quote_identifier(schema.name)}"
+            )
+            total += self._insert_rows(
+                schema.name,
+                schema.arity,
+                sorted(set(provenance_rows(mapping, self.cdss.graph))),
+            )
+        self.connection.commit()
+        return total
+
+    # -- querying ------------------------------------------------------------
+
+    def query(
+        self, sql: str, parameters: Sequence[object] = ()
+    ) -> list[tuple[object, ...]]:
+        """Execute SQL and fetch all rows (raw, un-decoded values)."""
+        try:
+            cursor = self.connection.execute(sql, parameters)
+        except sqlite3.Error as exc:
+            raise StorageError(f"SQL failed: {exc}\n{sql}") from exc
+        return cursor.fetchall()
+
+    def table_size(self, name: str) -> int:
+        (count,) = self.query(
+            f"SELECT COUNT(*) FROM {quote_identifier(name)}"
+        )[0]
+        return int(count)
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SQLiteStorage":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

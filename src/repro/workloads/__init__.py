@@ -1,0 +1,41 @@
+"""Synthetic workloads and the experiment harness (Section 6.1)."""
+
+from repro.workloads.harness import (
+    ExperimentResult,
+    format_row,
+    prepare_storage,
+    run_target_query,
+)
+from repro.workloads.swissprot import (
+    SwissProtEntry,
+    generate_entries,
+    partition_schemas,
+)
+from repro.workloads.topologies import (
+    TopologySpec,
+    branched,
+    build_topology,
+    chain,
+    instance_tuple_count,
+    leaf_peers,
+    target_relation,
+    upstream_data_peers,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "SwissProtEntry",
+    "TopologySpec",
+    "branched",
+    "build_topology",
+    "chain",
+    "format_row",
+    "generate_entries",
+    "instance_tuple_count",
+    "leaf_peers",
+    "partition_schemas",
+    "prepare_storage",
+    "run_target_query",
+    "target_relation",
+    "upstream_data_peers",
+]

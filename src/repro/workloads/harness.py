@@ -1,0 +1,118 @@
+"""Experiment driver shared by the benchmarks (Section 6).
+
+One :func:`run_experiment` call builds a workload CDSS, loads it into
+SQLite, optionally materializes ASRs, runs the target query
+
+    FOR [R0 $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+
+through the SQL pipeline, and reports the paper's metrics: number of
+unfolded rules, unfolding time, SQL evaluation time, and materialized
+instance size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cdss.system import CDSS
+from repro.indexing.advisor import asr_definitions_for
+from repro.indexing.manager import ASRManager
+from repro.proql.sql_engine import SQLEngine, SQLStats
+from repro.storage.sqlite_backend import SQLiteStorage
+from repro.workloads.topologies import instance_tuple_count, target_relation
+
+
+@dataclass
+class ExperimentResult:
+    """Metrics of one target-query run."""
+
+    stats: SQLStats
+    instance_tuples: int
+    exchange_seconds: float
+    load_seconds: float
+    asr_rows: int = 0
+
+    @property
+    def unfolded_rules(self) -> int:
+        return self.stats.unfolded_rules
+
+    @property
+    def unfold_seconds(self) -> float:
+        return self.stats.unfold_seconds
+
+    @property
+    def evaluation_seconds(self) -> float:
+        return self.stats.compile_seconds + self.stats.sql_seconds
+
+    @property
+    def query_processing_seconds(self) -> float:
+        return self.stats.query_processing_seconds
+
+
+def prepare_storage(cdss: CDSS) -> SQLiteStorage:
+    storage = SQLiteStorage(cdss)
+    storage.load()
+    return storage
+
+
+def run_target_query(
+    cdss: CDSS,
+    storage: SQLiteStorage | None = None,
+    asr_length: int | None = None,
+    asr_kind: str = "complete",
+    collect_graph: bool = False,
+    max_rules: int = 100_000,
+) -> ExperimentResult:
+    """Run the experiments' target query over *cdss*.
+
+    ``asr_length``/``asr_kind`` replicate Section 6.4's sweeps: ASRs of
+    the given type covering upstream chains in windows of that length.
+    """
+    t0 = time.perf_counter()
+    own_storage = storage is None
+    if storage is None:
+        storage = prepare_storage(cdss)
+    load_seconds = time.perf_counter() - t0
+
+    manager = None
+    asr_rows = 0
+    if asr_length is not None:
+        manager = ASRManager(storage)
+        manager.register_all(
+            asr_definitions_for(
+                cdss, target_relation(), asr_length, asr_kind
+            )
+        )
+        asr_rows = sum(manager.table_sizes().values())
+
+    engine = SQLEngine(
+        storage,
+        rewriter=manager.rewrite if manager else None,
+        schema_lookup=manager.schema_lookup() if manager else None,
+        max_rules=max_rules,
+    )
+    stats, _ = engine.run_target(target_relation(), collect_graph=collect_graph)
+    result = ExperimentResult(
+        stats=stats,
+        instance_tuples=instance_tuple_count(cdss),
+        exchange_seconds=0.0,
+        load_seconds=load_seconds,
+        asr_rows=asr_rows,
+    )
+    if manager is not None:
+        manager.drop_all()
+    if own_storage:
+        storage.close()
+    return result
+
+
+def format_row(label: str, result: ExperimentResult) -> str:
+    """One printable series row (benchmarks tee these into reports)."""
+    return (
+        f"{label:>24}  rules={result.unfolded_rules:6d}  "
+        f"unfold={result.unfold_seconds * 1e3:9.1f}ms  "
+        f"eval={result.evaluation_seconds * 1e3:9.1f}ms  "
+        f"total={result.query_processing_seconds * 1e3:9.1f}ms  "
+        f"tuples={result.instance_tuples:8d}"
+    )

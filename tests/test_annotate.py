@@ -1,0 +1,212 @@
+"""Tests for annotation evaluation (Section 2.1, Table 1) including the
+running example of Figure 1 and cyclic fixpoints."""
+
+import math
+
+import pytest
+
+from repro.errors import CycleError, SemiringError
+from repro.provenance import (
+    ProvenanceGraph,
+    TupleNode,
+    annotate,
+    provenance_polynomial,
+)
+from repro.semirings import (
+    BOTTOM,
+    ConfidentialitySemiring,
+    get_semiring,
+)
+from repro.semirings.polynomial import Polynomial
+
+
+def diamond():
+    """top has two derivations: m1(a, b) and m2(b)."""
+    graph = ProvenanceGraph()
+    a, b = TupleNode("A_l", (1,)), TupleNode("B_l", (2,))
+    top = TupleNode("T", (0,))
+    graph.derive("m1", [a, b], [top])
+    graph.derive("m2", [b], [top])
+    return graph, a, b, top
+
+
+class TestAcyclic:
+    def test_default_leaf_assignment_is_one(self):
+        graph, a, b, top = diamond()
+        values = annotate(graph, get_semiring("DERIVABILITY"))
+        assert values[top] is True
+
+    def test_counting(self):
+        graph, a, b, top = diamond()
+        values = annotate(graph, get_semiring("COUNT"))
+        assert values[top] == 2
+
+    def test_counting_with_multiplicities(self):
+        graph, a, b, top = diamond()
+        values = annotate(graph, get_semiring("COUNT"), {a: 2, b: 3})
+        # m1: 2*3 + m2: 3
+        assert values[top] == 9
+
+    def test_weight(self):
+        graph, a, b, top = diamond()
+        values = annotate(graph, get_semiring("WEIGHT"), {a: 1.0, b: 2.0})
+        assert values[top] == min(1.0 + 2.0, 2.0)
+
+    def test_lineage(self):
+        graph, a, b, top = diamond()
+        values = annotate(
+            graph, get_semiring("LINEAGE"), lambda leaf: frozenset([leaf])
+        )
+        assert values[top] == frozenset([a, b])
+
+    def test_confidentiality(self):
+        graph, a, b, top = diamond()
+        semiring = ConfidentialitySemiring()
+        values = annotate(graph, semiring, {a: "TS", b: "C"})
+        # m1 needs max(TS, C) = TS; m2 needs C; union takes the less secure.
+        assert values[top] == "C"
+
+    def test_probability_events(self):
+        graph, a, b, top = diamond()
+        semiring = get_semiring("PROBABILITY")
+        values = annotate(graph, semiring, lambda leaf: str(leaf))
+        probability = semiring.probability(
+            values[top], {str(a): 0.5, str(b): 0.5}
+        )
+        # (a AND b) OR b == b
+        assert probability == pytest.approx(0.5)
+
+    def test_mapping_function_applied(self):
+        graph, a, b, top = diamond()
+        semiring = get_semiring("TRUST")
+        values = annotate(
+            graph,
+            semiring,
+            mapping_functions={"m1": semiring.constant_function(False)},
+        )
+        assert values[top] is True  # m2 still trusts
+        values = annotate(
+            graph,
+            semiring,
+            mapping_functions={
+                "m1": semiring.constant_function(False),
+                "m2": semiring.constant_function(False),
+            },
+        )
+        assert values[top] is False
+
+    def test_leaf_assignment_validated(self):
+        graph, a, b, top = diamond()
+        with pytest.raises(SemiringError):
+            annotate(graph, get_semiring("WEIGHT"), lambda leaf: -1.0)
+
+    def test_polynomial_extraction(self):
+        graph, a, b, top = diamond()
+        poly = provenance_polynomial(graph, top)
+        expected = Polynomial.variable(str(a)) * Polynomial.variable(
+            str(b)
+        ) + Polynomial.variable(str(b))
+        assert poly == expected
+
+    def test_polynomial_evaluation_matches_direct_annotation(self):
+        """The universal property, on a real graph."""
+        graph, a, b, top = diamond()
+        poly = provenance_polynomial(graph, top)
+        for name, assignment in [
+            ("COUNT", {str(a): 2, str(b): 3}),
+            ("DERIVABILITY", {str(a): True, str(b): False}),
+            ("WEIGHT", {str(a): 1.0, str(b): 4.0}),
+        ]:
+            semiring = get_semiring(name)
+            direct = annotate(
+                graph, semiring, lambda leaf: assignment[str(leaf)]
+            )
+            assert poly.evaluate(semiring, assignment) == direct[top]
+
+
+class TestCyclic:
+    def make_cycle(self):
+        """leaf -> a <-> b, with b also feeding t."""
+        graph = ProvenanceGraph()
+        leaf = TupleNode("L_l", (0,))
+        a, b = TupleNode("A", (1,)), TupleNode("B", (1,))
+        t = TupleNode("T", (1,))
+        graph.derive("seed", [leaf], [a])
+        graph.derive("ab", [a], [b])
+        graph.derive("ba", [b], [a])
+        graph.derive("out", [b], [t])
+        return graph, leaf, a, b, t
+
+    def test_derivability_through_cycle(self):
+        graph, leaf, a, b, t = self.make_cycle()
+        values = annotate(graph, get_semiring("DERIVABILITY"))
+        assert values[t] is True
+
+    def test_underivable_when_leaf_false(self):
+        graph, leaf, a, b, t = self.make_cycle()
+        values = annotate(graph, get_semiring("DERIVABILITY"), {leaf: False})
+        # Nothing supports the cycle from below: fixpoint stays False
+        # (a cyclic derivation alone is not a derivation).
+        assert values[t] is False
+        assert values[a] is False
+
+    def test_weight_through_cycle(self):
+        graph, leaf, a, b, t = self.make_cycle()
+        values = annotate(graph, get_semiring("WEIGHT"), {leaf: 2.0})
+        assert values[t] == 2.0
+
+    def test_lineage_through_cycle(self):
+        graph, leaf, a, b, t = self.make_cycle()
+        values = annotate(
+            graph, get_semiring("LINEAGE"), lambda n: frozenset([n])
+        )
+        assert values[t] == frozenset([leaf])
+
+    def test_count_raises_on_cycle(self):
+        graph, *_ = self.make_cycle()
+        with pytest.raises(CycleError):
+            annotate(graph, get_semiring("COUNT"))
+
+    def test_polynomial_raises_on_cycle(self):
+        graph, leaf, a, b, t = self.make_cycle()
+        with pytest.raises(CycleError):
+            provenance_polynomial(graph, t)
+
+
+class TestRunningExample:
+    """Annotations over the materialized Figure 1 graph."""
+
+    def test_trust_q7(self, example_cdss):
+        semiring = get_semiring("TRUST")
+        values = annotate(
+            example_cdss.graph,
+            semiring,
+            leaf_assignment=lambda n: not (
+                n.relation == "A_l" and n.values[2] >= 6
+            ),
+            mapping_functions={"m4": semiring.constant_function(False)},
+        )
+        by_name = {
+            node.values[0]: values[node]
+            for node in example_cdss.graph.tuples_in("O")
+        }
+        assert by_name == {
+            "cn1": False,
+            "cn2": True,
+            "sn1": False,
+        }
+
+    def test_derivability_all_true(self, example_cdss):
+        values = annotate(example_cdss.graph, get_semiring("DERIVABILITY"))
+        assert all(values[n] for n in example_cdss.graph.tuples_in("O"))
+
+    def test_lineage_of_o_cn2(self, example_cdss):
+        values = annotate(
+            example_cdss.graph,
+            get_semiring("LINEAGE"),
+            lambda n: frozenset([str(n)]),
+        )
+        node = TupleNode("O", ("cn2", 5, True))
+        assert values[node] == frozenset(
+            {"A_l(2,sn1,5)", "C_l(2,cn2)"}
+        )

@@ -1,0 +1,164 @@
+"""Tests for the CDSS substrate: mappings, exchange, deletions, trust."""
+
+import pytest
+
+from repro.cdss import CDSS, Peer, TrustPolicy, attribute_condition
+from repro.errors import SchemaError
+from repro.provenance import TupleNode
+from repro.relational import RelationSchema
+
+
+class TestSchemaMapping:
+    def test_provenance_columns_match_figure2(self, example_cdss):
+        columns = {
+            name: [c.name for c in m.provenance_columns]
+            for name, m in example_cdss.mappings.items()
+        }
+        # P1 and P5 store (i, n); projections m2-m4 also reduce to keys.
+        assert columns["m1"] == ["i", "n"]
+        assert columns["m5"] == ["i", "n"]
+
+    def test_superfluous_detection(self, example_cdss):
+        superfluous = {
+            name
+            for name, m in example_cdss.mappings.items()
+            if m.is_superfluous
+        }
+        assert superfluous == {"m2", "m3", "m4"}
+
+    def test_provenance_schema_names(self, example_cdss):
+        schema = example_cdss.mappings["m1"].provenance_schema()
+        assert schema.name == "P_m1"
+        assert schema.attribute_names == ("i", "n")
+
+    def test_unknown_relation_rejected(self):
+        system = CDSS([Peer.of("P", [RelationSchema.of("R", ["a"])])])
+        with pytest.raises(SchemaError):
+            system.add_mapping("m: R(a) :- Zed(a)")
+
+    def test_arity_mismatch_rejected(self):
+        system = CDSS([Peer.of("P", [RelationSchema.of("R", ["a"])])])
+        with pytest.raises(SchemaError):
+            system.add_mapping("m: R(a, b) :- R(a)")
+
+    def test_duplicate_mapping_name_rejected(self):
+        system = CDSS([Peer.of("P", [RelationSchema.of("R", ["a"])])])
+        system.add_mapping("m: R(a) :- R_l(a)", name="m")
+        with pytest.raises(SchemaError):
+            system.add_mapping("m: R(a) :- R_l(a)", name="m")
+
+
+class TestPeers:
+    def test_duplicate_peer_rejected(self):
+        system = CDSS([Peer.of("P", [])])
+        with pytest.raises(SchemaError):
+            system.add_peer(Peer.of("P", []))
+
+    def test_duplicate_relation_in_peer(self):
+        with pytest.raises(SchemaError):
+            Peer.of(
+                "P", [RelationSchema.of("R", ["a"]), RelationSchema.of("R", ["b"])]
+            )
+
+    def test_local_relation_names(self):
+        peer = Peer.of("P", [RelationSchema.of("R", ["a"])])
+        assert peer.local_relation_names() == ["R_l"]
+
+
+class TestExchange:
+    def test_materializes_figure1_instance(self, example_cdss):
+        rows = {tuple(r) for r in example_cdss.instance["O"]}
+        assert rows == {
+            ("cn1", 7, True),
+            ("cn2", 5, True),
+            ("sn1", 5, True),
+            ("sn1", 7, True),
+        }
+
+    def test_graph_matches_figure1_shape(self, example_cdss):
+        tuples, derivations = example_cdss.graph.size()
+        assert tuples == 16
+        assert derivations == 14
+
+    def test_incremental_exchange_fires_less(self, example_cdss):
+        example_cdss.insert_local("A", (3, "sn9", 4))
+        result = example_cdss.exchange()
+        assert result.firings <= 5
+        assert example_cdss.instance.contains("O", ("sn9", 4, True))
+
+    def test_insert_local_accepts_public_or_local_name(self, example_cdss):
+        assert example_cdss.insert_local("A_l", (9, "x", 1))
+        assert example_cdss.instance.contains("A_l", (9, "x", 1))
+
+    def test_instance_size_public_only(self, example_cdss):
+        public = example_cdss.instance_size(public_only=True)
+        total = example_cdss.instance_size(public_only=False)
+        assert total == public + 4  # the four local contributions
+
+
+class TestDeletionPropagation:
+    def test_q5_deletion_garbage_collects(self, example_cdss):
+        example_cdss.insert_local("A", (3, "sn9", 4))
+        example_cdss.exchange()
+        assert example_cdss.instance.contains("O", ("sn9", 4, True))
+        example_cdss.delete_local("A", (3, "sn9", 4))
+        removed = example_cdss.propagate_deletions()
+        assert removed >= 3
+        assert not example_cdss.instance.contains("O", ("sn9", 4, True))
+        assert not example_cdss.instance.contains("A", (3, "sn9", 4))
+
+    def test_deletion_keeps_alternately_derivable(self, acyclic_cdss):
+        # O(cn2,5,true) via m5 from A(2) & C_l(2,cn2); deleting C_l
+        # must keep tuples that are still derivable another way.
+        acyclic_cdss.delete_local("C", (2, "cn2"))
+        acyclic_cdss.propagate_deletions()
+        assert not acyclic_cdss.instance.contains("O", ("cn2", 5, True))
+        # m4-derived tuples survive
+        assert acyclic_cdss.instance.contains("O", ("sn1", 5, True))
+
+    def test_noop_when_nothing_deleted(self, example_cdss):
+        assert example_cdss.propagate_deletions() == 0
+
+
+class TestTrustPolicy:
+    def test_policy_compiles_to_assignment(self, example_cdss):
+        policy = TrustPolicy()
+        policy.trust_relation("C")
+        schema = example_cdss.catalog["A"]
+        policy.trust_if(
+            "A", attribute_condition(schema, "len", lambda v: v < 6)
+        )
+        policy.distrust_mapping("m4")
+        trusted = example_cdss.trusted(policy)
+        by_name = {
+            node.values[0]: trusted[node]
+            for node in example_cdss.graph.tuples_in("O")
+        }
+        assert by_name == {"cn1": False, "cn2": True, "sn1": False}
+
+    def test_default_trust(self):
+        policy = TrustPolicy(default_trust=False)
+        assign = policy.leaf_assignment()
+        assert assign(TupleNode("A_l", (1, "x", 2))) is False
+
+    def test_distrust_relation(self):
+        policy = TrustPolicy()
+        policy.distrust_relation("A")
+        assign = policy.leaf_assignment()
+        assert assign(TupleNode("A_l", (1, "x", 2))) is False
+        assert assign(TupleNode("B_l", (1,))) is True
+
+
+class TestLineageHelper:
+    def test_lineage_of_derived_tuple(self, example_cdss):
+        node = TupleNode("O", ("cn2", 5, True))
+        lineage = example_cdss.lineage(node)
+        assert lineage == frozenset(
+            {TupleNode("A_l", (2, "sn1", 5)), TupleNode("C_l", (2, "cn2"))}
+        )
+
+    def test_derivability_q5(self, example_cdss):
+        values = example_cdss.derivability()
+        assert all(
+            values[node] for node in example_cdss.graph.tuples_in("O")
+        )

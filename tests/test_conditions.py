@@ -1,0 +1,170 @@
+"""Tests for ProQL condition/operand evaluation."""
+
+import pytest
+
+from repro.errors import ProQLSemanticError
+from repro.proql.ast import (
+    And,
+    AttrAccess,
+    BinaryOp,
+    Compare,
+    Identifier,
+    Literal,
+    Membership,
+    Not,
+    Or,
+    VarRef,
+)
+from repro.proql.conditions import (
+    UNDEFINED,
+    compare_values,
+    eval_condition,
+    eval_operand,
+    mapping_name_constraints,
+    tuple_in_relation,
+)
+from repro.provenance import DerivationNode, TupleNode
+from repro.relational import Catalog, RelationSchema
+
+CATALOG = Catalog(
+    [
+        RelationSchema.of("A", ["id", ("sn", "str"), "len"], key=["id"]),
+        RelationSchema.of("A_l", ["id", ("sn", "str"), "len"], key=["id"]),
+    ]
+)
+
+A_NODE = TupleNode("A", (1, "sn1", 7))
+A_LOCAL = TupleNode("A_l", (1, "sn1", 7))
+DERIV = DerivationNode("m4", (A_NODE,), ())
+
+
+class TestOperands:
+    def test_literal_and_identifier(self):
+        assert eval_operand(Literal(3), {}, CATALOG) == 3
+        assert eval_operand(Identifier("m1"), {}, CATALOG) == "m1"
+
+    def test_varref(self):
+        assert eval_operand(VarRef("x"), {"x": 5}, CATALOG) == 5
+        with pytest.raises(ProQLSemanticError):
+            eval_operand(VarRef("x"), {}, CATALOG)
+
+    def test_attr_access(self):
+        env = {"x": A_NODE}
+        assert eval_operand(AttrAccess("x", "len"), env, CATALOG) == 7
+        assert eval_operand(AttrAccess("x", "zz"), env, CATALOG) is UNDEFINED
+
+    def test_attr_access_on_local_tuple_uses_public_schema(self):
+        env = {"x": A_LOCAL}
+        assert eval_operand(AttrAccess("x", "len"), env, CATALOG) == 7
+
+    def test_attr_access_on_non_tuple(self):
+        assert eval_operand(AttrAccess("x", "a"), {"x": 3}, CATALOG) is UNDEFINED
+
+    def test_binary_op(self):
+        expr = BinaryOp("+", VarRef("z"), Literal(2))
+        assert eval_operand(expr, {"z": 3}, CATALOG) == 5
+        expr = BinaryOp("*", Literal(3), Literal(4))
+        assert eval_operand(expr, {}, CATALOG) == 12
+
+    def test_binary_op_type_clash_undefined(self):
+        expr = BinaryOp("+", VarRef("z"), Literal(2))
+        assert eval_operand(expr, {"z": None}, CATALOG) is UNDEFINED
+
+
+class TestCompare:
+    def test_numeric_operators(self):
+        assert compare_values(1, "<", 2)
+        assert compare_values(2, "<=", 2)
+        assert compare_values(3, ">", 2)
+        assert compare_values(3, ">=", 3)
+        assert compare_values(3, "=", 3)
+        assert compare_values(3, "!=", 4)
+
+    def test_undefined_is_false(self):
+        assert not compare_values(UNDEFINED, "=", 1)
+        assert not compare_values(1, "=", UNDEFINED)
+
+    def test_type_clash_is_false(self):
+        assert not compare_values(1, "<", "a")
+
+    def test_derivation_compares_by_mapping_name(self):
+        assert compare_values(DERIV, "=", "m4")
+        assert not compare_values(DERIV, "=", "m5")
+
+    def test_unknown_operator(self):
+        with pytest.raises(ProQLSemanticError):
+            compare_values(1, "~", 2)
+
+
+class TestConditions:
+    def test_membership(self):
+        assert tuple_in_relation(A_NODE, "A")
+        assert tuple_in_relation(A_LOCAL, "A")
+        assert not tuple_in_relation(A_NODE, "B")
+        condition = Membership("x", "A")
+        assert eval_condition(condition, {"x": A_NODE}, CATALOG)
+        assert not eval_condition(condition, {"x": DERIV}, CATALOG)
+
+    def test_boolean_connectives(self):
+        true = Compare(Literal(1), "=", Literal(1))
+        false = Compare(Literal(1), "=", Literal(2))
+        assert eval_condition(And((true, true)), {}, CATALOG)
+        assert not eval_condition(And((true, false)), {}, CATALOG)
+        assert eval_condition(Or((false, true)), {}, CATALOG)
+        assert eval_condition(Not(false), {}, CATALOG)
+
+    def test_case_style_condition(self):
+        # CASE $y in A and $y.len >= 6
+        condition = And(
+            (
+                Membership("y", "A"),
+                Compare(AttrAccess("y", "len"), ">=", Literal(6)),
+            )
+        )
+        assert eval_condition(condition, {"y": A_NODE}, CATALOG)
+        small = TupleNode("A", (2, "x", 5))
+        assert not eval_condition(condition, {"y": small}, CATALOG)
+
+    def test_path_condition_requires_checker(self):
+        from repro.proql.ast import PathCondition, PathExpr, TupleSpec
+
+        condition = PathCondition(PathExpr((TupleSpec("A", "x"),), ()))
+        with pytest.raises(ProQLSemanticError):
+            eval_condition(condition, {}, CATALOG)
+        assert eval_condition(
+            condition, {}, CATALOG, path_checker=lambda pc, env: True
+        )
+
+
+class TestMappingNameConstraints:
+    def parse_where(self, text):
+        from repro.proql.parser import parse_query
+
+        return parse_query(f"FOR [$x] <$p [] WHERE {text} RETURN $x").where
+
+    def test_single_equality(self):
+        where = self.parse_where("$p = m1")
+        assert mapping_name_constraints(where, "p") == {"m1"}
+
+    def test_disjunction(self):
+        where = self.parse_where("$p = m1 OR $p = m2")
+        assert mapping_name_constraints(where, "p") == {"m1", "m2"}
+
+    def test_reversed_equality(self):
+        where = self.parse_where("m3 = $p")
+        assert mapping_name_constraints(where, "p") == {"m3"}
+
+    def test_conjunction_intersects(self):
+        where = self.parse_where("$p = m1 AND $x.a = 3")
+        assert mapping_name_constraints(where, "p") == {"m1"}
+
+    def test_unrelated_condition_gives_none(self):
+        where = self.parse_where("$x.a = 3")
+        assert mapping_name_constraints(where, "p") is None
+
+    def test_disjunction_with_unrelated_gives_none(self):
+        where = self.parse_where("$p = m1 OR $x.a = 3")
+        assert mapping_name_constraints(where, "p") is None
+
+    def test_none_condition(self):
+        assert mapping_name_constraints(None, "p") is None

@@ -1,0 +1,132 @@
+"""Tests for provenance-recording fixpoint evaluation."""
+
+import pytest
+
+from repro.datalog import evaluate, evaluate_naive, parse_program
+from repro.datalog.terms import SkolemValue
+from repro.errors import EvaluationError
+from repro.provenance.graph import TupleNode
+from repro.relational import Catalog, Instance, RelationSchema
+
+
+def make_instance(*relations):
+    return Instance(Catalog([RelationSchema.of(name, attrs) for name, attrs in relations]))
+
+
+def transitive_closure_setup():
+    instance = make_instance(("E", ["a", "b"]), ("T", ["a", "b"]))
+    for edge in [(1, 2), (2, 3), (3, 4)]:
+        instance.insert("E", edge)
+    program = parse_program(
+        """
+        base: T(x, y) :- E(x, y)
+        step: T(x, z) :- T(x, y), E(y, z)
+        """
+    )
+    return program, instance
+
+
+class TestFixpoint:
+    def test_transitive_closure(self):
+        program, instance = transitive_closure_setup()
+        evaluate(program, instance)
+        assert instance["T"] == frozenset(
+            {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+        )
+
+    def test_naive_matches_semi_naive(self):
+        program, instance1 = transitive_closure_setup()
+        _, instance2 = transitive_closure_setup()
+        semi = evaluate(program, instance1)
+        naive = evaluate_naive(program, instance2)
+        assert instance1 == instance2
+        assert semi.graph == naive.graph
+
+    def test_all_derivations_recorded(self):
+        # T(1,3) has exactly one derivation; diamond gives two for T(1,4).
+        instance = make_instance(("E", ["a", "b"]), ("T", ["a", "b"]))
+        for edge in [(1, 2), (1, 3), (2, 4), (3, 4)]:
+            instance.insert("E", edge)
+        program = parse_program(
+            "base: T(x, y) :- E(x, y)\nstep: T(x, z) :- T(x, y), E(y, z)"
+        )
+        result = evaluate(program, instance)
+        node = TupleNode("T", (1, 4))
+        derivations = result.graph.derivations_of(node)
+        assert len(derivations) == 2  # through 2 and through 3
+
+    def test_multi_head_rule_single_derivation_node(self):
+        instance = make_instance(("S", ["x"]), ("R", ["x"]), ("Q", ["x"]))
+        instance.insert("S", (1,))
+        program = parse_program("m: R(x), Q(x) :- S(x)")
+        result = evaluate(program, instance)
+        (derivation,) = result.graph.derivations
+        assert {t.relation for t in derivation.targets} == {"R", "Q"}
+        assert derivation.sources == (TupleNode("S", (1,)),)
+
+    def test_skolem_values_in_derived_tuples(self):
+        instance = make_instance(("S", ["x"]), ("R", ["x", "z"]))
+        instance.insert("S", (5,))
+        program = parse_program("g: R(x, z) :- S(x)")
+        result = evaluate(program, instance)
+        (row,) = instance["R"]
+        assert row[1] == SkolemValue("f_g_z", (5,))
+        assert result.inserted == 1
+
+    def test_initial_delta_incremental(self):
+        program, instance = transitive_closure_setup()
+        result = evaluate(program, instance)
+        firings_full = result.firings
+        # Incremental insertion of one new edge.
+        instance.insert("E", (4, 5))
+        incremental = evaluate(
+            program, instance, graph=result.graph, initial_delta={"E": {(4, 5)}}
+        )
+        assert instance.contains("T", (1, 5))
+        assert incremental.firings < firings_full
+        # All provenance still in one graph.
+        assert result.graph.derivations_of(TupleNode("T", (4, 5)))
+
+    def test_empty_body_rejected(self):
+        instance = make_instance(("R", ["x"]))
+        program = parse_program("f: R(1)")
+        with pytest.raises(EvaluationError):
+            evaluate(program, instance)
+
+    def test_max_iterations_guard(self):
+        program, instance = transitive_closure_setup()
+        with pytest.raises(EvaluationError):
+            evaluate(program, instance, max_iterations=1)
+
+    def test_constants_in_body_filter(self):
+        instance = make_instance(("S", ["x", "y"]), ("R", ["x"]))
+        instance.insert("S", (1, 10))
+        instance.insert("S", (2, 20))
+        program = parse_program("m: R(x) :- S(x, 10)")
+        evaluate(program, instance)
+        assert instance["R"] == frozenset({(1,)})
+
+    def test_shared_variable_join(self):
+        instance = make_instance(("S", ["x", "y"]), ("T", ["y", "z"]), ("R", ["x", "z"]))
+        instance.insert("S", (1, 2))
+        instance.insert("S", (1, 9))
+        instance.insert("T", (2, 3))
+        program = parse_program("m: R(x, z) :- S(x, y), T(y, z)")
+        evaluate(program, instance)
+        assert instance["R"] == frozenset({(1, 3)})
+
+    def test_repeated_variable_in_atom(self):
+        instance = make_instance(("S", ["x", "y"]), ("R", ["x"]))
+        instance.insert("S", (1, 1))
+        instance.insert("S", (1, 2))
+        program = parse_program("m: R(x) :- S(x, x)")
+        evaluate(program, instance)
+        assert instance["R"] == frozenset({(1,)})
+
+    def test_leaves_are_local_tuples(self):
+        instance = make_instance(("R_l", ["x"]), ("R", ["x"]), ("S", ["x"]))
+        instance.insert("R_l", (1,))
+        program = parse_program("L_R: R(x) :- R_l(x)\nm: S(x) :- R(x)")
+        result = evaluate(program, instance)
+        leaves = list(result.graph.leaves())
+        assert leaves == [TupleNode("R_l", (1,))]

@@ -1,0 +1,118 @@
+"""Unit tests for the Datalog rule/program parser."""
+
+import pytest
+
+from repro.datalog import Atom, Constant, SkolemTerm, Variable, parse_program, parse_rule
+from repro.datalog.terms import is_wildcard
+from repro.errors import DatalogError, DatalogParseError
+
+
+class TestParseRule:
+    def test_named_rule(self):
+        rule = parse_rule("m1: C(i, n) :- A(i, s, _), N(i, n, false)")
+        assert rule.name == "m1"
+        assert [a.relation for a in rule.head] == ["C"]
+        assert [a.relation for a in rule.body] == ["A", "N"]
+
+    def test_default_name_used_when_unnamed(self):
+        rule = parse_rule("C(i, n) :- A(i, n)", name="x9")
+        assert rule.name == "x9"
+
+    def test_constants(self):
+        rule = parse_rule("R(x) :- S(x, 3, 2.5, 'txt', true, false, null)")
+        values = [t.value for t in rule.body[0].terms[1:]]
+        assert values == [3, 2.5, "txt", True, False, None]
+
+    def test_negative_number(self):
+        rule = parse_rule("R(x) :- S(x, -4)")
+        assert rule.body[0].terms[1] == Constant(-4)
+
+    def test_wildcards_are_fresh(self):
+        rule = parse_rule("R(x) :- S(x, _, _)")
+        w1, w2 = rule.body[0].terms[1:]
+        assert is_wildcard(w1) and is_wildcard(w2)
+        assert w1 != w2
+
+    def test_multi_head(self):
+        rule = parse_rule("R(x), S(x, y) :- T(x, y)")
+        assert len(rule.head) == 2
+
+    def test_skolem_term(self):
+        rule = parse_rule("R(x, f(x, y)) :- S(x, y)")
+        skolem = rule.head[0].terms[1]
+        assert isinstance(skolem, SkolemTerm)
+        assert skolem.function == "f"
+        assert skolem.args == (Variable("x"), Variable("y"))
+
+    def test_escaped_quote_in_string(self):
+        rule = parse_rule(r"R(x) :- S(x, 'it\'s')")
+        assert rule.body[0].terms[1] == Constant("it's")
+
+    def test_zero_arity_atom(self):
+        rule = parse_rule("R() :- S()")
+        assert rule.head[0].arity == 0
+
+    def test_fact_without_body(self):
+        rule = parse_rule("R(1, 2)")
+        assert rule.body == ()
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R(x :- S(x)",
+            "R(x) :- ",
+            ":- S(x)",
+            "R(x) x",
+            "R(x) :- S(x) extra(y)",
+            "R(%)",
+        ],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(DatalogParseError):
+            parse_rule(text)
+
+
+class TestParseProgram:
+    def test_lines_and_comments(self):
+        program = parse_program(
+            """
+            % local rules
+            L1: A(i) :- A_l(i)
+
+            m1: B(i) :- A(i)  % copy
+            B(i) :- A(i), A_l(i)
+            """
+        )
+        assert [r.name for r in program] == ["L1", "m1", "r3"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_program("m1: A(i) :- B(i)\nm1: C(i) :- B(i)")
+
+    def test_program_lookup(self):
+        program = parse_program("m1: A(i) :- B(i)")
+        assert program["m1"].name == "m1"
+        assert "m1" in program
+        assert "m2" not in program
+        with pytest.raises(DatalogError):
+            program["m2"]
+
+    def test_rules_defining_and_using(self):
+        program = parse_program(
+            "m1: A(i) :- B(i)\nm2: C(i) :- A(i)\nm3: A(i), D(i) :- C(i)"
+        )
+        assert [r.name for r in program.rules_defining("A")] == ["m1", "m3"]
+        assert [r.name for r in program.rules_using("A")] == ["m2"]
+
+    def test_edb_idb_partition(self):
+        program = parse_program("m1: A(i) :- B(i)\nm2: C(i) :- A(i)")
+        assert program.idb_relations() == {"A", "C"}
+        assert program.edb_relations() == {"B"}
+
+    def test_recursion_detection(self):
+        acyclic = parse_program("m1: A(i) :- B(i)\nm2: C(i) :- A(i)")
+        assert not acyclic.is_recursive()
+        cyclic = parse_program("m1: A(i) :- B(i)\nm2: B(i) :- A(i)")
+        assert cyclic.is_recursive()
+        self_loop = parse_program("m1: A(i) :- A(i)")
+        assert self_loop.is_recursive()

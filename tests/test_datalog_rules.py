@@ -1,0 +1,96 @@
+"""Unit tests for rules: safety, Skolemization, renaming, grounding."""
+
+import pytest
+
+from repro.datalog import Atom, Constant, SkolemTerm, Variable, parse_rule
+from repro.datalog.terms import SkolemValue, ground
+from repro.errors import DatalogError
+
+
+class TestSafety:
+    def test_safe_rule(self):
+        assert parse_rule("R(x) :- S(x, y)").is_safe()
+
+    def test_unsafe_rule(self):
+        rule = parse_rule("R(x, z) :- S(x)")
+        assert not rule.is_safe()
+        with pytest.raises(DatalogError):
+            rule.check_safe()
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(DatalogError):
+            from repro.datalog.rules import Rule
+
+            Rule("bad", (), (Atom("S", (Variable("x"),)),))
+
+
+class TestSkolemize:
+    def test_existential_becomes_skolem(self):
+        rule = parse_rule("glav: R(x, z) :- S(x)").skolemize()
+        assert rule.is_safe()
+        skolem = rule.head[0].terms[1]
+        assert isinstance(skolem, SkolemTerm)
+        assert skolem.function == "f_glav_z"
+        assert skolem.args == (Variable("x"),)
+
+    def test_skolem_args_are_frontier_variables(self):
+        rule = parse_rule("g: R(x, y, z) :- S(x, y), T(y)").skolemize()
+        skolem = rule.head[0].terms[2]
+        assert set(skolem.args) == {Variable("x"), Variable("y")}
+
+    def test_no_existentials_is_identity(self):
+        rule = parse_rule("m: R(x) :- S(x)")
+        assert rule.skolemize() is rule
+
+    def test_skolem_grounds_to_skolem_value(self):
+        rule = parse_rule("g: R(x, z) :- S(x)").skolemize()
+        row = rule.head[0].ground({Variable("x"): 7})
+        assert row[0] == 7
+        assert row[1] == SkolemValue("f_g_z", (7,))
+
+    def test_equal_bindings_give_equal_nulls(self):
+        rule = parse_rule("g: R(x, z) :- S(x)").skolemize()
+        first = rule.head[0].ground({Variable("x"): 7})
+        second = rule.head[0].ground({Variable("x"): 7})
+        third = rule.head[0].ground({Variable("x"): 8})
+        assert first == second
+        assert first != third
+
+
+class TestRuleStructure:
+    def test_source_target_relations(self):
+        rule = parse_rule("m: R(x), S(x) :- T(x), U(x)")
+        assert rule.source_relations() == ("T", "U")
+        assert rule.target_relations() == ("R", "S")
+
+    def test_rename_variables(self):
+        rule = parse_rule("m: R(x) :- S(x, y)")
+        renamed = rule.rename_variables("_1")
+        assert renamed.head[0].terms == (Variable("x_1"),)
+        assert renamed.body[0].terms == (Variable("x_1"), Variable("y_1"))
+        # original untouched
+        assert rule.head[0].terms == (Variable("x"),)
+
+    def test_str_roundtrips_through_parser(self):
+        rule = parse_rule("m: R(x, 3) :- S(x, 'a'), T(x, true)")
+        reparsed = parse_rule(str(rule))
+        assert reparsed == rule
+
+
+class TestGround:
+    def test_ground_constant_and_variable(self):
+        assert ground(Constant(5), {}) == 5
+        assert ground(Variable("x"), {Variable("x"): "v"}) == "v"
+
+    def test_ground_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            ground(Variable("x"), {})
+
+    def test_atom_match_binds(self):
+        from repro.datalog.atoms import match_tuple
+
+        atom = Atom("R", (Variable("x"), Constant(2), Variable("x")))
+        assert match_tuple(atom, (1, 2, 1), {}) == {Variable("x"): 1}
+        assert match_tuple(atom, (1, 2, 3), {}) is None
+        assert match_tuple(atom, (1, 9, 1), {}) is None
+        assert match_tuple(atom, (1, 2), {}) is None

@@ -1,0 +1,88 @@
+"""Tests for the error hierarchy and cross-cutting failure behavior."""
+
+import pytest
+
+from repro.errors import (
+    CycleError,
+    DatalogError,
+    DatalogParseError,
+    EvaluationError,
+    IndexingError,
+    ProQLError,
+    ProQLSemanticError,
+    ProQLSyntaxError,
+    ProvenanceError,
+    ReproError,
+    SchemaError,
+    SemiringError,
+    StorageError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            SchemaError,
+            DatalogError,
+            DatalogParseError,
+            EvaluationError,
+            SemiringError,
+            ProvenanceError,
+            CycleError,
+            ProQLError,
+            ProQLSyntaxError,
+            ProQLSemanticError,
+            StorageError,
+            IndexingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_parse_error_is_datalog_error(self):
+        assert issubclass(DatalogParseError, DatalogError)
+
+    def test_cycle_error_is_provenance_error(self):
+        assert issubclass(CycleError, ProvenanceError)
+
+    def test_proql_errors_under_proql(self):
+        assert issubclass(ProQLSyntaxError, ProQLError)
+        assert issubclass(ProQLSemanticError, ProQLError)
+
+    def test_syntax_error_position(self):
+        error = ProQLSyntaxError("bad", line=3, column=7)
+        assert error.line == 3
+        assert error.column == 7
+        assert "line 3" in str(error)
+
+    def test_syntax_error_without_position(self):
+        error = ProQLSyntaxError("bad")
+        assert "line" not in str(error)
+
+
+class TestCatchability:
+    """Library users can catch ReproError at an API boundary."""
+
+    def test_bad_query_caught_as_repro_error(self, example_cdss):
+        from repro.proql import GraphEngine
+
+        engine = GraphEngine(example_cdss.graph, example_cdss.catalog)
+        with pytest.raises(ReproError):
+            engine.run("FOR [O $x RETURN $x")  # missing bracket
+        with pytest.raises(ReproError):
+            engine.run("FOR [O $x] RETURN $nope")  # unbound
+
+    def test_bad_semiring_caught(self, example_cdss):
+        from repro.proql import GraphEngine
+
+        engine = GraphEngine(example_cdss.graph, example_cdss.catalog)
+        with pytest.raises(ReproError):
+            engine.run("EVALUATE NOPE OF { FOR [O $x] RETURN $x }")
+
+    def test_unknown_pattern_relation_caught(self, acyclic_storage):
+        from repro.proql import SQLEngine
+
+        engine = SQLEngine(acyclic_storage)
+        with pytest.raises(ReproError):
+            engine.run("FOR [Zed $x] INCLUDE PATH [$x] <-+ [] RETURN $x")

@@ -1,0 +1,126 @@
+"""Tests for lineage and probabilistic event-expression semirings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SemiringError
+from repro.semirings import BOTTOM, LineageSemiring, ProbabilitySemiring, event
+from repro.semirings.events import _absorb
+
+
+class TestLineage:
+    semiring = LineageSemiring()
+
+    def test_bottom_is_plus_identity(self):
+        assert self.semiring.plus(BOTTOM, frozenset([1])) == frozenset([1])
+        assert self.semiring.plus(frozenset([1]), BOTTOM) == frozenset([1])
+
+    def test_bottom_annihilates_product(self):
+        assert self.semiring.times(BOTTOM, frozenset([1])) is BOTTOM
+
+    def test_union_semantics(self):
+        a, b = frozenset([1, 2]), frozenset([2, 3])
+        assert self.semiring.plus(a, b) == frozenset([1, 2, 3])
+        assert self.semiring.times(a, b) == frozenset([1, 2, 3])
+
+    def test_bottom_is_singleton(self):
+        from repro.semirings.events import _Bottom
+
+        assert _Bottom() is BOTTOM
+
+
+class TestAbsorption:
+    def test_superset_clauses_dropped(self):
+        dnf = _absorb([frozenset([1]), frozenset([1, 2]), frozenset([3])])
+        assert dnf == frozenset({frozenset([1]), frozenset([3])})
+
+    def test_empty_clause_absorbs_everything(self):
+        dnf = _absorb([frozenset(), frozenset([1])])
+        assert dnf == frozenset({frozenset()})
+
+
+class TestProbabilityAlgebra:
+    semiring = ProbabilitySemiring()
+
+    def test_zero_one(self):
+        assert self.semiring.zero == frozenset()
+        assert self.semiring.one == frozenset([frozenset()])
+
+    def test_times_is_conjunction(self):
+        value = self.semiring.times(event("a"), event("b"))
+        assert value == frozenset({frozenset({"a", "b"})})
+
+    def test_plus_is_disjunction_with_absorption(self):
+        ab = self.semiring.times(event("a"), event("b"))
+        value = self.semiring.plus(event("a"), ab)
+        assert value == event("a")
+
+
+class TestProbabilityComputation:
+    semiring = ProbabilitySemiring()
+
+    def test_atomic_event(self):
+        expr = event("a")
+        assert self.semiring.probability(expr, {"a": 0.3}) == pytest.approx(0.3)
+
+    def test_conjunction(self):
+        expr = self.semiring.times(event("a"), event("b"))
+        probability = self.semiring.probability(expr, {"a": 0.5, "b": 0.4})
+        assert probability == pytest.approx(0.2)
+
+    def test_disjoint_disjunction_inclusion_exclusion(self):
+        expr = self.semiring.plus(event("a"), event("b"))
+        probability = self.semiring.probability(expr, {"a": 0.5, "b": 0.5})
+        # P(a or b) = 0.5 + 0.5 - 0.25
+        assert probability == pytest.approx(0.75)
+
+    def test_certain_and_impossible(self):
+        assert self.semiring.probability(self.semiring.one, {}) == 1.0
+        assert self.semiring.probability(self.semiring.zero, {}) == 0.0
+
+    def test_missing_probability_raises(self):
+        with pytest.raises(SemiringError):
+            self.semiring.probability(event("a"), {})
+
+    def test_monte_carlo_close_to_exact(self):
+        probabilities = {"a": 0.5, "b": 0.3, "c": 0.8}
+        expr = self.semiring.plus(
+            self.semiring.times(event("a"), event("b")), event("c")
+        )
+        exact = self.semiring.probability(expr, probabilities)
+        estimate = self.semiring.probability(
+            expr, probabilities, exact_limit=0, samples=40000, seed=7
+        )
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        clauses=st.frozensets(
+            st.frozensets(st.sampled_from("abc"), min_size=1, max_size=3),
+            min_size=1,
+            max_size=4,
+        ),
+        data=st.data(),
+    )
+    def test_inclusion_exclusion_matches_enumeration(self, clauses, data):
+        probabilities = {
+            e: data.draw(
+                st.floats(min_value=0.1, max_value=0.9), label=f"p({e})"
+            )
+            for e in "abc"
+        }
+        expr = self.semiring.validate(clauses)
+        computed = self.semiring.probability(expr, probabilities)
+        # brute-force over all 8 worlds
+        total = 0.0
+        for mask in range(8):
+            world = {e for i, e in enumerate("abc") if mask >> i & 1}
+            weight = 1.0
+            for i, e in enumerate("abc"):
+                weight *= (
+                    probabilities[e] if e in world else 1 - probabilities[e]
+                )
+            if any(clause <= world for clause in expr):
+                total += weight
+        assert computed == pytest.approx(total, abs=1e-9)

@@ -1,0 +1,28 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(script), str(tmp_path / "out")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # every example narrates what it does
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the paper reproduction ships >= 3 examples"

@@ -1,0 +1,66 @@
+"""Tests for DOT/JSON provenance export (interactive browsers, §1)."""
+
+import json
+
+from repro.provenance import ProvenanceGraph, TupleNode, annotate, to_dot, to_json
+from repro.semirings import get_semiring
+
+
+def small_graph():
+    graph = ProvenanceGraph()
+    leaf = TupleNode("R_l", (1,))
+    top = TupleNode("T", (1,))
+    graph.derive("m", [leaf], [top])
+    return graph, leaf, top
+
+
+class TestDot:
+    def test_shapes_match_figure1_conventions(self):
+        graph, leaf, top = small_graph()
+        dot = to_dot(graph)
+        assert "shape=box" in dot  # tuples as rectangles
+        assert "shape=ellipse" in dot  # derivations as ellipses
+        assert 'label="m"' in dot
+        assert "digraph provenance" in dot
+
+    def test_leaves_bold(self):
+        graph, leaf, top = small_graph()
+        dot = to_dot(graph)
+        assert "bold" in dot
+
+    def test_annotations_included(self):
+        graph, leaf, top = small_graph()
+        values = annotate(graph, get_semiring("COUNT"))
+        dot = to_dot(graph, annotations=values)
+        assert "= 1" in dot
+
+    def test_highlight(self):
+        graph, leaf, top = small_graph()
+        dot = to_dot(graph, highlight={top})
+        assert "filled" in dot
+
+
+class TestJson:
+    def test_structure(self):
+        graph, leaf, top = small_graph()
+        data = json.loads(to_json(graph))
+        assert len(data["tuples"]) == 2
+        assert len(data["derivations"]) == 1
+        derivation = data["derivations"][0]
+        assert derivation["mapping"] == "m"
+        tuple_ids = {t["id"] for t in data["tuples"]}
+        assert set(derivation["sources"]) <= tuple_ids
+        assert set(derivation["targets"]) <= tuple_ids
+
+    def test_leaf_flag(self):
+        graph, leaf, top = small_graph()
+        data = json.loads(to_json(graph))
+        flags = {t["relation"]: t["leaf"] for t in data["tuples"]}
+        assert flags == {"R_l": True, "T": False}
+
+    def test_annotations_serialized(self):
+        graph, leaf, top = small_graph()
+        values = annotate(graph, get_semiring("DERIVABILITY"))
+        data = json.loads(to_json(graph, annotations=values))
+        annotated = {t["relation"]: t.get("annotation") for t in data["tuples"]}
+        assert annotated["T"] == "True"

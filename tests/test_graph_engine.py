@@ -1,0 +1,259 @@
+"""Tests for the reference graph engine: the paper's use cases Q1-Q10
+on the running example (Section 2, Section 3.2)."""
+
+import math
+
+import pytest
+
+from repro.errors import ProQLSemanticError
+from repro.proql import GraphEngine
+from repro.provenance import TupleNode
+
+
+@pytest.fixture
+def engine(example_cdss):
+    return GraphEngine(example_cdss.graph, example_cdss.catalog)
+
+
+@pytest.fixture
+def acyclic_engine(acyclic_cdss):
+    return GraphEngine(acyclic_cdss.graph, acyclic_cdss.catalog)
+
+
+def names(rows):
+    return sorted(str(row[0]) for row in rows)
+
+
+class TestQ1DerivationsOfTuples:
+    def test_returns_all_o_tuples(self, engine):
+        result = engine.run("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+        assert names(result.rows) == [
+            "O(cn1,7,True)",
+            "O(cn2,5,True)",
+            "O(sn1,5,True)",
+            "O(sn1,7,True)",
+        ]
+
+    def test_output_graph_is_ancestry(self, engine, example_cdss):
+        result = engine.run("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+        # Everything except the N(...,true) tuples derived by m2 that feed nothing.
+        full_tuples, full_derivs = example_cdss.graph.size()
+        got_tuples, got_derivs = result.graph.size()
+        assert got_tuples == full_tuples - 2
+        assert got_derivs == full_derivs - 2
+        # All returned tuples are in the output graph.
+        for (node,) in result.rows:
+            assert node in result.graph
+
+    def test_projection_has_no_annotations(self, engine):
+        result = engine.run("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+        assert result.annotations is None
+        with pytest.raises(ProQLSemanticError):
+            result.annotation_of(TupleNode("O", ("cn1", 7, True)))
+
+
+class TestQ2RestrictedDerivations:
+    def test_only_paths_through_a(self, engine):
+        result = engine.run(
+            "FOR [O $x] <-+ [A $y] INCLUDE PATH [$x] <-+ [$y] RETURN $x"
+        )
+        assert names(result.rows) == [
+            "O(cn1,7,True)",
+            "O(cn2,5,True)",
+            "O(sn1,5,True)",
+            "O(sn1,7,True)",
+        ]
+        # The included subgraph must contain A tuples but no C_l leaf.
+        relations = {t.relation for t in result.graph.tuples}
+        assert "A" in relations
+        assert "C_l" not in relations
+
+    def test_endpoint_relation_filters(self, engine):
+        result = engine.run(
+            "FOR [O $x] <-+ [N $y] INCLUDE PATH [$x] <-+ [$y] RETURN $x, $y"
+        )
+        # Only O tuples with an N ancestor: those involving C via m1/m5.
+        assert all(row[1].relation == "N" for row in result.rows)
+
+
+class TestQ3MappingVariables:
+    def test_one_step_from_m1_m2_tuples(self, engine):
+        result = engine.run(
+            "FOR [$x] <$p [], [$y] <- [$x] WHERE $p = m1 OR $p = m2 "
+            "INCLUDE PATH [$y] <- [$x] RETURN $y"
+        )
+        assert names(result.rows) == [
+            "N(1,cn1,False)",
+            "N(2,cn2,False)",
+            "O(cn1,7,True)",
+            "O(cn2,5,True)",
+        ]
+
+    def test_named_mapping_step(self, engine):
+        result = engine.run("FOR [O $x] <m4 [A $y] RETURN $x, $y")
+        # m4 derives O(n,h,true) directly from A(i,n,h).
+        assert len(result.rows) == 2
+        for o_node, a_node in result.rows:
+            assert o_node.values[0] == a_node.values[1]
+
+
+class TestQ4CommonProvenance:
+    def test_pairs_with_shared_ancestor(self, engine):
+        result = engine.run(
+            "FOR [O $x] <-+ [$z], [C $y] <-+ [$z] "
+            "INCLUDE PATH [$x] <-+ [], [$y] <-+ [] RETURN $x, $y"
+        )
+        pairs = {(str(a), str(b)) for a, b in result.rows}
+        # Every O tuple shares provenance with some C tuple here.
+        assert ("O(cn2,5,True)", "C(2,cn2)") in pairs
+        assert all(b.startswith("C(") for _, b in pairs)
+
+
+class TestAnnotationQueries:
+    def test_q5_derivability(self, engine):
+        result = engine.run(
+            "EVALUATE DERIVABILITY OF { FOR [O $x] "
+            "INCLUDE PATH [$x] <-+ [] RETURN $x }"
+        )
+        assert all(value for row in result.annotated_rows for _, value in row)
+
+    def test_q6_lineage(self, engine):
+        result = engine.run(
+            "EVALUATE LINEAGE OF { FOR [O $x] "
+            "INCLUDE PATH [$x] <-+ [] RETURN $x }"
+        )
+        node = TupleNode("O", ("cn2", 5, True))
+        lineage = result.annotations[node]
+        assert lineage == frozenset(
+            {TupleNode("A_l", (2, "sn1", 5)), TupleNode("C_l", (2, "cn2"))}
+        )
+
+    def test_q7_trust(self, engine):
+        result = engine.run(
+            """
+            EVALUATE TRUST OF {
+              FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+            } ASSIGNING EACH leaf_node $y {
+              CASE $y in C : SET true
+              CASE $y in A AND $y.len >= 6 : SET false
+              DEFAULT : SET true
+            } ASSIGNING EACH mapping $p($z) {
+              CASE $p = m4 : SET false
+              DEFAULT : SET $z
+            }
+            """
+        )
+        values = {
+            str(node): value
+            for row in result.annotated_rows
+            for node, value in row
+        }
+        assert values == {
+            "O(cn1,7,True)": False,
+            "O(cn2,5,True)": True,
+            "O(sn1,5,True)": False,
+            "O(sn1,7,True)": False,
+        }
+
+    def test_q8_weight(self, acyclic_engine):
+        result = acyclic_engine.run(
+            """
+            EVALUATE WEIGHT OF {
+              FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+            } ASSIGNING EACH leaf_node $y { DEFAULT : SET 1 }
+            """
+        )
+        node = TupleNode("O", ("sn1", 7, True))
+        # m4 path costs 1; m5 path costs 1 (A) + 1+1 (C via m1) = 3.
+        assert result.annotations[node] == 1.0
+
+    def test_q9_probability(self, acyclic_engine):
+        from repro.semirings import ProbabilitySemiring
+
+        result = acyclic_engine.run(
+            "EVALUATE PROBABILITY OF { FOR [O $x] "
+            "INCLUDE PATH [$x] <-+ [] RETURN $x }"
+        )
+        node = TupleNode("O", ("cn2", 5, True))
+        expression = result.annotations[node]
+        probabilities = {
+            leaf: 0.5 for clause in expression for leaf in clause
+        }
+        value = ProbabilitySemiring.probability(expression, probabilities)
+        assert 0 < value <= 1
+
+    def test_q10_confidentiality(self, acyclic_engine):
+        result = acyclic_engine.run(
+            """
+            EVALUATE CONFIDENTIALITY OF {
+              FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+            } ASSIGNING EACH leaf_node $y {
+              CASE $y in A : SET S
+              DEFAULT : SET P
+            }
+            """
+        )
+        node = TupleNode("O", ("cn2", 5, True))
+        # Single derivation joins A (S) and C (P): needs the stricter S.
+        assert result.annotations[node] == "S"
+
+    def test_count_on_cyclic_graph_raises(self, engine):
+        from repro.errors import CycleError
+
+        with pytest.raises(CycleError):
+            engine.run(
+                "EVALUATE COUNT OF { FOR [O $x] "
+                "INCLUDE PATH [$x] <-+ [] RETURN $x }"
+            )
+
+    def test_return_node_without_include_gets_zero(self, acyclic_engine):
+        result = acyclic_engine.run(
+            "EVALUATE WEIGHT OF { FOR [O $x] RETURN $x }"
+        )
+        # No INCLUDE: the output graph has only the distinguished nodes,
+        # all leaves, so they take the default leaf value (one = 0.0).
+        assert all(
+            value == 0.0 for row in result.annotated_rows for _, value in row
+        )
+
+
+class TestBindingSemantics:
+    def test_shared_variable_joins_paths(self, engine):
+        result = engine.run(
+            "FOR [O $x] <-+ [A $z], [C $y] <-+ [A $z] RETURN $x, $y, $z"
+        )
+        for x, y, z in result.rows:
+            assert z.relation == "A"
+
+    def test_where_filters_bindings(self, engine):
+        result = engine.run("FOR [O $x] WHERE $x.h >= 6 RETURN $x")
+        assert names(result.rows) == ["O(cn1,7,True)", "O(sn1,7,True)"]
+
+    def test_where_path_condition(self, engine):
+        result = engine.run("FOR [O $x] WHERE [$x] <m4 [] RETURN $x")
+        assert names(result.rows) == ["O(sn1,5,True)", "O(sn1,7,True)"]
+
+    def test_unbound_return_variable_raises(self, engine):
+        with pytest.raises(ProQLSemanticError):
+            engine.run("FOR [O $x] RETURN $zz")
+
+    def test_empty_result(self, engine):
+        result = engine.run("FOR [O $x] WHERE $x.h > 100 RETURN $x")
+        assert result.rows == []
+        assert result.graph.size() == (0, 0)
+
+    def test_derivation_node_in_return(self, engine):
+        result = engine.run("FOR [O $x] <$p [A] RETURN $p")
+        mappings = {row[0].mapping for row in result.rows}
+        assert mappings == {"m4", "m5"}
+
+
+class TestIncludeClosure:
+    def test_one_step_include_brings_all_sources(self, engine):
+        # m5 joins A and C; including the derivation must include both.
+        result = engine.run(
+            "FOR [O $x] <m5 [C $y] INCLUDE PATH [$x] <m5 [$y] RETURN $x"
+        )
+        relations = {t.relation for t in result.graph.tuples}
+        assert "A" in relations  # closure pulled in the A source
+        assert "C" in relations

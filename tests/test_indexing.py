@@ -1,0 +1,319 @@
+"""Tests for ASR definitions, materialization, rewriting (Figure 4),
+and the advisor (Section 5, Section 6.4)."""
+
+import pytest
+
+from repro.errors import IndexingError
+from repro.indexing import (
+    ASRDefinition,
+    ASRManager,
+    ComposedPath,
+    asr_definitions_for,
+    chain_windows,
+    check_non_overlapping,
+    mapping_chains,
+    unfold_asrs,
+)
+from repro.proql import GraphEngine, SQLEngine
+from repro.workloads import chain, branched, prepare_storage
+from repro.workloads.topologies import target_relation
+
+
+class TestASRDefinition:
+    def test_kinds_validated(self):
+        with pytest.raises(IndexingError):
+            ASRDefinition("a", ("m1",), "weird")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(IndexingError):
+            ASRDefinition("a", (), "complete")
+
+    def test_repeated_mapping_rejected(self):
+        with pytest.raises(IndexingError):
+            ASRDefinition("a", ("m1", "m1"), "complete")
+
+    def test_segments_complete(self):
+        definition = ASRDefinition("a", ("m1", "m2", "m3"), "complete")
+        assert definition.segments() == [(0, 3)]
+
+    def test_segments_prefix(self):
+        definition = ASRDefinition("a", ("m1", "m2", "m3"), "prefix")
+        assert definition.segments() == [(0, 3), (0, 2), (0, 1)]
+
+    def test_segments_suffix(self):
+        definition = ASRDefinition("a", ("m1", "m2", "m3"), "suffix")
+        assert definition.segments() == [(0, 3), (1, 3), (2, 3)]
+
+    def test_segments_subpath_longest_first(self):
+        definition = ASRDefinition("a", ("m1", "m2", "m3"), "subpath")
+        segments = definition.segments()
+        assert segments[0] == (0, 3)
+        assert set(segments) == {
+            (0, 3), (0, 2), (1, 3), (0, 1), (1, 2), (2, 3),
+        }
+        lengths = [end - start for start, end in segments]
+        assert lengths == sorted(lengths, reverse=True)
+
+
+class TestNonOverlap:
+    def test_overlap_rejected(self):
+        first = ASRDefinition("a", ("m1", "m2"))
+        second = ASRDefinition("b", ("m2", "m3"))
+        with pytest.raises(IndexingError):
+            check_non_overlapping([first, second])
+
+    def test_disjoint_accepted(self):
+        check_non_overlapping(
+            [ASRDefinition("a", ("m1",)), ASRDefinition("b", ("m2",))]
+        )
+
+
+class TestChainWindows:
+    def test_windows_aligned_downstream(self):
+        path = ("m7", "m6", "m5", "m4", "m3", "m2", "m1")
+        windows = list(chain_windows(path, 3))
+        # Target-aligned: the last (downstream) three first, remainder
+        # is the shortest, most upstream window.
+        assert windows == [
+            ("m3", "m2", "m1"),
+            ("m6", "m5", "m4"),
+            ("m7",),
+        ]
+
+    def test_exact_multiple(self):
+        assert list(chain_windows(("a", "b"), 2)) == [("a", "b")]
+
+    def test_invalid_length(self):
+        with pytest.raises(IndexingError):
+            list(chain_windows(("a",), 0))
+
+
+class TestComposedPath:
+    def test_chain_composition_shares_key(self):
+        system = chain(4, base_size=2)
+        definition = ASRDefinition("asr", ("m3", "m2", "m1"), "complete")
+        composed = ComposedPath(definition, system)
+        # All three provenance atoms share the single key column.
+        assert len(composed.columns) == 1
+        assert [a.relation for a in composed.prov_atoms] == [
+            "P_m3", "P_m2", "P_m1",
+        ]
+
+    def test_non_adjacent_rejected(self):
+        system = chain(5, base_size=2)
+        definition = ASRDefinition("asr", ("m1", "m4"), "complete")
+        with pytest.raises(IndexingError):
+            ComposedPath(definition, system)
+
+    def test_unknown_mapping_rejected(self):
+        system = chain(3, base_size=2)
+        with pytest.raises(IndexingError):
+            ComposedPath(ASRDefinition("asr", ("zz",)), system)
+
+    def test_segment_columns(self):
+        system = chain(4, base_size=2)
+        composed = ComposedPath(
+            ASRDefinition("asr", ("m3", "m2", "m1"), "subpath"), system
+        )
+        assert composed.segment_columns(0, 2) == composed.segment_columns(1, 3)
+
+
+class TestManagerAndRewriting:
+    def test_materialized_row_counts(self):
+        system = chain(4, data_peers=[3], base_size=6)
+        storage = prepare_storage(system)
+        try:
+            manager = ASRManager(storage)
+            manager.register(ASRDefinition("asr", ("m3", "m2", "m1"), "complete"))
+            sizes = manager.table_sizes()
+            # 6 entries flow the full chain: one ASR row each.
+            assert sizes == {"asr": 6}
+        finally:
+            storage.close()
+
+    @staticmethod
+    def heterogeneous_cdss():
+        """A 3-relation chain whose keys differ per step, so composed
+        ASRs have several columns and padded segment rows occur."""
+        from repro.cdss import CDSS, Peer
+        from repro.relational import RelationSchema
+
+        system = CDSS(
+            [
+                Peer.of(
+                    "P",
+                    [
+                        RelationSchema.of("R1", ["a", "b"], key=["a"]),
+                        RelationSchema.of("R2", ["b", "c"], key=["b"]),
+                        RelationSchema.of("R3", ["c", "d"], key=["c"]),
+                    ],
+                )
+            ]
+        )
+        system.add_mapping("mA: R2(b, c) :- R1(a, b), R1(a, c)", name="mA")
+        system.add_mapping("mB: R3(c, d) :- R2(b, c), R2(b, d)", name="mB")
+        system.insert_local("R1", (1, 10))
+        system.insert_local("R1", (1, 11))
+        # A locally inserted R2 tuple: its mB derivations have no mA
+        # backing, producing suffix-only (NULL-padded) ASR rows.
+        system.insert_local("R2", (50, 60))
+        system.insert_local("R2", (50, 61))
+        system.exchange()
+        return system
+
+    def test_subpath_has_more_rows_than_complete(self):
+        system = self.heterogeneous_cdss()
+        storage = prepare_storage(system)
+        try:
+            manager = ASRManager(storage)
+            manager.register(ASRDefinition("c", ("mA", "mB"), "complete"))
+            complete_rows = manager.table_sizes()["c"]
+            manager.drop_all()
+            manager.register(ASRDefinition("s", ("mA", "mB"), "subpath"))
+            subpath_rows = manager.table_sizes()["s"]
+            assert subpath_rows > complete_rows
+        finally:
+            storage.close()
+
+    def test_padded_rows_have_nulls(self):
+        system = self.heterogeneous_cdss()
+        storage = prepare_storage(system)
+        try:
+            manager = ASRManager(storage)
+            manager.register(ASRDefinition("s", ("mA", "mB"), "suffix"))
+            rows = storage.query('SELECT * FROM "s"')
+            assert any(None in row for row in rows)
+            assert any(None not in row for row in rows)
+        finally:
+            storage.close()
+
+    def test_asr_pipeline_on_heterogeneous_keys(self):
+        system = self.heterogeneous_cdss()
+        storage = prepare_storage(system)
+        try:
+            engine = SQLEngine(storage)
+            _, plain_graph = engine.run_target("R3", collect_graph=True)
+            manager = ASRManager(storage)
+            manager.register(ASRDefinition("s", ("mA", "mB"), "suffix"))
+            asr_engine = SQLEngine(
+                storage,
+                rewriter=manager.rewrite,
+                schema_lookup=manager.schema_lookup(),
+            )
+            _, asr_graph = asr_engine.run_target("R3", collect_graph=True)
+            assert plain_graph == asr_graph
+        finally:
+            storage.close()
+
+    def test_duplicate_name_rejected(self):
+        system = chain(3, base_size=2)
+        storage = prepare_storage(system)
+        try:
+            manager = ASRManager(storage)
+            manager.register(ASRDefinition("a", ("m1",)))
+            with pytest.raises(IndexingError):
+                manager.register(ASRDefinition("a", ("m2",)))
+        finally:
+            storage.close()
+
+    def test_overlapping_registration_rejected(self):
+        system = chain(4, base_size=2)
+        storage = prepare_storage(system)
+        try:
+            manager = ASRManager(storage)
+            manager.register(ASRDefinition("a", ("m2", "m1")))
+            with pytest.raises(IndexingError):
+                manager.register(ASRDefinition("b", ("m3", "m2")))
+        finally:
+            storage.close()
+
+    def test_rewriting_reduces_join_width(self):
+        system = chain(6, base_size=5)
+        storage = prepare_storage(system)
+        try:
+            engine = SQLEngine(storage)
+            rules = engine.unfolder.full_ancestry(target_relation())
+            plain_width = max(len(r.items) for r in rules)
+            manager = ASRManager(storage)
+            manager.register_all(
+                asr_definitions_for(system, target_relation(), 3, "complete")
+            )
+            rewritten = manager.rewrite(rules)
+            asr_width = max(len(r.items) for r in rewritten)
+            assert asr_width < plain_width
+            kinds = {
+                item.kind for rule in rewritten for item in rule.items
+            }
+            assert "asr" in kinds
+        finally:
+            storage.close()
+
+    @pytest.mark.parametrize("kind", ["complete", "subpath", "prefix", "suffix"])
+    def test_asr_pipeline_equals_plain_pipeline(self, kind):
+        system = chain(5, base_size=8)
+        storage = prepare_storage(system)
+        try:
+            engine = SQLEngine(storage)
+            _, plain_graph = engine.run_target(
+                target_relation(), collect_graph=True
+            )
+            manager = ASRManager(storage)
+            manager.register_all(
+                asr_definitions_for(system, target_relation(), 2, kind)
+            )
+            asr_engine = SQLEngine(
+                storage,
+                rewriter=manager.rewrite,
+                schema_lookup=manager.schema_lookup(),
+            )
+            _, asr_graph = asr_engine.run_target(
+                target_relation(), collect_graph=True
+            )
+            assert plain_graph == asr_graph
+        finally:
+            storage.close()
+
+    def test_asr_pipeline_on_branched_topology(self):
+        system = branched(9, base_size=5)
+        storage = prepare_storage(system)
+        try:
+            engine = SQLEngine(storage)
+            _, plain_graph = engine.run_target(
+                target_relation(), collect_graph=True
+            )
+            manager = ASRManager(storage)
+            manager.register_all(
+                asr_definitions_for(system, target_relation(), 3, "suffix")
+            )
+            asr_engine = SQLEngine(
+                storage,
+                rewriter=manager.rewrite,
+                schema_lookup=manager.schema_lookup(),
+            )
+            _, asr_graph = asr_engine.run_target(
+                target_relation(), collect_graph=True
+            )
+            assert plain_graph == asr_graph
+        finally:
+            storage.close()
+
+
+class TestAdvisor:
+    def test_chain_decomposition(self):
+        system = chain(6, base_size=2)
+        chains = mapping_chains(system, target_relation())
+        assert chains == [("m5", "m4", "m3", "m2", "m1")]
+
+    def test_branched_decomposition_non_overlapping(self):
+        system = branched(12, base_size=2)
+        chains = mapping_chains(system, target_relation())
+        seen = [m for c in chains for m in c]
+        assert len(seen) == len(set(seen))
+        assert len(seen) == len(system.mappings)
+
+    def test_definitions_cover_all_mappings(self):
+        system = chain(7, base_size=2)
+        definitions = asr_definitions_for(system, target_relation(), 2)
+        check_non_overlapping(definitions)
+        covered = {m for d in definitions for m in d.path}
+        assert covered == set(system.mappings)

@@ -1,0 +1,132 @@
+"""Tests for provenance polynomials ℕ[X] and their universal property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SemiringError
+from repro.semirings import (
+    BooleanSemiring,
+    CountingSemiring,
+    WeightSemiring,
+    get_semiring,
+)
+from repro.semirings.polynomial import Polynomial
+
+X, Y, Z = (Polynomial.variable(name) for name in "xyz")
+
+
+class TestArithmetic:
+    def test_zero_one(self):
+        assert (X + Polynomial.zero()) == X
+        assert (X * Polynomial.one()) == X
+        assert (X * Polynomial.zero()).is_zero()
+
+    def test_like_terms_combine(self):
+        assert str(X + X) == "2·x"
+        assert (X + X) == Polynomial.constant(2) * X
+
+    def test_product_merges_exponents(self):
+        squared = X * X
+        assert squared.degree() == 2
+        assert str(squared) == "x^2"
+
+    def test_distribution(self):
+        left = X * (Y + Z)
+        right = X * Y + X * Z
+        assert left == right
+
+    def test_figure1_style_polynomial(self):
+        # O(sn1,7,true) in the acyclic example: m4 from A(1) plus
+        # m5 from A(1) join C(1,cn1) (itself from A(1), N(1)).
+        a1, n1 = Polynomial.variable("a1"), Polynomial.variable("n1")
+        poly = a1 + a1 * (a1 * n1)
+        assert poly.variables() == {"a1", "n1"}
+        assert poly.degree() == 3
+        assert poly.monomial_count() == 2
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(SemiringError):
+            Polynomial.constant(-1)
+
+    def test_str_of_zero(self):
+        assert str(Polynomial.zero()) == "0"
+
+
+class TestEvaluation:
+    def test_counting_evaluation(self):
+        poly = X * Y + X  # 2 derivations if x=y=1
+        value = poly.evaluate(CountingSemiring(), {"x": 1, "y": 1})
+        assert value == 2
+
+    def test_boolean_evaluation(self):
+        poly = X * Y + Z
+        semiring = BooleanSemiring()
+        assert poly.evaluate(semiring, {"x": True, "y": False, "z": True})
+        assert not poly.evaluate(semiring, {"x": True, "y": False, "z": False})
+
+    def test_tropical_evaluation(self):
+        poly = X * Y + Z  # min(x + y, z)
+        value = poly.evaluate(WeightSemiring(), {"x": 1.0, "y": 2.0, "z": 5.0})
+        assert value == 3.0
+
+    def test_callable_assignment(self):
+        poly = X + Y
+        assert poly.evaluate(CountingSemiring(), lambda var: 2) == 4
+
+
+@st.composite
+def small_polynomials(draw):
+    terms = draw(
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from("xyz"), max_size=3),
+                st.integers(min_value=1, max_value=3),
+            ),
+            max_size=4,
+        )
+    )
+    poly = Polynomial.zero()
+    for variables, coefficient in terms:
+        monomial = Polynomial.constant(coefficient)
+        for variable in variables:
+            monomial = monomial * Polynomial.variable(variable)
+        poly = poly + monomial
+    return poly
+
+
+class TestUniversalProperty:
+    """Evaluation is a semiring homomorphism ℕ[X] → K."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(p=small_polynomials(), q=small_polynomials(), data=st.data())
+    def test_homomorphism_into_counting(self, p, q, data):
+        semiring = CountingSemiring()
+        assignment = {
+            var: data.draw(st.integers(min_value=0, max_value=3))
+            for var in ("x", "y", "z")
+        }
+        ev = lambda poly: poly.evaluate(semiring, assignment)
+        assert ev(p + q) == semiring.plus(ev(p), ev(q))
+        assert ev(p * q) == semiring.times(ev(p), ev(q))
+
+    @settings(max_examples=50, deadline=None)
+    @given(p=small_polynomials(), q=small_polynomials(), data=st.data())
+    def test_homomorphism_into_tropical(self, p, q, data):
+        semiring = WeightSemiring()
+        assignment = {
+            var: data.draw(st.floats(min_value=0, max_value=9)) for var in "xyz"
+        }
+        ev = lambda poly: poly.evaluate(semiring, assignment)
+        assert ev(p + q) == semiring.plus(ev(p), ev(q))
+        assert ev(p * q) == pytest.approx(semiring.times(ev(p), ev(q)))
+
+
+class TestPolynomialSemiring:
+    def test_validate_promotions(self):
+        semiring = get_semiring("POLYNOMIAL")
+        assert semiring.validate(3) == Polynomial.constant(3)
+        assert semiring.validate("x") == X
+        assert semiring.validate(X) is X
+        with pytest.raises(SemiringError):
+            semiring.validate(1.5)

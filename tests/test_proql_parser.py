@@ -1,0 +1,187 @@
+"""Tests for the ProQL lexer and parser (Section 3.2 grammar)."""
+
+import pytest
+
+from repro.errors import ProQLSyntaxError
+from repro.proql.ast import (
+    And,
+    AttrAccess,
+    Compare,
+    Evaluation,
+    Identifier,
+    Literal,
+    Membership,
+    Or,
+    PathCondition,
+    Projection,
+    VarRef,
+)
+from repro.proql.lexer import tokenize
+from repro.proql.parser import parse_query
+
+
+class TestLexer:
+    def test_arrows_and_operators(self):
+        kinds = [t.kind for t in tokenize("<-+ <- <= < >= = !=")]
+        assert kinds == ["<-+", "<-", "OP", "OP", "OP", "OP", "OP"]
+
+    def test_variables_strip_dollar(self):
+        (token,) = tokenize("$abc")
+        assert token.kind == "VAR" and token.value == "abc"
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("for WHERE Include")
+        assert all(t.kind == "KEYWORD" for t in tokens)
+        assert [t.value for t in tokens] == ["FOR", "WHERE", "INCLUDE"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("FOR # comment\n[O $x] -- another\nRETURN $x")
+        assert [t.kind for t in tokens] == [
+            "KEYWORD", "[", "IDENT", "VAR", "]", "KEYWORD", "VAR",
+        ]
+
+    def test_position_reported_on_error(self):
+        with pytest.raises(ProQLSyntaxError) as error:
+            tokenize("FOR\n[O ~]")
+        assert error.value.line == 2
+
+    def test_strings_and_numbers(self):
+        tokens = tokenize("'a b' 3 4.5 -2")
+        assert [t.kind for t in tokens] == ["STRING", "NUMBER", "NUMBER", "NUMBER"]
+
+
+class TestProjectionParsing:
+    def test_q1(self):
+        query = parse_query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+        assert isinstance(query, Projection)
+        assert query.for_paths[0].specs[0].relation == "O"
+        assert query.for_paths[0].specs[0].variable == "x"
+        assert query.include_paths[0].steps[0].kind == "plus"
+        assert query.return_vars == ("x",)
+
+    def test_q2_path_with_endpoint(self):
+        query = parse_query(
+            "FOR [O $x] <-+ [A $y] INCLUDE PATH [$x] <-+ [$y] RETURN $x"
+        )
+        path = query.for_paths[0]
+        assert path.specs[1].relation == "A"
+        assert path.specs[1].variable == "y"
+        assert path.variables() == ["x", "y"]
+
+    def test_q3_mapping_variable_and_where(self):
+        query = parse_query(
+            "FOR [$x] <$p [], [$y] <- [$x] WHERE $p = m1 OR $p = m2 "
+            "INCLUDE PATH [$y] <- [$x] RETURN $y"
+        )
+        assert len(query.for_paths) == 2
+        step = query.for_paths[0].steps[0]
+        assert step.kind == "one" and step.variable == "p"
+        assert isinstance(query.where, Or)
+
+    def test_named_mapping_step(self):
+        query = parse_query("FOR [O $x] <m5 [A $y] RETURN $x")
+        assert query.for_paths[0].steps[0].mapping == "m5"
+
+    def test_multiple_return_vars(self):
+        query = parse_query("FOR [O $x] <-+ [$z], [C $y] <-+ [$z] RETURN $x, $y")
+        assert query.return_vars == ("x", "y")
+
+    def test_where_conditions(self):
+        query = parse_query(
+            "FOR [O $x] WHERE $x.h >= 6 AND NOT $x in C RETURN $x"
+        )
+        assert isinstance(query.where, And)
+        compare = query.where.operands[0]
+        assert isinstance(compare, Compare)
+        assert compare.left == AttrAccess("x", "h")
+        assert compare.op == ">="
+        assert compare.right == Literal(6)
+
+    def test_membership_condition(self):
+        query = parse_query("FOR [$x] WHERE $x in C RETURN $x")
+        assert query.where == Membership("x", "C")
+
+    def test_path_condition_in_where(self):
+        query = parse_query("FOR [O $x] WHERE [$x] <- [A] RETURN $x")
+        assert isinstance(query.where, PathCondition)
+
+    def test_parenthesized_condition(self):
+        query = parse_query(
+            "FOR [O $x] WHERE ($x.h = 5 OR $x.h = 7) AND $x in O RETURN $x"
+        )
+        assert isinstance(query.where, And)
+
+    def test_string_literal_comparison(self):
+        query = parse_query("FOR [O $x] WHERE $x.name = 'cn1' RETURN $x")
+        assert query.where.right == Literal("cn1")
+
+
+class TestEvaluationParsing:
+    def test_q5(self):
+        query = parse_query(
+            "EVALUATE DERIVABILITY OF { FOR [O $x] "
+            "INCLUDE PATH [$x] <-+ [] RETURN $x }"
+        )
+        assert isinstance(query, Evaluation)
+        assert query.semiring == "DERIVABILITY"
+        assert query.leaf_assign is None
+
+    def test_q7_full_clauses(self):
+        query = parse_query(
+            """
+            EVALUATE TRUST OF {
+              FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+            } ASSIGNING EACH leaf_node $y {
+              CASE $y in C : SET true
+              CASE $y in A AND $y.len >= 6 : SET false
+              DEFAULT : SET true
+            } ASSIGNING EACH mapping $p($z) {
+              CASE $p = m4 : SET false
+              DEFAULT : SET $z
+            }
+            """
+        )
+        assert query.leaf_assign.variable == "y"
+        assert len(query.leaf_assign.cases) == 2
+        assert query.leaf_assign.default == Literal(True)
+        assert query.mapping_assign.parameter == "z"
+        case = query.mapping_assign.cases[0]
+        assert case.condition == Compare(VarRef("p"), "=", Identifier("m4"))
+
+    def test_set_expression_arithmetic(self):
+        query = parse_query(
+            "EVALUATE WEIGHT OF { FOR [O $x] RETURN $x } "
+            "ASSIGNING EACH mapping $p($z) { DEFAULT : SET $z + 1 }"
+        )
+        default = query.mapping_assign.default
+        assert default.op == "+"
+
+    def test_semiring_name_upcased(self):
+        query = parse_query("EVALUATE lineage OF { FOR [O $x] RETURN $x }")
+        assert query.semiring == "LINEAGE"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "FOR [O $x]",  # missing RETURN
+            "FOR RETURN $x",  # missing path
+            "EVALUATE OF { FOR [O $x] RETURN $x }",  # missing semiring
+            "EVALUATE T OF FOR [O $x] RETURN $x",  # missing braces
+            "FOR [O $x] RETURN $x extra",  # trailing tokens
+            "FOR [O $x] WHERE RETURN $x",  # empty condition
+            "EVALUATE T OF { FOR [O $x] RETURN $x } ASSIGNING EACH "
+            "leaf_node $y { DEFAULT : SET 1 DEFAULT : SET 2 }",  # dup default
+        ],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(ProQLSyntaxError):
+            parse_query(text)
+
+    def test_duplicate_assigning_clause_rejected(self):
+        text = (
+            "EVALUATE T OF { FOR [O $x] RETURN $x } "
+            "ASSIGNING EACH leaf_node $y { DEFAULT : SET 1 } "
+            "ASSIGNING EACH leaf_node $w { DEFAULT : SET 2 }"
+        )
+        with pytest.raises(ProQLSyntaxError):
+            parse_query(text)

@@ -1,0 +1,131 @@
+"""Tests for the provenance graph model (Figure 1)."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance import DerivationNode, ProvenanceGraph, TupleNode
+
+
+def simple_graph():
+    """leaf -> (L) -> mid -> (m) -> top, plus an alternate (m2) for top."""
+    graph = ProvenanceGraph()
+    leaf = TupleNode("R_l", (1,))
+    mid = TupleNode("R", (1,))
+    other = TupleNode("S_l", (2,))
+    top = TupleNode("T", (1, 2))
+    graph.derive("L_R", [leaf], [mid])
+    graph.derive("m", [mid], [top])
+    graph.derive("m2", [other], [top])
+    return graph, leaf, mid, other, top
+
+
+class TestConstruction:
+    def test_nodes_added_transitively(self):
+        graph, leaf, mid, other, top = simple_graph()
+        assert len(graph.tuples) == 4
+        assert len(graph.derivations) == 3
+
+    def test_duplicate_derivations_deduped(self):
+        graph = ProvenanceGraph()
+        a, b = TupleNode("A", (1,)), TupleNode("B", (1,))
+        graph.derive("m", [a], [b])
+        graph.derive("m", [a], [b])
+        assert len(graph.derivations) == 1
+
+    def test_indexes(self):
+        graph, leaf, mid, other, top = simple_graph()
+        assert {d.mapping for d in graph.derivations_of(top)} == {"m", "m2"}
+        assert {d.mapping for d in graph.derivations_using(mid)} == {"m"}
+        assert graph.derivations_of(leaf) == frozenset()
+
+    def test_membership(self):
+        graph, leaf, *_ = simple_graph()
+        assert leaf in graph
+        assert TupleNode("X", (9,)) not in graph
+
+
+class TestLeavesAndTraversal:
+    def test_leaves(self):
+        graph, leaf, mid, other, top = simple_graph()
+        assert set(graph.leaves()) == {leaf, other}
+        assert graph.is_leaf(leaf)
+        assert not graph.is_leaf(top)
+
+    def test_ancestors(self):
+        graph, leaf, mid, other, top = simple_graph()
+        tuples, derivations = graph.ancestors(top)
+        assert tuples == {top, mid, leaf, other}
+        assert {d.mapping for d in derivations} == {"L_R", "m", "m2"}
+
+    def test_ancestors_with_filter(self):
+        graph, leaf, mid, other, top = simple_graph()
+        tuples, _ = graph.ancestors(top, through=lambda d: d.mapping != "m2")
+        assert other not in tuples
+
+    def test_descendants(self):
+        graph, leaf, mid, other, top = simple_graph()
+        tuples, _ = graph.descendants(leaf)
+        assert tuples == {leaf, mid, top}
+
+    def test_tuples_in(self):
+        graph, leaf, mid, other, top = simple_graph()
+        assert list(graph.tuples_in("T")) == [top]
+
+    def test_mappings_used(self):
+        graph, *_ = simple_graph()
+        assert graph.mappings_used() == {"L_R", "m", "m2"}
+
+
+class TestCycles:
+    def test_acyclic_detection(self):
+        graph, *_ = simple_graph()
+        assert graph.is_acyclic()
+
+    def test_cycle_detection(self):
+        graph = ProvenanceGraph()
+        a, b = TupleNode("A", (1,)), TupleNode("B", (1,))
+        graph.derive("m1", [a], [b])
+        graph.derive("m2", [b], [a])
+        assert not graph.is_acyclic()
+
+    def test_ancestors_terminate_on_cycles(self):
+        graph = ProvenanceGraph()
+        a, b = TupleNode("A", (1,)), TupleNode("B", (1,))
+        graph.derive("m1", [a], [b])
+        graph.derive("m2", [b], [a])
+        tuples, derivations = graph.ancestors(a)
+        assert tuples == {a, b}
+        assert len(derivations) == 2
+
+
+class TestSubgraph:
+    def test_closure_adds_derivation_endpoints(self):
+        graph, leaf, mid, other, top = simple_graph()
+        derivation = next(iter(graph.derivations_of(mid)))
+        sub = graph.subgraph([], [derivation])
+        # Derivation-node closure: sources and targets come along.
+        assert leaf in sub.tuples
+        assert mid in sub.tuples
+
+    def test_subgraph_rejects_foreign_nodes(self):
+        graph, *_ = simple_graph()
+        with pytest.raises(ProvenanceError):
+            graph.subgraph([TupleNode("X", (1,))], [])
+        with pytest.raises(ProvenanceError):
+            graph.subgraph(
+                [], [DerivationNode("zz", (TupleNode("X", (1,)),), ())]
+            )
+
+    def test_merge_and_copy_and_eq(self):
+        graph, *_ = simple_graph()
+        clone = graph.copy()
+        assert clone == graph
+        extra = ProvenanceGraph()
+        extra.derive("mx", [TupleNode("Z", (1,))], [TupleNode("W", (1,))])
+        clone.merge(extra)
+        assert clone != graph
+        assert len(clone.derivations) == 4
+
+    def test_size(self):
+        graph, *_ = simple_graph()
+        assert graph.size() == (4, 3)

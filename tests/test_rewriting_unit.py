@@ -1,0 +1,123 @@
+"""Unit tests for the Figure 4 rewriting algorithm internals."""
+
+import pytest
+
+from repro.indexing import ASRDefinition, ComposedPath, unfold_asrs, unfold_path
+from repro.indexing.asr import KIND_ASR
+from repro.proql import SQLEngine, Unfolder
+from repro.proql.unfolding import KIND_PROV
+from repro.workloads import chain, prepare_storage
+from repro.workloads.topologies import target_relation
+
+
+@pytest.fixture(scope="module")
+def setting():
+    system = chain(6, base_size=3)
+    storage = prepare_storage(system)
+    rules = Unfolder(system).full_ancestry(target_relation())
+    yield system, rules
+    storage.close()
+
+
+class TestUnfoldPath:
+    def test_full_segment_replaces_prov_atoms(self, setting):
+        system, rules = setting
+        composed = ComposedPath(
+            ASRDefinition("asr", ("m3", "m2", "m1"), "complete"), system
+        )
+        rule = max(rules, key=lambda r: len(r.items))
+        before = sum(1 for item in rule.items if item.kind == KIND_PROV)
+        rewritten = unfold_path(rule, composed, 0, 3)
+        assert rewritten is not None
+        after = sum(1 for item in rewritten.items if item.kind == KIND_PROV)
+        assert after == before - 3
+        assert sum(1 for item in rewritten.items if item.kind == KIND_ASR) == 1
+
+    def test_asr_atom_columns_are_not_null(self, setting):
+        system, rules = setting
+        composed = ComposedPath(
+            ASRDefinition("asr", ("m2", "m1"), "suffix"), system
+        )
+        rule = max(rules, key=lambda r: len(r.items))
+        rewritten = unfold_path(rule, composed, 0, 2)
+        assert rewritten is not None
+        assert rewritten.not_null  # segment columns must exclude padding
+
+    def test_no_match_returns_none(self, setting):
+        system, rules = setting
+        composed = ComposedPath(
+            ASRDefinition("asr", ("m5", "m4"), "complete"), system
+        )
+        # The shallowest rule (stop at the nearest data peer) has no
+        # m5/m4 provenance atoms only when data is at peers 4 and 5 —
+        # every rule here uses them; instead check a segment that
+        # demands atoms twice.
+        shallow = min(rules, key=lambda r: len(r.items))
+        first = unfold_path(shallow, composed, 0, 2)
+        if first is not None:
+            # Applying the same disjoint-ASR segment again must fail:
+            # its provenance atoms were consumed.
+            assert unfold_path(first, composed, 0, 2) is None
+
+    def test_specs_and_anchor_unchanged(self, setting):
+        system, rules = setting
+        composed = ComposedPath(
+            ASRDefinition("asr", ("m2", "m1"), "complete"), system
+        )
+        rule = max(rules, key=lambda r: len(r.items))
+        rewritten = unfold_path(rule, composed, 0, 2)
+        assert rewritten.anchor == rule.anchor
+        assert rewritten.specs == rule.specs  # reconstruction unaffected
+
+
+class TestUnfoldASRs:
+    def test_greedy_prefers_longest_segment(self, setting):
+        system, rules = setting
+        composed = ComposedPath(
+            ASRDefinition("asr", ("m3", "m2", "m1"), "subpath"), system
+        )
+        rewritten = unfold_asrs(list(rules), [composed])
+        deep = max(rewritten, key=lambda r: len(r.specs))
+        asr_atoms = [item for item in deep.items if item.kind == KIND_ASR]
+        # The deepest rule contains the full 3-step path: one ASR atom
+        # covers all of it (not three 1-step ones).
+        assert len(asr_atoms) == 1
+
+    def test_multiple_asrs_apply_together(self, setting):
+        system, rules = setting
+        first = ComposedPath(
+            ASRDefinition("a1", ("m2", "m1"), "complete"), system
+        )
+        second = ComposedPath(
+            ASRDefinition("a2", ("m4", "m3"), "complete"), system
+        )
+        rewritten = unfold_asrs(list(rules), [first, second])
+        deep = max(rewritten, key=lambda r: len(r.specs))
+        names = {
+            item.atom.relation
+            for item in deep.items
+            if item.kind == KIND_ASR
+        }
+        assert names == {"a1", "a2"}
+
+    def test_rewriting_preserves_sql_results(self, setting):
+        system, rules = setting
+        storage = prepare_storage(system)
+        try:
+            from repro.indexing import ASRManager
+
+            manager = ASRManager(storage)
+            manager.register(ASRDefinition("a1", ("m2", "m1"), "complete"))
+            plain_engine = SQLEngine(storage)
+            _, plain = plain_engine.run_target(target_relation(), collect_graph=True)
+            asr_engine = SQLEngine(
+                storage,
+                rewriter=manager.rewrite,
+                schema_lookup=manager.schema_lookup(),
+            )
+            _, indexed = asr_engine.run_target(
+                target_relation(), collect_graph=True
+            )
+            assert plain == indexed
+        finally:
+            storage.close()

@@ -1,0 +1,71 @@
+"""Tests for the provenance schema graph (Figure 3)."""
+
+import pytest
+
+from repro.errors import ProQLSemanticError
+from repro.proql import SchemaGraph
+from repro.workloads import chain
+
+
+class TestFigure3:
+    def test_structure(self, example_cdss):
+        graph = SchemaGraph.of(example_cdss)
+        assert sorted(graph.mappings_into("O")) == ["m4", "m5"]
+        assert sorted(graph.mappings_into("C")) == ["m1"]
+        assert sorted(graph.mappings_into("N")) == ["m2", "m3"]
+        assert graph.mappings_into("A") == []
+        assert sorted(graph.mappings_from("A")) == ["m1", "m2", "m4", "m5"]
+        assert sorted(graph.mappings_from("C")) == ["m3", "m5"]
+
+    def test_sources_targets(self, example_cdss):
+        graph = SchemaGraph.of(example_cdss)
+        assert graph.sources_of("m5") == ("A", "C")
+        assert graph.targets_of("m5") == ("O",)
+
+    def test_unknown_relation(self, example_cdss):
+        graph = SchemaGraph.of(example_cdss)
+        with pytest.raises(ProQLSemanticError):
+            graph.check_relation("Zed")
+        assert graph.check_relation("O") == "O"
+
+
+class TestReachability:
+    def test_upstream_mappings(self, example_cdss):
+        graph = SchemaGraph.of(example_cdss)
+        assert graph.upstream_mappings(["O"]) == {"m1", "m2", "m3", "m4", "m5"}
+        assert graph.upstream_mappings(["N"]) == {"m1", "m2", "m3"}
+        assert graph.upstream_mappings(["A"]) == set()
+
+    def test_upstream_restricted(self, example_cdss):
+        graph = SchemaGraph.of(example_cdss)
+        allowed = graph.upstream_mappings(["O"], allowed={"m4", "m5"})
+        assert allowed == {"m4", "m5"}
+
+    def test_chain_topology_upstream(self):
+        system = chain(5, base_size=1)
+        graph = SchemaGraph.of(system)
+        assert graph.upstream_mappings(["P0_R1"]) == {"m1", "m2", "m3", "m4"}
+        assert graph.upstream_mappings(["P2_R1"]) == {"m3", "m4"}
+
+
+class TestSimplePaths:
+    def test_paths_do_not_repeat_mappings(self, example_cdss):
+        graph = SchemaGraph.of(example_cdss)
+        paths = list(graph.simple_paths_into("O"))
+        assert all(len(set(path)) == len(path) for path in paths)
+        # The one-step paths exist.
+        assert ("m4",) in paths
+        assert ("m5",) in paths
+        # m5 extends through m1 (C's derivation).
+        assert ("m5", "m1") in paths
+
+    def test_max_length(self, example_cdss):
+        graph = SchemaGraph.of(example_cdss)
+        paths = list(graph.simple_paths_into("O", max_length=1))
+        assert paths == [("m4",), ("m5",)]
+
+    def test_chain_paths(self):
+        system = chain(4, base_size=1)
+        graph = SchemaGraph.of(system)
+        paths = set(graph.simple_paths_into("P0_R1"))
+        assert paths == {("m1",), ("m1", "m2"), ("m1", "m2", "m3")}

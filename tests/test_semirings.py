@@ -1,0 +1,205 @@
+"""Property-based tests of the semiring laws (Table 1).
+
+Every registered semiring must satisfy the commutative-semiring
+axioms; the idempotence/absorption flags used for cycle-safety must
+match the algebra's actual behaviour.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SemiringError
+from repro.semirings import (
+    BOTTOM,
+    BooleanSemiring,
+    ConfidentialitySemiring,
+    CountingSemiring,
+    LineageSemiring,
+    PolynomialSemiring,
+    ProbabilitySemiring,
+    TrustSemiring,
+    WeightSemiring,
+    event,
+    get_semiring,
+    known_semirings,
+)
+from repro.semirings.polynomial import Polynomial
+
+# -- value strategies per semiring ------------------------------------------------
+
+booleans = st.booleans()
+weights = st.one_of(
+    st.just(math.inf),
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+counts = st.integers(min_value=0, max_value=20)
+levels = st.sampled_from(ConfidentialitySemiring.DEFAULT_LEVELS + ("__NOACCESS__",))
+lineages = st.one_of(
+    st.just(BOTTOM),
+    st.frozensets(st.integers(min_value=0, max_value=5), max_size=4),
+)
+event_dnfs = st.frozensets(
+    st.frozensets(st.integers(min_value=0, max_value=4), max_size=3), max_size=3
+).map(lambda dnf: ProbabilitySemiring().validate(dnf))
+polynomials = st.lists(
+    st.tuples(st.sampled_from(["x", "y", "z"]), st.integers(1, 3)), max_size=3
+).map(
+    lambda parts: math.prod(
+        [Polynomial.variable(v) for v, _ in parts], start=Polynomial.one()
+    )
+    + Polynomial.constant(len(parts))
+)
+
+CASES = [
+    (BooleanSemiring(), booleans),
+    (TrustSemiring(), booleans),
+    (WeightSemiring(), weights),
+    (CountingSemiring(), counts),
+    (ConfidentialitySemiring(), levels),
+    (LineageSemiring(), lineages),
+    (ProbabilitySemiring(), event_dnfs),
+    (PolynomialSemiring(), polynomials),
+]
+
+
+def _law_eq(left, right):
+    """Equality up to float rounding (tropical + is float addition)."""
+    if isinstance(left, float) and isinstance(right, float):
+        return left == pytest.approx(right)
+    return left == right
+
+
+@pytest.mark.parametrize("semiring,strategy", CASES, ids=lambda c: getattr(c, "name", ""))
+def test_semiring_laws(semiring, strategy):
+    @settings(max_examples=60, deadline=None)
+    @given(a=strategy, b=strategy, c=strategy)
+    def laws(a, b, c):
+        plus, times = semiring.plus, semiring.times
+        zero, one = semiring.zero, semiring.one
+        # commutative monoid under +
+        assert _law_eq(plus(a, b), plus(b, a))
+        assert _law_eq(plus(plus(a, b), c), plus(a, plus(b, c)))
+        assert _law_eq(plus(a, zero), a)
+        # commutative monoid under *
+        assert _law_eq(times(a, b), times(b, a))
+        assert _law_eq(times(times(a, b), c), times(a, times(b, c)))
+        assert _law_eq(times(a, one), a)
+        # annihilation and distributivity
+        assert _law_eq(times(a, zero), zero)
+        assert _law_eq(times(a, plus(b, c)), plus(times(a, b), times(a, c)))
+        # declared structural properties
+        if semiring.idempotent_plus:
+            assert _law_eq(plus(a, a), a)
+        if semiring.absorptive:
+            assert _law_eq(plus(a, times(a, b)), a)
+
+    laws()
+
+
+def test_registry_knows_all_names():
+    names = known_semirings()
+    for expected in (
+        "DERIVABILITY",
+        "TRUST",
+        "CONFIDENTIALITY",
+        "WEIGHT",
+        "LINEAGE",
+        "PROBABILITY",
+        "COUNT",
+        "POLYNOMIAL",
+    ):
+        assert expected in names
+        assert get_semiring(expected) is not None
+
+
+def test_registry_is_case_insensitive():
+    assert get_semiring("derivability").name == "DERIVABILITY"
+
+
+def test_registry_unknown_name():
+    with pytest.raises(SemiringError):
+        get_semiring("NOPE")
+
+
+def test_cycle_safety_flags():
+    assert get_semiring("DERIVABILITY").cycle_safe
+    assert get_semiring("TRUST").cycle_safe
+    assert get_semiring("CONFIDENTIALITY").cycle_safe
+    assert get_semiring("WEIGHT").cycle_safe
+    assert get_semiring("LINEAGE").cycle_safe
+    assert get_semiring("PROBABILITY").cycle_safe
+    assert not get_semiring("COUNT").cycle_safe
+    assert not get_semiring("POLYNOMIAL").cycle_safe
+
+
+class TestValidation:
+    def test_boolean_accepts_01(self):
+        semiring = BooleanSemiring()
+        assert semiring.validate(1) is True
+        assert semiring.validate(0) is False
+        with pytest.raises(SemiringError):
+            semiring.validate("yes")
+
+    def test_weight_rejects_negative(self):
+        with pytest.raises(SemiringError):
+            WeightSemiring().validate(-1)
+
+    def test_weight_rejects_bool(self):
+        with pytest.raises(SemiringError):
+            WeightSemiring().validate(True)
+
+    def test_count_rejects_float(self):
+        with pytest.raises(SemiringError):
+            CountingSemiring().validate(1.5)
+
+    def test_confidentiality_rejects_unknown_level(self):
+        with pytest.raises(SemiringError):
+            ConfidentialitySemiring().validate("Q")
+
+    def test_confidentiality_custom_levels(self):
+        semiring = ConfidentialitySemiring(["low", "high"])
+        assert semiring.one == "low"
+        assert semiring.times("low", "high") == "high"
+        assert semiring.plus("low", "high") == "low"
+
+    def test_confidentiality_duplicate_levels_rejected(self):
+        with pytest.raises(SemiringError):
+            ConfidentialitySemiring(["a", "a"])
+
+    def test_lineage_promotes_identifier(self):
+        assert LineageSemiring().validate("t1") == frozenset(["t1"])
+
+    def test_probability_promotes_event_id(self):
+        assert ProbabilitySemiring().validate("e") == event("e")
+
+
+class TestMappingFunctions:
+    def test_distrust_function(self):
+        semiring = TrustSemiring()
+        distrust = semiring.distrust_function()
+        assert distrust(True) is False
+        assert distrust(False) is False  # f(0) = 0 preserved
+
+    def test_constant_function_preserves_zero(self):
+        semiring = WeightSemiring()
+        function = semiring.constant_function(3.0)
+        assert function(semiring.zero) == semiring.zero
+        assert function(1.0) == 3.0
+
+    def test_check_mapping_function(self):
+        semiring = BooleanSemiring()
+        semiring.check_mapping_function(semiring.identity_function())
+        with pytest.raises(SemiringError):
+            semiring.check_mapping_function(lambda value: True)
+
+
+class TestNaryHelpers:
+    def test_sum_product(self):
+        semiring = CountingSemiring()
+        assert semiring.sum([1, 2, 3]) == 6
+        assert semiring.product([2, 3]) == 6
+        assert semiring.sum([]) == 0
+        assert semiring.product([]) == 1

@@ -1,0 +1,134 @@
+"""Tests for SQL-side annotation aggregation (Section 4.2.4's
+UNION ALL + GROUP BY + SUM/MIN + HAVING push-down)."""
+
+import math
+
+import pytest
+
+from repro.errors import ProQLSemanticError
+from repro.proql import GraphEngine, SQLEngine, parse_query
+from repro.proql.sql_annotation import is_sql_aggregatable
+from repro.workloads import chain, prepare_storage
+from repro.workloads.topologies import target_relation
+
+
+@pytest.fixture(scope="module")
+def setting():
+    system = chain(4, data_peers=[1, 2, 3], base_size=6)
+    storage = prepare_storage(system)
+    yield system, SQLEngine(storage), GraphEngine(system.graph, system.catalog)
+    storage.close()
+
+
+def ancestry_query(semiring: str, rel: str, suffix: str = "") -> str:
+    return (
+        f"EVALUATE {semiring} OF {{ FOR [{rel} $x] "
+        f"INCLUDE PATH [$x] <-+ [] RETURN $x }}{suffix}"
+    )
+
+
+class TestAgreementWithGraphEngine:
+    def check(self, setting, query, zero):
+        system, sql_engine, graph_engine = setting
+        sql_annotations, stats = sql_engine.run_annotation_sql(query)
+        expected = graph_engine.run(query).annotations
+        for node in system.graph.tuples_in(target_relation()):
+            got = sql_annotations.get(node, zero)
+            assert got == expected[node], str(node)
+        assert stats.rows > 0
+        return stats
+
+    def test_count(self, setting):
+        self.check(setting, ancestry_query("COUNT", target_relation()), 0)
+
+    def test_derivability(self, setting):
+        self.check(
+            setting, ancestry_query("DERIVABILITY", target_relation()), False
+        )
+
+    def test_weight_with_leaf_assignment(self, setting):
+        query = ancestry_query(
+            "WEIGHT",
+            target_relation(),
+            " ASSIGNING EACH leaf_node $y { DEFAULT : SET 1 }",
+        )
+        self.check(setting, query, math.inf)
+
+    def test_trust_with_distrusted_mapping(self, setting):
+        query = ancestry_query(
+            "TRUST",
+            target_relation(),
+            " ASSIGNING EACH mapping $p($z) "
+            "{ CASE $p = m3 : SET false DEFAULT : SET $z }",
+        )
+        stats = self.check(setting, query, False)
+        # HAVING filters untrusted tuples out of the SQL result.
+        system, sql_engine, graph_engine = setting
+        trusted = graph_engine.run(query).annotations
+        expected_rows = sum(
+            1
+            for node in system.graph.tuples_in(target_relation())
+            if trusted[node]
+        )
+        assert stats.rows == expected_rows
+
+    def test_leaf_case_conditions_compile_to_sql(self, setting):
+        # Trust leaves of peer 3's first relation only if attribute a1
+        # is even; everything else is trusted.
+        query = ancestry_query(
+            "TRUST",
+            target_relation(),
+            """ ASSIGNING EACH leaf_node $y {
+                  CASE $y in P3_R1 AND $y.a1 >= 1073741824 : SET false
+                  DEFAULT : SET true
+                }""",
+        )
+        self.check(setting, query, False)
+
+
+class TestShapeDetection:
+    def test_standard_shape_accepted(self):
+        query = parse_query(ancestry_query("COUNT", "R"))
+        assert is_sql_aggregatable(query)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            # unsupported semiring
+            "EVALUATE LINEAGE OF { FOR [R $x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
+            # bounded pattern
+            "EVALUATE COUNT OF { FOR [R $x] <- [S $y] INCLUDE PATH [$x] <- [$y] RETURN $x }",
+            # no include
+            "EVALUATE COUNT OF { FOR [R $x] RETURN $x }",
+            # unanchored
+            "EVALUATE COUNT OF { FOR [$x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
+            # WHERE present
+            "EVALUATE COUNT OF { FOR [R $x] WHERE $x.a = 1 INCLUDE PATH [$x] <-+ [] RETURN $x }",
+        ],
+    )
+    def test_non_aggregatable_shapes(self, text):
+        assert not is_sql_aggregatable(parse_query(text))
+
+    def test_engine_rejects_unsupported(self, setting):
+        _, sql_engine, _ = setting
+        with pytest.raises(ProQLSemanticError):
+            sql_engine.run_annotation_sql(
+                ancestry_query("LINEAGE", target_relation())
+            )
+
+    def test_engine_rejects_value_dependent_set(self, setting):
+        _, sql_engine, _ = setting
+        query = ancestry_query(
+            "WEIGHT",
+            target_relation(),
+            " ASSIGNING EACH mapping $p($z) { DEFAULT : SET $z + 1 }",
+        )
+        with pytest.raises(ProQLSemanticError):
+            sql_engine.run_annotation_sql(query)
+
+    def test_projection_query_rejected(self, setting):
+        _, sql_engine, _ = setting
+        with pytest.raises(ProQLSemanticError):
+            sql_engine.run_annotation_sql(
+                f"FOR [{target_relation()} $x] INCLUDE PATH [$x] <-+ [] RETURN $x"
+            )

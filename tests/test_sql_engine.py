@@ -1,0 +1,135 @@
+"""Integration tests: the SQL engine must agree with the reference
+graph engine on acyclic settings (the paper's implementation scope)."""
+
+import pytest
+
+from repro.proql import GraphEngine, SQLEngine
+from repro.provenance import TupleNode
+from repro.storage import SQLiteStorage
+from repro.workloads import chain, prepare_storage
+from repro.workloads.topologies import target_relation
+
+QUERIES = [
+    "FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x",
+    "FOR [O $x] <-+ [A $y] INCLUDE PATH [$x] <-+ [$y] RETURN $x",
+    "FOR [O $x] <-+ [N $y] INCLUDE PATH [$x] <-+ [$y] RETURN $x, $y",
+    "FOR [$x] <$p [], [$y] <- [$x] WHERE $p = m1 OR $p = m2 "
+    "INCLUDE PATH [$y] <- [$x] RETURN $y",
+    "FOR [O $x] <-+ [$z], [C $y] <-+ [$z] "
+    "INCLUDE PATH [$x] <-+ [], [$y] <-+ [] RETURN $x, $y",
+    "FOR [O $x] <m5 [C $y] INCLUDE PATH [$x] <m5 [$y] RETURN $x, $y",
+    # two explicit steps: O <- C <- N
+    "FOR [O $x] <- [C $y] <- [N $z] "
+    "INCLUDE PATH [$x] <- [$y] <- [$z] RETURN $x, $z",
+    # plus step followed by a named one-step
+    "FOR [O $x] <-+ [C $y] <m1 [N $z] "
+    "INCLUDE PATH [$x] <-+ [$y] <m1 [$z] RETURN $x, $z",
+    "FOR [O $x] WHERE $x.h >= 6 INCLUDE PATH [$x] <-+ [] RETURN $x",
+    "EVALUATE DERIVABILITY OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
+    "EVALUATE COUNT OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
+    "EVALUATE LINEAGE OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
+    """EVALUATE TRUST OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }
+       ASSIGNING EACH leaf_node $y {
+         CASE $y in C : SET true
+         CASE $y in A AND $y.len >= 6 : SET false
+         DEFAULT : SET true }
+       ASSIGNING EACH mapping $p($z) { CASE $p = m4 : SET false DEFAULT : SET $z }""",
+    """EVALUATE WEIGHT OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }
+       ASSIGNING EACH leaf_node $y { DEFAULT : SET 1 }""",
+]
+
+
+@pytest.fixture
+def engines(acyclic_cdss, acyclic_storage):
+    return (
+        GraphEngine(acyclic_cdss.graph, acyclic_cdss.catalog),
+        SQLEngine(acyclic_storage),
+    )
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=range(len(QUERIES)))
+def test_engines_agree(engines, query):
+    graph_engine, sql_engine = engines
+    expected = graph_engine.run(query)
+    actual = sql_engine.run(query)
+    assert [tuple(map(str, r)) for r in expected.rows] == [
+        tuple(map(str, r)) for r in actual.rows
+    ]
+    assert expected.graph == actual.graph
+    assert expected.annotations == actual.annotations
+    assert expected.annotated_rows == actual.annotated_rows
+
+
+class TestStats:
+    def test_stats_populated(self, engines):
+        _, sql_engine = engines
+        result = sql_engine.run(QUERIES[0])
+        # One zero-step rule for the FOR path + three ancestry shapes
+        # for the INCLUDE path.
+        assert result.stats.unfolded_rules == 4
+        assert result.stats.rows > 0
+        assert result.stats.query_processing_seconds > 0
+        assert result.stats.max_join_width >= 2
+
+    def test_run_target_counts(self, engines):
+        _, sql_engine = engines
+        stats, graph = sql_engine.run_target("O", collect_graph=True)
+        assert stats.unfolded_rules == 3
+        assert graph is not None
+        # Full ancestry of all O tuples.
+        assert any(t.relation == "A_l" for t in graph.tuples)
+
+    def test_run_target_without_graph(self, engines):
+        _, sql_engine = engines
+        stats, graph = sql_engine.run_target("O")
+        assert graph is None
+        assert stats.rows > 0
+
+    def test_stats_merge(self):
+        from repro.proql.sql_engine import SQLStats
+
+        first = SQLStats(unfolded_rules=2, sql_seconds=0.5, max_join_width=3)
+        second = SQLStats(unfolded_rules=3, sql_seconds=0.2, max_join_width=7)
+        first.merge(second)
+        assert first.unfolded_rules == 5
+        assert first.sql_seconds == pytest.approx(0.7)
+        assert first.max_join_width == 7
+
+
+class TestWorkloadEquivalence:
+    """Cross-check on the synthetic chain workload."""
+
+    def test_target_query_graph_matches(self):
+        system = chain(4, base_size=8)
+        storage = prepare_storage(system)
+        try:
+            sql_engine = SQLEngine(storage)
+            _, sql_graph = sql_engine.run_target(
+                target_relation(), collect_graph=True
+            )
+            graph_engine = GraphEngine(system.graph, system.catalog)
+            expected = graph_engine.run(
+                f"FOR [{target_relation()} $x] "
+                f"INCLUDE PATH [$x] <-+ [] RETURN $x"
+            )
+            assert expected.graph == sql_graph
+        finally:
+            storage.close()
+
+    def test_annotation_counts_match_derivation_trees(self):
+        system = chain(3, data_peers=[0, 1, 2], base_size=5)
+        storage = prepare_storage(system)
+        try:
+            sql_engine = SQLEngine(storage)
+            result = sql_engine.run(
+                f"EVALUATE COUNT OF {{ FOR [{target_relation()} $x] "
+                f"INCLUDE PATH [$x] <-+ [] RETURN $x }}"
+            )
+            graph_engine = GraphEngine(system.graph, system.catalog)
+            expected = graph_engine.run(
+                f"EVALUATE COUNT OF {{ FOR [{target_relation()} $x] "
+                f"INCLUDE PATH [$x] <-+ [] RETURN $x }}"
+            )
+            assert result.annotations == expected.annotations
+        finally:
+            storage.close()

@@ -1,0 +1,138 @@
+"""Tests for the SQLite storage layer and the Figure 2 encoding."""
+
+import pytest
+
+from repro.datalog.terms import SkolemValue
+from repro.errors import StorageError
+from repro.provenance import TupleNode
+from repro.relational import RelationSchema
+from repro.storage import SQLiteStorage, ValueCodec, provenance_rows
+from repro.storage.encoding import quote_identifier, sql_type
+from repro.storage.provrel import binding_of, derivation_from_row
+
+
+class TestValueCodec:
+    def test_scalar_roundtrip(self):
+        codec = ValueCodec()
+        schema = RelationSchema.of(
+            "R", ["i", ("s", "str"), ("f", "float"), ("b", "bool")]
+        )
+        row = (1, "x", 2.5, True)
+        encoded = codec.encode_row(row)
+        assert encoded == (1, "x", 2.5, 1)
+        assert codec.decode_row(encoded, schema) == row
+
+    def test_skolem_interning(self):
+        codec = ValueCodec()
+        value = SkolemValue("f", (1, "a"))
+        encoded = codec.encode(value)
+        assert isinstance(encoded, str) and encoded.startswith("@sk:")
+        assert codec.decode(encoded, "int") is value
+
+    def test_unknown_skolem_rejected(self):
+        codec = ValueCodec()
+        with pytest.raises(StorageError):
+            codec.decode("@sk:f(9)", "int")
+
+    def test_unstorable_type_rejected(self):
+        with pytest.raises(StorageError):
+            ValueCodec().encode(object())
+
+    def test_decode_arity_check(self):
+        codec = ValueCodec()
+        schema = RelationSchema.of("R", ["a", "b"])
+        with pytest.raises(StorageError):
+            codec.decode_row((1,), schema)
+
+    def test_sql_types(self):
+        assert sql_type("int") == "INTEGER"
+        assert sql_type("str") == "TEXT"
+        assert sql_type("float") == "REAL"
+        assert sql_type("bool") == "INTEGER"
+
+    def test_quote_identifier_rejects_quotes(self):
+        with pytest.raises(StorageError):
+            quote_identifier('a"b')
+
+
+class TestProvenanceRelations:
+    def test_figure2_contents(self, example_storage):
+        assert example_storage.query(
+            'SELECT * FROM "P_m1" ORDER BY 1, 2'
+        ) == [(1, "cn1"), (2, "cn2")]
+        assert example_storage.query(
+            'SELECT * FROM "P_m5" ORDER BY 1, 2'
+        ) == [(1, "cn1"), (2, "cn2")]
+
+    def test_superfluous_views(self, example_storage):
+        # P2, P3, P4 are views over their single source relations.
+        assert example_storage.query(
+            'SELECT * FROM "P_m2" ORDER BY 1, 2'
+        ) == [(1, "sn1"), (2, "sn1")]
+        assert example_storage.query(
+            'SELECT * FROM "P_m4" ORDER BY 1, 2'
+        ) == [(1, "sn1"), (2, "sn1")]
+        names = {
+            row[0]
+            for row in example_storage.query(
+                "SELECT name FROM sqlite_master WHERE type = 'view'"
+            )
+        }
+        assert names == {"P_m2", "P_m3", "P_m4"}
+
+    def test_base_tables_loaded(self, example_storage):
+        assert example_storage.table_size("O") == 4
+        assert example_storage.table_size("A_l") == 2
+
+    def test_double_initialize_rejected(self, example_storage):
+        with pytest.raises(StorageError):
+            example_storage.initialize()
+
+    def test_reload_is_idempotent(self, example_storage):
+        first = example_storage.table_size("P_m1")
+        example_storage.load()
+        assert example_storage.table_size("P_m1") == first
+
+    def test_bad_sql_raises_storage_error(self, example_storage):
+        with pytest.raises(StorageError):
+            example_storage.query("SELECT * FROM nope")
+
+
+class TestBindingRecovery:
+    def test_binding_of_derivation(self, example_cdss):
+        mapping = example_cdss.mappings["m5"]
+        derivation = next(
+            d
+            for d in example_cdss.graph.derivations
+            if d.mapping == "m5" and d.targets[0].values[0] == "cn2"
+        )
+        binding = binding_of(mapping, derivation)
+        named = {var.name: value for var, value in binding.items()}
+        assert named["i"] == 2
+        assert named["n"] == "cn2"
+        assert named["h"] == 5
+
+    def test_provenance_rows_roundtrip(self, example_cdss):
+        mapping = example_cdss.mappings["m1"]
+        rows = sorted(provenance_rows(mapping, example_cdss.graph))
+        assert rows == [(1, "cn1"), (2, "cn2")]
+
+    def test_derivation_from_row(self, example_cdss):
+        from repro.datalog.terms import Variable
+
+        mapping = example_cdss.mappings["m5"]
+        rebuilt = derivation_from_row(
+            mapping,
+            (2, "cn2"),
+            {Variable("h"): 5, Variable("s"): "sn1"},
+        )
+        assert rebuilt.mapping == "m5"
+        assert TupleNode("O", ("cn2", 5, True)) in rebuilt.targets
+
+    def test_binding_of_wrong_mapping_rejected(self, example_cdss):
+        mapping = example_cdss.mappings["m1"]
+        derivation = next(
+            d for d in example_cdss.graph.derivations if d.mapping == "m5"
+        )
+        with pytest.raises(StorageError):
+            binding_of(mapping, derivation)

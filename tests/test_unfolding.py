@@ -1,0 +1,167 @@
+"""Tests for rule unfolding (Section 4.2.3-4.2.4): rule counts,
+derivation-spec merging, pattern mode, and guards."""
+
+import pytest
+
+from repro.errors import ProQLSemanticError
+from repro.proql import Unfolder, parse_query
+from repro.proql.unfolding import KIND_BASE, KIND_LOCAL, KIND_PROV
+from repro.workloads import chain
+from repro.workloads.topologies import target_relation
+
+
+def unfolder_for(cdss, **kwargs):
+    return Unfolder(cdss, **kwargs)
+
+
+class TestFullAncestry:
+    def test_example_42_43_shapes(self, acyclic_cdss):
+        """All derivations of O tuples (without m3 the graph is acyclic)."""
+        rules = unfolder_for(acyclic_cdss).full_ancestry("O")
+        # Shapes: local O (none: no O_l data -> pruned), m4 from A_l,
+        # m5 with C local, m5 with C via m1 (A_l, N_l).
+        anchors = {r.anchor.relation for r in rules}
+        assert anchors == {"O"}
+        mapping_sets = sorted(
+            tuple(sorted({s.mapping for s in r.specs})) for r in rules
+        )
+        assert mapping_sets == [
+            ("L_A_l", "m4"),
+            ("L_A_l", "L_C_l", "m5"),
+            ("L_A_l", "L_N_l", "m1", "m5"),
+        ] or mapping_sets  # order-insensitive check below
+        flat = {frozenset(s.mapping for s in r.specs) for r in rules}
+        assert flat == {
+            frozenset({"m4", "L_A"}),
+            frozenset({"m5", "L_A", "L_C"}),
+            frozenset({"m5", "m1", "L_A", "L_N"}),
+        }
+
+    def test_local_stop_pruned_without_data(self, acyclic_cdss):
+        # O has no local contributions, so no rule is a bare O_l scan.
+        rules = unfolder_for(acyclic_cdss).full_ancestry("O")
+        assert not any(
+            item.atom.relation == "O_l" for r in rules for item in r.items
+        )
+
+    def test_terminal_atoms_are_prov_or_local(self, acyclic_cdss):
+        rules = unfolder_for(acyclic_cdss).full_ancestry("O")
+        for rule in rules:
+            for item in rule.items:
+                assert item.kind in (KIND_PROV, KIND_LOCAL)
+
+    def test_chain_rule_counts_data_everywhere(self):
+        """The Figure 7 exponential: pc(i) = 1 + 3 pc(i-1)."""
+        expected = {2: 2, 3: 5, 4: 14, 5: 41}
+        for peers, count in expected.items():
+            system = chain(peers, data_peers=range(peers), base_size=1)
+            rules = unfolder_for(system).full_ancestry(target_relation())
+            assert len(rules) == count, f"{peers} peers"
+
+    def test_chain_rule_count_constant_with_sparse_data(self):
+        """The Figures 9-10 regime: few data peers => constant rules."""
+        for peers in (4, 8, 12):
+            system = chain(peers, base_size=1)
+            rules = unfolder_for(system).full_ancestry(target_relation())
+            assert len(rules) == 4, f"{peers} peers"
+
+    def test_sibling_specs_merge(self):
+        """Both partition relations derived by one upstream firing must
+        share a single derivation spec per mapping step."""
+        system = chain(3, data_peers=[2], base_size=1)
+        rules = unfolder_for(system).full_ancestry(target_relation())
+        (rule,) = rules
+        by_mapping = {}
+        for spec in rule.specs:
+            by_mapping.setdefault(spec.mapping, []).append(spec)
+        assert all(len(specs) == 1 for specs in by_mapping.values())
+
+    def test_rule_guard(self, acyclic_cdss):
+        unfolder = unfolder_for(acyclic_cdss, max_rules=1)
+        with pytest.raises(ProQLSemanticError):
+            unfolder.full_ancestry("O")
+
+    def test_cyclic_mappings_terminate(self, example_cdss):
+        # m1/m3 form a schema cycle; per-branch visited sets bound it.
+        rules = unfolder_for(example_cdss).full_ancestry("O")
+        assert rules  # terminates and yields the acyclic shapes
+        for rule in rules:
+            # Distinct derivation identities per rule (mapping names may
+            # repeat across branches, e.g. two different A leaves).
+            identities = [(s.mapping, s.key) for s in rule.specs]
+            assert len(identities) == len(set(identities))
+
+
+class TestPatternMode:
+    def pattern_rules(self, cdss, text, anchors):
+        query = parse_query(text)
+        return unfolder_for(cdss).pattern(query.for_paths[0], anchors)
+
+    def test_zero_step_pattern(self, acyclic_cdss):
+        rules = self.pattern_rules(acyclic_cdss, "FOR [O $x] RETURN $x", ["O"])
+        (rule,) = rules
+        assert [item.kind for item in rule.items] == [KIND_BASE]
+        assert rule.items[0].atom.relation == "O"
+
+    def test_single_step_pattern(self, acyclic_cdss):
+        rules = self.pattern_rules(
+            acyclic_cdss, "FOR [O $x] <- [A $y] RETURN $x", ["O"]
+        )
+        # One step into A: via m4 (A is its source) and via m5
+        # (continuing through the A source atom).
+        prov = {
+            item.atom.relation
+            for rule in rules
+            for item in rule.items
+            if item.kind == KIND_PROV
+        }
+        assert prov == {"P_m5"}  # m4 is superfluous: no P table
+        for rule in rules:
+            assert any(item.kind == KIND_BASE for item in rule.items)
+            assert rule.completed
+
+    def test_named_mapping_restricts(self, acyclic_cdss):
+        rules = self.pattern_rules(
+            acyclic_cdss, "FOR [O $x] <m4 [A $y] RETURN $x", ["O"]
+        )
+        mappings = {s.mapping for rule in rules for s in rule.specs}
+        assert mappings == {"m4"}
+
+    def test_plus_unrestricted_delegates_to_full_ancestry(self, acyclic_cdss):
+        unfolder = unfolder_for(acyclic_cdss)
+        query = parse_query("FOR [O $x] <-+ [] RETURN $x")
+        pattern_rules = unfolder.pattern(query.for_paths[0], ["O"])
+        full_rules = unfolder.full_ancestry("O")
+        assert {r.canonical_key() for r in pattern_rules} == {
+            r.canonical_key() for r in full_rules
+        }
+
+    def test_plus_with_endpoint_relation(self, acyclic_cdss):
+        rules = self.pattern_rules(
+            acyclic_cdss, "FOR [O $x] <-+ [N $y] RETURN $x", ["O"]
+        )
+        # Paths from O back to N must pass m5 then m1.
+        for rule in rules:
+            mappings = {s.mapping for s in rule.specs}
+            assert "m5" in mappings and "m1" in mappings
+        # The endpoint N atom stays a base atom.
+        assert all(
+            any(
+                item.kind == KIND_BASE and item.atom.relation == "N"
+                for item in rule.items
+            )
+            for rule in rules
+        )
+
+    def test_dead_pattern_yields_nothing(self, acyclic_cdss):
+        rules = self.pattern_rules(
+            acyclic_cdss, "FOR [A $x] <- [O $y] RETURN $x", ["A"]
+        )
+        assert rules == []
+
+
+class TestCanonicalDedup:
+    def test_alpha_equivalent_rules_collapse(self, acyclic_cdss):
+        rules = unfolder_for(acyclic_cdss).full_ancestry("O")
+        keys = [r.canonical_key() for r in rules]
+        assert len(keys) == len(set(keys))

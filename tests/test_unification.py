@@ -1,0 +1,123 @@
+"""Tests for homomorphisms and two-way unification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import Atom, Constant, SkolemTerm, Variable
+from repro.datalog.parser import parse_rule
+from repro.datalog.unification import (
+    find_homomorphism,
+    find_homomorphisms,
+    unify_atoms,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def atom(text: str) -> Atom:
+    return parse_rule(f"H() :- {text}").body[0]
+
+
+class TestFindHomomorphism:
+    def test_identity(self):
+        source = [atom("R(x, y)")]
+        target = [atom("R(a, b)")]
+        hom = find_homomorphism(source, target)
+        assert hom is not None
+        assert hom.apply_atom(source[0]) == target[0]
+
+    def test_relation_mismatch(self):
+        assert find_homomorphism([atom("R(x)")], [atom("S(x)")]) is None
+
+    def test_constant_must_match(self):
+        assert find_homomorphism([atom("R(3)")], [atom("R(3)")]) is not None
+        assert find_homomorphism([atom("R(3)")], [atom("R(4)")]) is None
+
+    def test_variable_maps_to_constant(self):
+        hom = find_homomorphism([atom("R(x)")], [atom("R(5)")])
+        assert hom is not None
+        assert hom.mapping[x] == Constant(5)
+
+    def test_consistency_across_atoms(self):
+        source = [atom("R(x, y)"), atom("S(y, z)")]
+        target = [atom("R(a, b)"), atom("S(b, c)")]
+        assert find_homomorphism(source, target) is not None
+        bad_target = [atom("R(a, b)"), atom("S(q, c)")]
+        assert find_homomorphism(source, bad_target) is None
+
+    def test_distinct_targets_constraint(self):
+        source = [atom("R(x)"), atom("R(y)")]
+        target = [atom("R(a)")]
+        assert find_homomorphism(source, target, distinct_targets=True) is None
+        assert (
+            find_homomorphism(source, target, distinct_targets=False) is not None
+        )
+
+    def test_enumerates_all(self):
+        source = [atom("R(x)")]
+        target = [atom("R(a)"), atom("R(b)")]
+        assert len(list(find_homomorphisms(source, target))) == 2
+
+    def test_covered_indices(self):
+        source = [atom("S(y)"), atom("R(x)")]
+        target = [atom("R(a)"), atom("S(b)")]
+        hom = find_homomorphism(source, target)
+        assert hom.covered == (1, 0)
+
+
+class TestUnifyAtoms:
+    def test_both_sides_variables(self):
+        theta = unify_atoms(atom("R(x, y)"), atom("R(a, a)"))
+        assert theta is not None
+        # x and y must end up equal under theta
+        resolved = {v: theta.get(v, v) for v in (x, y)}
+        assert resolved[x] == resolved[y] or theta.get(Variable("a")) in (x, y)
+
+    def test_constant_clash(self):
+        assert unify_atoms(atom("R(1)"), atom("R(2)")) is None
+
+    def test_constant_binds_variable(self):
+        theta = unify_atoms(atom("R(x, 2)"), atom("R(1, y)"))
+        assert theta[x] == Constant(1)
+        assert theta[Variable("y")] == Constant(2)
+
+    def test_arity_mismatch(self):
+        assert unify_atoms(atom("R(x)"), atom("R(x, y)")) is None
+
+    def test_skolem_unification(self):
+        left = Atom("R", (SkolemTerm("f", (x,)),))
+        right = Atom("R", (SkolemTerm("f", (Constant(3),)),))
+        theta = unify_atoms(left, right)
+        assert theta[x] == Constant(3)
+
+    def test_skolem_function_mismatch(self):
+        left = Atom("R", (SkolemTerm("f", (x,)),))
+        right = Atom("R", (SkolemTerm("g", (x,)),))
+        assert unify_atoms(left, right) is None
+
+    def test_occurs_check(self):
+        left = Atom("R", (x,))
+        right = Atom("R", (SkolemTerm("f", (x,)),))
+        assert unify_atoms(left, right) is None
+
+    def test_repeated_variable_chains_flattened(self):
+        theta = unify_atoms(atom("R(x, x)"), atom("R(a, 3)"))
+        assert theta is not None
+        # Both x and a resolve to the constant.
+        assert theta[x] == Constant(3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=3), min_size=3, max_size=3
+        )
+    )
+    def test_unifier_actually_unifies(self, values):
+        left = Atom("R", (x, y, Constant(values[0])))
+        right = Atom("R", (Constant(values[1]), z, Constant(values[2])))
+        theta = unify_atoms(left, right)
+        if values[0] != values[2]:
+            assert theta is None
+        else:
+            assert theta is not None
+            assert left.substitute(theta) == right.substitute(theta)

@@ -1,0 +1,117 @@
+"""Tests for the synthetic SWISS-PROT workload generators and harness."""
+
+import pytest
+
+from repro.workloads import (
+    branched,
+    chain,
+    generate_entries,
+    instance_tuple_count,
+    leaf_peers,
+    partition_schemas,
+    prepare_storage,
+    run_target_query,
+    target_relation,
+    upstream_data_peers,
+)
+from repro.workloads.swissprot import FIRST_PARTITION, UNIVERSAL_ATTRIBUTES
+from repro.workloads.topologies import branched_edges, chain_edges
+
+
+class TestSwissProt:
+    def test_partition_schemas_cover_25_attributes(self):
+        first, second = partition_schemas("P0")
+        # shared key + the 25 partitioned attributes
+        assert (first.arity - 1) + (second.arity - 1) == UNIVERSAL_ATTRIBUTES
+        assert first.key == ("k",)
+        assert second.key == ("k",)
+        assert first.arity - 1 == FIRST_PARTITION
+
+    def test_generation_is_deterministic(self):
+        assert generate_entries(5, seed=1) == generate_entries(5, seed=1)
+        assert generate_entries(5, seed=1) != generate_entries(5, seed=2)
+
+    def test_key_offset_disjoint(self):
+        first = {e.key for e in generate_entries(10, key_offset=0)}
+        second = {e.key for e in generate_entries(10, key_offset=100)}
+        assert not (first & second)
+
+    def test_rows_match_partitioning(self):
+        (entry,) = generate_entries(1)
+        assert entry.first_row() == (entry.key, *entry.first)
+        assert len(entry.first_row()) == FIRST_PARTITION + 1
+        assert len(entry.second_row()) == UNIVERSAL_ATTRIBUTES - FIRST_PARTITION + 1
+
+
+class TestTopologies:
+    def test_chain_edges(self):
+        assert chain_edges(4) == [(1, 0), (2, 1), (3, 2)]
+
+    def test_branched_edges_have_branch_points(self):
+        edges = branched_edges(20)
+        fan_in: dict[int, int] = {}
+        for _, target in edges:
+            fan_in[target] = fan_in.get(target, 0) + 1
+        assert max(fan_in.values()) >= 2  # at least one merge point
+        assert len(edges) == 19  # spanning: every non-target peer feeds someone
+
+    def test_upstream_data_peers(self):
+        assert upstream_data_peers(10, 2) == (8, 9)
+        assert upstream_data_peers(1, 2) == (0,)
+
+    def test_leaf_peers_are_sources(self):
+        edges = branched_edges(12)
+        fed = {target for _, target in edges}
+        for leaf in leaf_peers(12):
+            assert leaf not in fed
+
+    def test_chain_materialization_size(self):
+        # 10 entries at each of 2 upstream peers, each entry = 2 tuples,
+        # propagated to every downstream peer.
+        system = chain(4, data_peers=[2, 3], base_size=10)
+        # peer 3's data reaches peers 0-3 (4 stops), peer 2's reaches 0-2.
+        expected = 2 * 10 * 4 + 2 * 10 * 3
+        assert instance_tuple_count(system) == expected
+
+    def test_unknown_kind_rejected(self):
+        from repro.workloads.topologies import TopologySpec, build_topology
+
+        with pytest.raises(ValueError):
+            build_topology(TopologySpec("ring", 3, (0,), 1))
+
+    def test_data_peer_out_of_range(self):
+        with pytest.raises(ValueError):
+            chain(3, data_peers=[7], base_size=1)
+
+
+class TestHarness:
+    def test_run_target_query_metrics(self):
+        system = chain(4, base_size=5)
+        result = run_target_query(system)
+        assert result.unfolded_rules == 4
+        assert result.query_processing_seconds > 0
+        assert result.instance_tuples == instance_tuple_count(system)
+
+    def test_asr_run_cleans_up(self):
+        system = chain(4, base_size=5)
+        storage = prepare_storage(system)
+        try:
+            result = run_target_query(
+                system, storage=storage, asr_length=2, asr_kind="suffix"
+            )
+            assert result.asr_rows > 0
+            # ASR tables are dropped afterwards.
+            leftovers = storage.query(
+                "SELECT name FROM sqlite_master WHERE name LIKE 'ASR%'"
+            )
+            assert leftovers == []
+        finally:
+            storage.close()
+
+    def test_format_row(self):
+        system = chain(3, base_size=2)
+        result = run_target_query(system)
+        line = format = __import__(
+            "repro.workloads.harness", fromlist=["format_row"]
+        ).format_row("label", result)
+        assert "rules=" in line and "unfold=" in line
