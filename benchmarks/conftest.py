@@ -16,7 +16,16 @@ from pathlib import Path
 
 import pytest
 
-RESULTS_DIR = Path(__file__).parent / "results"
+BENCHMARKS_DIR = Path(__file__).parent
+RESULTS_DIR = BENCHMARKS_DIR / "results"
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every test under benchmarks/ so CI can deselect the slow
+    figure regenerations with ``-m "not benchmark_suite"``."""
+    for item in items:
+        if BENCHMARKS_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.benchmark_suite)
 
 
 def scale() -> float:

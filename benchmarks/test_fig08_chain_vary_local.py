@@ -47,6 +47,10 @@ def test_fig08_point(benchmark, systems, recorder, data_peers):
         rules=result.unfolded_rules,
         unfold_ms=round(result.unfold_seconds * 1e3, 1),
         eval_ms=round(result.evaluation_seconds * 1e3, 1),
+        exchange_ms=round(result.exchange_seconds * 1e3, 1),
+        plans=result.plans_compiled,
+        index_hits=result.index_hits,
+        deduped=result.dedup_skipped,
     )
 
 

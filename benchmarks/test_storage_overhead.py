@@ -48,12 +48,17 @@ def test_storage_overhead(benchmark, recorder, kind, build, peers):
         system.instance.size(schema.name) * schema.arity
         for schema in system.catalog
     )
+    exchange = system.last_exchange
     recorder.record(
         kind,
         prov_rows=prov_rows,
         data_rows=data_rows,
         row_overhead=round(prov_rows / data_rows, 3),
         cell_overhead=round(prov_cells / data_cells, 4),
+        exchange_ms=round(system.exchange_seconds * 1e3, 1),
+        plans=exchange.plans_compiled if exchange else 0,
+        index_hits=exchange.index_hits if exchange else 0,
+        deduped=exchange.dedup_skipped if exchange else 0,
     )
     # "Modest": provenance cells are a small fraction of data cells
     # (each derivation stores only key columns, one per shared var).

@@ -16,6 +16,7 @@ storage and query layers sit on:
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Mapping, Sequence
 
 from repro.cdss.mapping import SchemaMapping
@@ -49,6 +50,10 @@ class CDSS:
         self.graph = ProvenanceGraph()
         self._pending: dict[str, set[Row]] = {}
         self._exchanged_once = False
+        #: engine statistics of the most recent :meth:`exchange`.
+        self.last_exchange: EvaluationResult | None = None
+        #: cumulative wall-clock seconds spent in update exchange.
+        self.exchange_seconds = 0.0
         for peer in peers:
             self.add_peer(peer)
 
@@ -139,12 +144,15 @@ class CDSS:
             initial_delta = dict(self._pending)
         else:
             initial_delta = None
+        started = time.perf_counter()
         result = evaluate(
             self.program(),
             self.instance,
             graph=self.graph,
             initial_delta=initial_delta,
         )
+        self.exchange_seconds += time.perf_counter() - started
+        self.last_exchange = result
         self._pending.clear()
         self._exchanged_once = True
         return result

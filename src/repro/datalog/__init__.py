@@ -8,6 +8,12 @@ from repro.datalog.evaluation import (
     evaluate_naive,
 )
 from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.planner import (
+    CompiledRule,
+    RulePlan,
+    compile_program,
+    compile_rule,
+)
 from repro.datalog.rules import Program, Rule
 from repro.datalog.terms import (
     Constant,
@@ -25,11 +31,15 @@ from repro.datalog.unification import (
 
 __all__ = [
     "Atom",
+    "CompiledRule",
     "Constant",
     "EvaluationResult",
     "Homomorphism",
     "Program",
     "Rule",
+    "RulePlan",
+    "compile_program",
+    "compile_rule",
     "SkolemTerm",
     "SkolemValue",
     "Term",

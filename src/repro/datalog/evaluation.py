@@ -7,28 +7,50 @@ to the rule firings that produced it.
 
 Two strategies are provided:
 
-* :func:`evaluate_naive` — textbook bottom-up iteration, used as a
-  correctness oracle in tests;
-* :func:`evaluate` — semi-naive evaluation with incremental hash
-  indexes, the engine used by the CDSS substrate and benchmarks.
+* :func:`evaluate_naive` — textbook bottom-up iteration that re-plans
+  every join per row; kept as the correctness oracle in tests;
+* :func:`evaluate` — semi-naive evaluation over **compiled join
+  plans**.  Each rule is compiled once by
+  :mod:`repro.datalog.planner` into one plan per delta atom: atoms
+  ordered greedily by bound-variable coverage, index positions and
+  key/bind slots precomputed, heads compiled into row extractors.  The
+  inner loop therefore does no per-row introspection of
+  ``Constant``/``Variable`` terms — it is tuple indexing over a slot
+  array.  Rules whose bodies the planner cannot model (Skolem terms in
+  a body) fall back to the generic matcher.
 
-Both record one :class:`~repro.provenance.graph.DerivationNode` per
-distinct rule firing (set semantics deduplicates repeat firings), so
-the resulting graph contains **all** derivations of every tuple, not
-just a witness each — required for how-provenance.
+Semi-naive rounds are exact: the index pool is frozen for the duration
+of a round (insertions join in the *next* round, via the delta), and a
+firing whose body contains several delta rows is enumerated only from
+its first delta atom.  Each distinct rule firing is thus counted once
+and recorded as one :class:`~repro.provenance.graph.DerivationNode`,
+so the resulting graph contains **all** derivations of every tuple,
+not just a witness each — required for how-provenance.
+
+The incremental hash indexes of :class:`_IndexPool` are bucketed per
+relation: inserting a row only maintains that relation's indexes, and
+the indexes a plan will probe are registered up front.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.datalog.atoms import Atom, match_tuple
+from repro.datalog.planner import (
+    CompiledRule,
+    RulePlan,
+    compile_program,
+    ground_extractors,
+)
 from repro.datalog.rules import Program, Rule
 from repro.datalog.terms import Constant, Variable
 from repro.errors import EvaluationError
 from repro.provenance.graph import DerivationNode, ProvenanceGraph, TupleNode
 from repro.relational.instance import Instance, Row
+
+_EMPTY_DELTA: frozenset[Row] = frozenset()
 
 
 class _IndexPool:
@@ -36,32 +58,58 @@ class _IndexPool:
 
     An index for ``(relation, positions)`` maps the projection of each
     row onto *positions* to the list of matching rows.  Indexes are
-    built lazily on first use and kept current through :meth:`add`.
+    bucketed by relation, so :meth:`add` touches only the inserted
+    relation's indexes.  They are built on first use — either eagerly
+    through :meth:`register` (plans declare their probes up front) or
+    lazily on :meth:`lookup` — and kept current through :meth:`add`.
     """
 
     def __init__(self) -> None:
-        self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Row]]] = {}
+        self._by_relation: dict[
+            str, dict[tuple[int, ...], dict[tuple, list[Row]]]
+        ] = {}
         self._rows: dict[str, list[Row]] = {}
+        self.hits = 0
 
     def add(self, relation: str, row: Row) -> None:
         self._rows.setdefault(relation, []).append(row)
-        for (rel, positions), index in self._indexes.items():
-            if rel == relation:
+        indexes = self._by_relation.get(relation)
+        if indexes:
+            for positions, index in indexes.items():
                 key = tuple(row[p] for p in positions)
                 index.setdefault(key, []).append(row)
+
+    def register(self, relation: str, positions: tuple[int, ...]) -> None:
+        """Ensure the ``(relation, positions)`` index exists."""
+        if positions:
+            self._build(relation, positions)
+
+    def _build(
+        self, relation: str, positions: tuple[int, ...]
+    ) -> dict[tuple, list[Row]]:
+        indexes = self._by_relation.setdefault(relation, {})
+        index = indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._rows.get(relation, ()):
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, []).append(row)
+            indexes[positions] = index
+        return index
+
+    def count(self, relation: str) -> int:
+        """Number of rows stored for *relation*."""
+        return len(self._rows.get(relation, ()))
 
     def lookup(
         self, relation: str, positions: tuple[int, ...], key: tuple
     ) -> Sequence[Row]:
         if not positions:
             return self._rows.get(relation, ())
-        index = self._indexes.get((relation, positions))
+        index = self._by_relation.get(relation, {}).get(positions)
         if index is None:
-            index = {}
-            for row in self._rows.get(relation, ()):
-                row_key = tuple(row[p] for p in positions)
-                index.setdefault(row_key, []).append(row)
-            self._indexes[(relation, positions)] = index
+            index = self._build(relation, positions)
+        self.hits += 1
         return index.get(key, ())
 
 
@@ -74,6 +122,19 @@ class EvaluationResult:
     iterations: int = 0
     firings: int = 0
     inserted: int = 0
+    #: join plans compiled for this run (one per rule body atom).
+    plans_compiled: int = 0
+    #: hash-index probes answered by the pool.
+    index_hits: int = 0
+    #: guard rejections: candidate rows discarded at guarded join
+    #: steps because they are still in the current delta (enumerating
+    #: them would re-seed a firing at a later body atom).  A partial
+    #: diagnostic, not a count of avoided duplicate firings: rejected
+    #: rows might have failed later join steps anyway, and plans
+    #: skipped wholesale (every stored row of a guarded relation in
+    #: the delta — e.g. all of round 1 of a full exchange) contribute
+    #: nothing.
+    dedup_skipped: int = 0
 
     def derived_size(self) -> int:
         return self.instance.size()
@@ -87,6 +148,9 @@ def _join_bindings(
 ) -> Iterator[tuple[dict[Variable, object], tuple[Row, ...]]]:
     """Enumerate bindings of *body* where atom *start_index* ranges over
     *start_rows* and every other atom over the indexed instance.
+
+    Generic (term-introspecting) matcher — the naive oracle and the
+    fallback for bodies the planner cannot compile.
 
     Yields (binding, matched rows in body order).
     """
@@ -123,6 +187,117 @@ def _join_bindings(
                 del rows[atom_index]
 
     yield from extend(0, {}, {})
+
+
+def _run_plan(
+    crule: CompiledRule,
+    plan: RulePlan,
+    seed_rows: Iterable[Row],
+    delta: Mapping[str, frozenset[Row] | set[Row]],
+    pool: _IndexPool,
+    result: EvaluationResult,
+) -> Iterator[tuple[list[object], tuple[Row, ...]]]:
+    """Execute one compiled plan; yields (slots, matched body rows).
+
+    The yielded slot list is reused between firings — consumers must
+    extract head rows before advancing the iterator (the engine fires
+    each match immediately).
+    """
+    slots: list[object] = [None] * crule.num_slots
+    rows: list[Row] = [None] * len(crule.body_relations)  # type: ignore[list-item]
+    steps = plan.steps
+    nsteps = len(steps)
+    lookup = pool.lookup
+
+    def descend(depth: int) -> Iterator[tuple[list[object], tuple[Row, ...]]]:
+        if depth == nsteps:
+            yield slots, tuple(rows)
+            return
+        step = steps[depth]
+        key = tuple(
+            slots[payload] if kind else payload
+            for kind, payload in step.key_parts
+        )
+        candidates = lookup(step.relation, step.positions, key)
+        if not candidates:
+            return
+        guard_rows = delta.get(step.relation) if step.guard else None
+        binds = step.binds
+        checks = step.checks
+        body_index = step.body_index
+        next_depth = depth + 1
+        for row in candidates:
+            if guard_rows is not None and row in guard_rows:
+                result.dedup_skipped += 1
+                continue
+            for pos, slot in binds:
+                slots[slot] = row[pos]
+            if checks:
+                ok = True
+                for pos, slot in checks:
+                    if row[pos] != slots[slot]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            rows[body_index] = row
+            yield from descend(next_depth)
+
+    seed = plan.seed
+    const_checks = seed.const_checks
+    binds = seed.binds
+    checks = seed.checks
+    body_index = seed.body_index
+    arity = seed.arity
+    for row in seed_rows:
+        if len(row) != arity:
+            continue
+        if const_checks:
+            ok = True
+            for pos, value in const_checks:
+                if row[pos] != value:
+                    ok = False
+                    break
+            if not ok:
+                continue
+        for pos, slot in binds:
+            slots[slot] = row[pos]
+        if checks:
+            ok = True
+            for pos, slot in checks:
+                if row[pos] != slots[slot]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+        rows[body_index] = row
+        yield from descend(0)
+
+
+def _fire_compiled(
+    crule: CompiledRule,
+    slots: list[object],
+    body_rows: tuple[Row, ...],
+    instance: Instance,
+    graph: ProvenanceGraph | None,
+) -> list[tuple[str, Row]]:
+    """Apply one compiled firing; returns newly inserted (relation, row)."""
+    targets = []
+    new: list[tuple[str, Row]] = []
+    for relation, extractors in crule.head:
+        row = ground_extractors(extractors, slots)
+        if instance.insert(relation, row):
+            new.append((relation, row))
+        targets.append(TupleNode(relation, row))
+    if graph is not None:
+        sources = tuple(
+            TupleNode(relation, row)
+            for relation, row in zip(crule.body_relations, body_rows)
+        )
+        graph.add_derivation(
+            DerivationNode(crule.rule.name, sources, tuple(targets))
+        )
+    return new
 
 
 def _fire(
@@ -167,7 +342,7 @@ def evaluate(
     max_iterations: int | None = None,
     initial_delta: Mapping[str, Iterable[Row]] | None = None,
 ) -> EvaluationResult:
-    """Semi-naive fixpoint evaluation with provenance recording.
+    """Semi-naive fixpoint evaluation over compiled join plans.
 
     Mutates *instance* in place (adding derived tuples) and returns an
     :class:`EvaluationResult` whose graph holds every derivation.
@@ -179,6 +354,11 @@ def evaluate(
     *newly inserted* tuples yields incremental update exchange (every
     new firing must use at least one new tuple).  The default seeds
     with the whole instance (full exchange from scratch).
+
+    Within a round the index pool is a frozen snapshot: rows inserted
+    during the round become next round's delta, and a firing is only
+    enumerated from the first of its body atoms whose row is in the
+    current delta — each distinct firing counts exactly once.
     """
     rules = _prepare(program)
     if graph is None:
@@ -189,6 +369,19 @@ def evaluate(
         for row in instance[relation]:
             pool.add(relation, row)
 
+    compiled = compile_program(rules)
+    result = EvaluationResult(instance, graph or ProvenanceGraph())
+    for crule in compiled:
+        result.plans_compiled += len(crule.plans)
+    if initial_delta is None:
+        # Full exchange probes essentially every plan index; build them
+        # up front in one pass.  Incremental runs leave registration to
+        # the lazy build in lookup() so a small delta only pays for the
+        # indexes it actually probes.
+        for crule in compiled:
+            for relation, positions in crule.index_requirements():
+                pool.register(relation, positions)
+
     # Iteration 0: every rule over the seed delta (default: full EDB).
     if initial_delta is None:
         delta: dict[str, set[Row]] = {
@@ -198,7 +391,27 @@ def evaluate(
         delta = {
             rel: set(map(tuple, rows)) for rel, rows in initial_delta.items() if rows
         }
-    result = EvaluationResult(instance, graph or ProvenanceGraph())
+        # The once-per-firing guard assumes delta rows are joinable
+        # through the indexes; a delta row missing from the instance
+        # would silently lose firings, so reject it up front.
+        for rel, rows in delta.items():
+            missing = [row for row in rows if not instance.contains(rel, row)]
+            if missing:
+                raise EvaluationError(
+                    f"initial_delta rows not in the instance for {rel}: "
+                    f"{missing[:3]}; insert them before evaluating"
+                )
+    def blocked(guarded_relations) -> bool:
+        # Delta rows are always a subset of the pool, so when every
+        # stored row of a guarded relation is in the delta the guard
+        # would reject every candidate — the plan cannot fire.  (In
+        # round 1 of a full exchange this holds for every relation.)
+        for rel in guarded_relations:
+            rows = delta.get(rel)
+            if rows and len(rows) == pool.count(rel):
+                return True
+        return False
+
     iteration = 0
     while delta:
         iteration += 1
@@ -207,21 +420,53 @@ def evaluate(
                 f"fixpoint did not converge within {max_iterations} iterations"
             )
         new_delta: dict[str, set[Row]] = {}
-        for rule in rules:
-            for index, atom in enumerate(rule.body):
-                rows = delta.get(atom.relation)
-                if not rows:
-                    continue
-                for binding, body_rows in _join_bindings(rule.body, index, rows, pool):
-                    result.firings += 1
-                    for relation, row in _fire(
-                        rule, binding, body_rows, instance, graph
+        for crule in compiled:
+            if crule.plans:
+                for plan in crule.plans:
+                    seed_rows = delta.get(plan.seed.relation)
+                    if not seed_rows or blocked(plan.guarded_relations):
+                        continue
+                    for slots, body_rows in _run_plan(
+                        crule, plan, seed_rows, delta, pool, result
                     ):
-                        new_delta.setdefault(relation, set()).add(row)
-                        pool.add(relation, row)
-                        result.inserted += 1
+                        result.firings += 1
+                        for relation, row in _fire_compiled(
+                            crule, slots, body_rows, instance, graph
+                        ):
+                            new_delta.setdefault(relation, set()).add(row)
+                            result.inserted += 1
+            else:
+                rule = crule.rule
+                for index, atom in enumerate(rule.body):
+                    seed_rows = delta.get(atom.relation)
+                    if not seed_rows or blocked(
+                        {a.relation for a in rule.body[:index]}
+                    ):
+                        continue
+                    for binding, body_rows in _join_bindings(
+                        rule.body, index, seed_rows, pool
+                    ):
+                        if any(
+                            body_rows[j]
+                            in delta.get(rule.body[j].relation, _EMPTY_DELTA)
+                            for j in range(index)
+                        ):
+                            result.dedup_skipped += 1
+                            continue
+                        result.firings += 1
+                        for relation, row in _fire(
+                            rule, binding, body_rows, instance, graph
+                        ):
+                            new_delta.setdefault(relation, set()).add(row)
+                            result.inserted += 1
+        # Publish this round's insertions to the indexes only now, so
+        # every round joins against a consistent snapshot.
+        for relation, rows in new_delta.items():
+            for row in rows:
+                pool.add(relation, row)
         delta = new_delta
     result.iterations = iteration
+    result.index_hits = pool.hits
     return result
 
 

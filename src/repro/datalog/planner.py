@@ -1,0 +1,333 @@
+"""Join-plan compilation for semi-naive rule evaluation.
+
+Semi-naive evaluation fires each rule once per *delta atom* — the body
+atom whose rows range over the tuples discovered in the previous round.
+The naive engine re-discovers the join strategy for every candidate row
+(introspecting :class:`~repro.datalog.terms.Constant` /
+:class:`~repro.datalog.terms.Variable` terms, rebuilding key tuples,
+copying binding dicts).  This module lifts all of that to *compile
+time*:
+
+* each rule is compiled once into a :class:`CompiledRule` holding one
+  :class:`RulePlan` per body atom (the plan used when that atom is the
+  delta seed);
+* within a plan, the remaining atoms are ordered greedily by **bound
+  coverage** — at every step the atom with the most already-bound
+  positions (constants or variables bound by earlier steps) is joined
+  next, a standard selectivity heuristic for conjunctive queries;
+* every step pre-computes its index positions, key extractors, and
+  variable-binding slots, so executing a step is tuple indexing and
+  list writes — no per-row term introspection;
+* rule heads compile into extractor programs that build output rows
+  (including Skolem values for labeled nulls) straight from the slot
+  array.
+
+Variables are mapped to integer *slots*; an executing plan carries one
+mutable slot list instead of per-row binding dicts.  Bodies containing
+Skolem terms (never produced by :meth:`Rule.skolemize`, but legal in
+hand-built rules) are not compiled — :data:`CompiledRule.plans` is then
+empty and the engine falls back to the generic matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, SkolemTerm, SkolemValue, Variable
+
+#: Extractor / key-part kinds.  ``K_SLOT`` is truthy and ``K_CONST``
+#: falsy on purpose: hot loops test ``if kind`` instead of comparing.
+K_CONST = 0
+K_SLOT = 1
+K_SKOLEM = 2
+
+
+@dataclass(frozen=True)
+class SeedStep:
+    """Matching the delta (seed) atom against a delta row.
+
+    No variables are bound yet, so constants are checked directly,
+    first variable occurrences bind slots, and repeated occurrences
+    within the atom are equality-checked against the freshly bound
+    slot.
+    """
+
+    relation: str
+    body_index: int
+    arity: int
+    #: ``row[pos] == value`` prerequisites (constant terms).
+    const_checks: tuple[tuple[int, object], ...]
+    #: ``slots[slot] = row[pos]`` writes (first variable occurrences).
+    binds: tuple[tuple[int, int], ...]
+    #: ``row[pos] == slots[slot]`` checks (repeated variables).
+    checks: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One indexed join against the evolving instance.
+
+    ``positions``/``key_parts`` describe the index probe: the key is
+    built from constants and slots bound by earlier steps.  Unbound
+    positions split into ``binds`` (first occurrence) and ``checks``
+    (repeated occurrence inside this atom).  ``guard`` marks atoms that
+    precede the seed atom in body order: rows still in the current
+    delta are skipped there, so a firing is enumerated exactly once —
+    seeded at the *first* delta row of its body.
+    """
+
+    relation: str
+    body_index: int
+    positions: tuple[int, ...]
+    #: ``(kind, payload)`` per position: constant value or slot index.
+    key_parts: tuple[tuple[int, object], ...]
+    binds: tuple[tuple[int, int], ...]
+    checks: tuple[tuple[int, int], ...]
+    guard: bool
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """Execution plan for one rule with one body atom as delta seed."""
+
+    seed: SeedStep
+    steps: tuple[JoinStep, ...]
+    #: relations of guarded steps; when every stored row of one of
+    #: them is in the current delta the plan cannot fire at all (the
+    #: guard would reject every candidate) and is skipped wholesale.
+    guarded_relations: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """A rule plus everything precomputed for executing it."""
+
+    rule: Rule
+    num_slots: int
+    body_relations: tuple[str, ...]
+    #: per head atom: ``(relation, extractors)``.
+    head: tuple[tuple[str, tuple[tuple[int, object], ...]], ...]
+    #: one plan per body atom; empty when the body is not compilable.
+    plans: tuple[RulePlan, ...]
+
+    def index_requirements(self) -> set[tuple[str, tuple[int, ...]]]:
+        """Every ``(relation, positions)`` index the plans will probe."""
+        return {
+            (step.relation, step.positions)
+            for plan in self.plans
+            for step in plan.steps
+            if step.positions
+        }
+
+
+class _Uncompilable(Exception):
+    """Body contains a term the fast path does not model."""
+
+
+def _compile_term(term, slot_of: dict[Variable, int]) -> tuple[int, object]:
+    if isinstance(term, Constant):
+        return (K_CONST, term.value)
+    if isinstance(term, Variable):
+        return (K_SLOT, slot_of[term])
+    if isinstance(term, SkolemTerm):
+        args = tuple(_compile_term(a, slot_of) for a in term.args)
+        return (K_SKOLEM, (term.function, args))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def ground_extractors(
+    extractors: tuple[tuple[int, object], ...], slots: Sequence[object]
+) -> tuple[object, ...]:
+    """Build an output row from compiled extractors and a slot array."""
+    return tuple(
+        payload
+        if kind == K_CONST
+        else slots[payload]
+        if kind == K_SLOT
+        else SkolemValue(payload[0], ground_extractors(payload[1], slots))
+        for kind, payload in extractors
+    )
+
+
+def _assign_slots(rule: Rule) -> dict[Variable, int]:
+    """Slot per variable, in order of first appearance in the body.
+
+    Descends into Skolem-term arguments so that a safe rule's head
+    always compiles, even when its body needs the generic fallback.
+    """
+    slot_of: dict[Variable, int] = {}
+    for atom in rule.body:
+        for var in atom.variables():
+            if var not in slot_of:
+                slot_of[var] = len(slot_of)
+    return slot_of
+
+
+def _bound_coverage(atom: Atom, bound: set[Variable]) -> tuple[int, int]:
+    """(number of bound positions, number of distinct unbound variables)."""
+    bound_positions = 0
+    free: set[Variable] = set()
+    for term in atom.terms:
+        if isinstance(term, Constant):
+            bound_positions += 1
+        elif isinstance(term, Variable):
+            if term in bound:
+                bound_positions += 1
+            else:
+                free.add(term)
+    return bound_positions, len(free)
+
+
+def order_atoms(body: Sequence[Atom], seed_index: int) -> list[int]:
+    """Greedy join order: seed first, then max bound coverage.
+
+    Ties prefer fewer fresh variables (more selective), then original
+    body order — deterministic so plans are stable across runs.
+    """
+    bound = {v for v in body[seed_index].variables()}
+    remaining = [i for i in range(len(body)) if i != seed_index]
+    order = [seed_index]
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda i: (
+                -_bound_coverage(body[i], bound)[0],
+                _bound_coverage(body[i], bound)[1],
+                i,
+            ),
+        )
+        remaining.remove(best)
+        order.append(best)
+        bound.update(body[best].variables())
+    return order
+
+
+def _compile_seed(
+    atom: Atom, body_index: int, slot_of: dict[Variable, int]
+) -> tuple[SeedStep, set[Variable]]:
+    const_checks: list[tuple[int, object]] = []
+    binds: list[tuple[int, int]] = []
+    checks: list[tuple[int, int]] = []
+    seen: set[Variable] = set()
+    for pos, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            const_checks.append((pos, term.value))
+        elif isinstance(term, Variable):
+            if term in seen:
+                checks.append((pos, slot_of[term]))
+            else:
+                seen.add(term)
+                binds.append((pos, slot_of[term]))
+        else:
+            raise _Uncompilable(f"Skolem term in body atom {atom}")
+    return (
+        SeedStep(
+            atom.relation,
+            body_index,
+            atom.arity,
+            tuple(const_checks),
+            tuple(binds),
+            tuple(checks),
+        ),
+        seen,
+    )
+
+
+def _compile_join(
+    atom: Atom,
+    body_index: int,
+    slot_of: dict[Variable, int],
+    bound: set[Variable],
+    guard: bool,
+) -> tuple[JoinStep, set[Variable]]:
+    positions: list[int] = []
+    key_parts: list[tuple[int, object]] = []
+    binds: list[tuple[int, int]] = []
+    checks: list[tuple[int, int]] = []
+    fresh: set[Variable] = set()
+    for pos, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            positions.append(pos)
+            key_parts.append((K_CONST, term.value))
+        elif isinstance(term, Variable):
+            if term in bound:
+                positions.append(pos)
+                key_parts.append((K_SLOT, slot_of[term]))
+            elif term in fresh:
+                checks.append((pos, slot_of[term]))
+            else:
+                fresh.add(term)
+                binds.append((pos, slot_of[term]))
+        else:
+            raise _Uncompilable(f"Skolem term in body atom {atom}")
+    return (
+        JoinStep(
+            atom.relation,
+            body_index,
+            tuple(positions),
+            tuple(key_parts),
+            tuple(binds),
+            tuple(checks),
+            guard,
+        ),
+        fresh,
+    )
+
+
+def compile_rule(rule: Rule) -> CompiledRule:
+    """Compile *rule* into per-delta-atom join plans.
+
+    The rule is skolemized and safety-checked first (idempotent for
+    already-prepared rules), so head variables always resolve to body
+    slots.  Returns a :class:`CompiledRule` with one plan per body
+    atom, or with no plans when the body cannot be compiled (the
+    engine then uses its generic matcher for this rule).
+    """
+    return _compile_prepared(rule.skolemize().check_safe())
+
+
+def _compile_prepared(rule: Rule) -> CompiledRule:
+    slot_of = _assign_slots(rule)
+    head = tuple(
+        (atom.relation, tuple(_compile_term(t, slot_of) for t in atom.terms))
+        for atom in rule.head
+    )
+    body = rule.body
+    plans: list[RulePlan] = []
+    try:
+        for seed_index in range(len(body)):
+            order = order_atoms(body, seed_index)
+            seed, bound = _compile_seed(body[seed_index], seed_index, slot_of)
+            steps: list[JoinStep] = []
+            for body_index in order[1:]:
+                step, fresh = _compile_join(
+                    body[body_index],
+                    body_index,
+                    slot_of,
+                    bound,
+                    guard=body_index < seed_index,
+                )
+                steps.append(step)
+                bound |= fresh
+            guarded = tuple(
+                dict.fromkeys(step.relation for step in steps if step.guard)
+            )
+            plans.append(RulePlan(seed, tuple(steps), guarded))
+    except _Uncompilable:
+        plans = []
+    return CompiledRule(
+        rule,
+        len(slot_of),
+        tuple(atom.relation for atom in body),
+        head,
+        tuple(plans),
+    )
+
+
+def compile_program(rules: Sequence[Rule]) -> list[CompiledRule]:
+    """Compile every rule of an already-prepared (skolemized and
+    safety-checked) program without re-preparing each rule."""
+    return [_compile_prepared(rule) for rule in rules]

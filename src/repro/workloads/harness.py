@@ -25,13 +25,22 @@ from repro.workloads.topologies import instance_tuple_count, target_relation
 
 @dataclass
 class ExperimentResult:
-    """Metrics of one target-query run."""
+    """Metrics of one target-query run.
+
+    ``exchange_seconds`` is cumulative over all exchanges that built
+    the CDSS; the engine counters describe the most recent exchange
+    (:attr:`CDSS.last_exchange`), so benchmark rows can report the
+    Datalog engine alongside the query pipeline.
+    """
 
     stats: SQLStats
     instance_tuples: int
     exchange_seconds: float
     load_seconds: float
     asr_rows: int = 0
+    plans_compiled: int = 0
+    index_hits: int = 0
+    dedup_skipped: int = 0
 
     @property
     def unfolded_rules(self) -> int:
@@ -93,12 +102,16 @@ def run_target_query(
         max_rules=max_rules,
     )
     stats, _ = engine.run_target(target_relation(), collect_graph=collect_graph)
+    exchange = cdss.last_exchange
     result = ExperimentResult(
         stats=stats,
         instance_tuples=instance_tuple_count(cdss),
-        exchange_seconds=0.0,
+        exchange_seconds=cdss.exchange_seconds,
         load_seconds=load_seconds,
         asr_rows=asr_rows,
+        plans_compiled=exchange.plans_compiled if exchange else 0,
+        index_hits=exchange.index_hits if exchange else 0,
+        dedup_skipped=exchange.dedup_skipped if exchange else 0,
     )
     if manager is not None:
         manager.drop_all()
@@ -114,5 +127,6 @@ def format_row(label: str, result: ExperimentResult) -> str:
         f"unfold={result.unfold_seconds * 1e3:9.1f}ms  "
         f"eval={result.evaluation_seconds * 1e3:9.1f}ms  "
         f"total={result.query_processing_seconds * 1e3:9.1f}ms  "
-        f"tuples={result.instance_tuples:8d}"
+        f"tuples={result.instance_tuples:8d}  "
+        f"exchange={result.exchange_seconds * 1e3:9.1f}ms"
     )

@@ -87,6 +87,14 @@ class TestFixpoint:
         # All provenance still in one graph.
         assert result.graph.derivations_of(TupleNode("T", (4, 5)))
 
+    def test_initial_delta_must_be_in_instance(self):
+        # A delta row missing from the instance cannot be joined through
+        # the indexes, which would silently lose firings — reject it.
+        program, instance = transitive_closure_setup()
+        evaluate(program, instance)
+        with pytest.raises(EvaluationError, match="initial_delta"):
+            evaluate(program, instance, initial_delta={"E": {(4, 5)}})
+
     def test_empty_body_rejected(self):
         instance = make_instance(("R", ["x"]))
         program = parse_program("f: R(1)")
@@ -122,6 +130,46 @@ class TestFixpoint:
         program = parse_program("m: R(x) :- S(x, x)")
         evaluate(program, instance)
         assert instance["R"] == frozenset({(1,)})
+
+    def test_firings_count_distinct_derivations(self):
+        # Both body atoms of the same firing match rows of the current
+        # delta; it must be enumerated once (from its first delta atom),
+        # not once per delta atom.
+        instance = make_instance(("R", ["a", "b"]), ("U", ["a", "b"]))
+        instance.insert("R", (1, 2))
+        instance.insert("R", (2, 3))
+        program = parse_program("j: U(x, z) :- R(x, y), R(y, z)")
+        result = evaluate(program, instance)
+        assert instance["U"] == frozenset({(1, 3)})
+        assert result.firings == len(result.graph.derivations) == 1
+
+    def test_firings_deduped_on_incremental_delta(self):
+        # With an old row alongside two new delta rows, the plan seeded
+        # at the second atom runs (the relation is only partially new)
+        # and its guard must reject the firing already enumerated from
+        # the first delta atom.
+        instance = make_instance(("R", ["a", "b"]), ("U", ["a", "b"]))
+        instance.insert("R", (9, 9))
+        program = parse_program("j: U(x, z) :- R(x, y), R(y, z)")
+        result = evaluate(program, instance)
+        instance.insert("R", (1, 2))
+        instance.insert("R", (2, 3))
+        incremental = evaluate(
+            program,
+            instance,
+            graph=result.graph,
+            initial_delta={"R": {(1, 2), (2, 3)}},
+        )
+        assert instance.contains("U", (1, 3))
+        assert incremental.firings == 1
+        assert incremental.dedup_skipped >= 1
+
+    def test_engine_statistics_populated(self):
+        program, instance = transitive_closure_setup()
+        result = evaluate(program, instance)
+        # One plan per body atom: base has 1, step has 2.
+        assert result.plans_compiled == 3
+        assert result.index_hits > 0
 
     def test_leaves_are_local_tuples(self):
         instance = make_instance(("R_l", ["x"]), ("R", ["x"]), ("S", ["x"]))

@@ -8,10 +8,13 @@ evaluation (the universal property on real data)."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.cdss import CDSS, Peer
 from repro.datalog import evaluate, evaluate_naive, parse_program
 from repro.provenance import TupleNode, annotate, provenance_polynomial
 from repro.relational import Catalog, Instance, RelationSchema
+from repro.relational.schema import local_name
 from repro.semirings import get_semiring
+from repro.workloads.topologies import branched_edges, chain_edges
 
 PROGRAM = parse_program(
     """
@@ -80,6 +83,100 @@ def test_derivability_matches_membership(r_rows, s_rows):
     result = evaluate(PROGRAM, instance)
     values = annotate(result.graph, get_semiring("DERIVABILITY"))
     assert all(values[node] for node in result.graph.tuples)
+
+
+def _topology_cdss(kind: str, num_peers: int) -> CDSS:
+    """A miniature chain/branched CDSS with 2-ary SWISS-PROT-style
+    partitions (same mapping shape as the benchmark workloads)."""
+    edge_fn = chain_edges if kind == "chain" else branched_edges
+    cdss = CDSS(
+        Peer.of(
+            f"P{i}",
+            [
+                RelationSchema.of(f"P{i}_R1", ["k", "a"]),
+                RelationSchema.of(f"P{i}_R2", ["k", "b"]),
+            ],
+        )
+        for i in range(num_peers)
+    )
+    for number, (src, dst) in enumerate(edge_fn(num_peers), start=1):
+        cdss.add_mapping(
+            f"P{dst}_R1(k, a), P{dst}_R2(k, b) :- "
+            f"P{src}_R1(k, a), P{src}_R2(k, b)",
+            name=f"m{number}",
+        )
+    return cdss
+
+
+def _insert_rows(instance, num_peers, rows):
+    inserted = {}
+    for peer, k, v in rows:
+        peer %= num_peers
+        for suffix in ("R1", "R2"):
+            relation = local_name(f"P{peer}_{suffix}")
+            if instance.insert(relation, (k, v)):
+                inserted.setdefault(relation, set()).add((k, v))
+    return inserted
+
+
+topology_rows = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 3), st.integers(0, 3)),
+    max_size=8,
+    unique=True,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    kind=st.sampled_from(["chain", "branched"]),
+    num_peers=st.integers(2, 5),
+    rows=topology_rows,
+)
+def test_planned_evaluate_matches_naive_on_topologies(kind, num_peers, rows):
+    """The compiled-plan engine and the naive oracle agree on instance
+    and provenance graph (node/edge sets) for the workload shapes."""
+    cdss = _topology_cdss(kind, num_peers)
+    program = cdss.program()
+    first = Instance(cdss.catalog)
+    second = Instance(cdss.catalog)
+    _insert_rows(first, num_peers, rows)
+    _insert_rows(second, num_peers, rows)
+    semi = evaluate(program, first)
+    naive = evaluate_naive(program, second)
+    assert first == second
+    assert semi.graph.tuples == naive.graph.tuples
+    assert semi.graph.derivations == naive.graph.derivations
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    kind=st.sampled_from(["chain", "branched"]),
+    num_peers=st.integers(2, 4),
+    base_rows=topology_rows,
+    extra_rows=topology_rows,
+)
+def test_incremental_exchange_matches_from_scratch(
+    kind, num_peers, base_rows, extra_rows
+):
+    """Full exchange + initial_delta increment == one exchange over all
+    the data (instance and graph), for both topology shapes."""
+    cdss = _topology_cdss(kind, num_peers)
+    program = cdss.program()
+
+    incremental = Instance(cdss.catalog)
+    _insert_rows(incremental, num_peers, base_rows)
+    result = evaluate(program, incremental)
+    delta = _insert_rows(incremental, num_peers, extra_rows)
+    evaluate(program, incremental, graph=result.graph, initial_delta=delta)
+
+    scratch = Instance(cdss.catalog)
+    _insert_rows(scratch, num_peers, base_rows)
+    _insert_rows(scratch, num_peers, extra_rows)
+    oracle = evaluate_naive(program, scratch)
+
+    assert incremental == scratch
+    assert result.graph.tuples == oracle.graph.tuples
+    assert result.graph.derivations == oracle.graph.derivations
 
 
 @settings(max_examples=15, deadline=None)

@@ -1,27 +1,56 @@
 """Smoke tests: every example script must run cleanly end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
-)
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
 
 
-@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
-def test_example_runs(script, tmp_path):
-    result = subprocess.run(
+def subprocess_env(base: dict | None = None) -> dict:
+    """Environment for example subprocesses.
+
+    The tier-1 command sets a *relative* ``PYTHONPATH=src``, which the
+    examples (run with ``cwd=tmp_path``) would not resolve; prepend the
+    absolute path to ``src/`` so the ``repro`` package imports from any
+    working directory.
+    """
+    env = dict(os.environ if base is None else base)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    return env
+
+
+def run_example(script, tmp_path, env=None):
+    return subprocess.run(
         [sys.executable, str(script), str(tmp_path / "out")],
         capture_output=True,
         text=True,
         timeout=300,
         cwd=tmp_path,
+        env=subprocess_env(env),
     )
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, tmp_path):
+    result = run_example(script, tmp_path)
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout  # every example narrates what it does
+
+
+def test_example_runs_with_relative_pythonpath(tmp_path):
+    """Regression: a relative ``PYTHONPATH=src`` (the documented tier-1
+    invocation) must not leak into example subprocesses unresolved."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    result = run_example(EXAMPLES[0], tmp_path, env=env)
+    assert result.returncode == 0, result.stderr[-2000:]
 
 
 def test_examples_exist():

@@ -1,0 +1,106 @@
+"""Unit tests for join-plan compilation."""
+
+from repro.datalog import compile_rule, parse_rule
+from repro.datalog.planner import K_CONST, K_SLOT, ground_extractors
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, SkolemTerm, SkolemValue, Variable
+
+
+def compiled(text):
+    return compile_rule(parse_rule(text).skolemize().check_safe())
+
+
+class TestCompilation:
+    def test_one_plan_per_body_atom(self):
+        crule = compiled("m: Q(x, z) :- R(x, y), S(y, z), T(z, w)")
+        assert len(crule.plans) == 3
+        assert [plan.seed.body_index for plan in crule.plans] == [0, 1, 2]
+        for plan in crule.plans:
+            assert {step.body_index for step in plan.steps} | {
+                plan.seed.body_index
+            } == {0, 1, 2}
+
+    def test_greedy_order_prefers_bound_atoms(self):
+        # Seeded at R(x, y): T(y, z) shares y, S(z, w) shares nothing
+        # yet, so T must be joined before S.
+        crule = compiled("m: Q(x, w) :- R(x, y), S(z, w), T(y, z)")
+        plan = crule.plans[0]
+        assert [step.body_index for step in plan.steps] == [2, 1]
+        t_step = plan.steps[0]
+        assert t_step.positions == (0,)  # y is bound
+        assert t_step.key_parts[0][0] == K_SLOT
+        s_step = plan.steps[1]
+        assert s_step.positions == (0,)  # z bound after joining T
+
+    def test_constants_become_seed_checks_and_key_parts(self):
+        crule = compiled("m: Q(x) :- S(x, 10), R(x, 7)")
+        seed = crule.plans[0].seed
+        assert seed.const_checks == ((1, 10),)
+        step = crule.plans[0].steps[0]
+        assert step.positions == (0, 1)
+        assert (K_CONST, 7) in step.key_parts
+
+    def test_repeated_variable_checks(self):
+        crule = compiled("m: Q(x) :- S(x, x)")
+        seed = crule.plans[0].seed
+        assert len(seed.binds) == 1
+        assert len(seed.checks) == 1
+        assert seed.binds[0][1] == seed.checks[0][1]  # same slot
+
+    def test_guard_marks_atoms_before_seed(self):
+        crule = compiled("m: Q(x, z) :- R(x, y), S(y, z)")
+        first, second = crule.plans
+        assert all(not step.guard for step in first.steps)
+        assert all(step.guard for step in second.steps)
+
+    def test_skolem_body_falls_back(self):
+        x = Variable("x")
+        rule = Rule(
+            "odd",
+            head=(Atom("Q", (x,)),),
+            body=(Atom("R", (x, SkolemTerm("f", (x,)))),),
+        )
+        crule = compile_rule(rule)
+        assert crule.plans == ()
+        assert crule.body_relations == ("R",)
+
+    def test_skolem_only_body_variable_still_compiles_head(self):
+        # x occurs only inside a body Skolem term; the head must still
+        # compile (slot assignment descends into Skolem arguments) so
+        # the rule can run through the generic fallback.
+        x = Variable("x")
+        rule = Rule(
+            "unwrap",
+            head=(Atom("H", (x,)),),
+            body=(Atom("R", (SkolemTerm("f", (x,)),)),),
+        )
+        crule = compile_rule(rule)
+        assert crule.plans == ()
+        assert crule.head[0] == ("H", ((K_SLOT, 0),))
+
+    def test_index_requirements(self):
+        crule = compiled("m: Q(x, z) :- R(x, y), S(y, z)")
+        assert crule.index_requirements() == {("R", (1,)), ("S", (0,))}
+
+    def test_head_extractors_ground_skolems(self):
+        crule = compiled("g: Q(x, z, 3) :- S(x)")
+        (relation, extractors) = crule.head[0]
+        assert relation == "Q"
+        row = ground_extractors(extractors, [5])
+        assert row == (5, SkolemValue("f_g_z", (5,)), 3)
+
+    def test_head_constant_extractor(self):
+        crule = compiled("m: Q(x, 'lit') :- S(x)")
+        (_, extractors) = crule.head[0]
+        assert extractors[1] == (K_CONST, "lit")
+
+    def test_compile_rule_skolemizes_unprepared_rules(self):
+        # compile_rule is public API: an unskolemized rule with an
+        # existential head variable must compile, not raise KeyError.
+        from repro.datalog import parse_rule
+
+        crule = compile_rule(parse_rule("r: R(x, z) :- S(x)"))
+        assert len(crule.plans) == 1
+        row = ground_extractors(crule.head[0][1], [5])
+        assert row == (5, SkolemValue("f_r_z", (5,)))
