@@ -17,12 +17,15 @@ from repro.workloads import branched, chain, prepare_storage
 FIGURE = "storage_overhead"
 
 
+@pytest.mark.parametrize("engine", ("memory", "sqlite"))
 @pytest.mark.parametrize(
     "kind,build,peers",
     [("chain", chain, 8), ("branched", branched, 9)],
 )
-def test_storage_overhead(benchmark, recorder, kind, build, peers):
-    system = build(peers, base_size=200)
+def test_storage_overhead(benchmark, recorder, kind, build, peers, engine):
+    system = build(peers, base_size=200, engine=engine)
+    # Incremental no-op exchange: witnesses the compiled-program cache.
+    system.exchange(engine=engine)
 
     def load():
         storage = prepare_storage(system)
@@ -50,13 +53,15 @@ def test_storage_overhead(benchmark, recorder, kind, build, peers):
     )
     exchange = system.last_exchange
     recorder.record(
-        kind,
+        f"{kind}/{engine}",
         prov_rows=prov_rows,
         data_rows=data_rows,
         row_overhead=round(prov_rows / data_rows, 3),
         cell_overhead=round(prov_cells / data_cells, 4),
         exchange_ms=round(system.exchange_seconds * 1e3, 1),
+        engine=engine,
         plans=exchange.plans_compiled if exchange else 0,
+        cache_hits=system.plan_cache.hits,
         index_hits=exchange.index_hits if exchange else 0,
         deduped=exchange.dedup_skipped if exchange else 0,
     )

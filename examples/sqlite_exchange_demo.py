@@ -1,0 +1,87 @@
+"""SQL-backed, out-of-core update exchange with a compiled-plan cache.
+
+The paper's testbed performs update exchange *inside the DBMS*; this
+demo shows the reproduction's `repro.exchange` subsystem doing the
+same:
+
+* `engine="sqlite"` runs every semi-naive round as set-oriented SQL
+  statements over delta tables (one statement per compiled join plan),
+  maintaining the `P_m` provenance relations transactionally;
+* an on-disk store path makes the exchange working set disk-resident —
+  the out-of-core mode for instances larger than memory;
+* the compiled-program cache makes incremental exchanges skip plan
+  compilation entirely (`plans_compiled == 0` on a cache hit);
+* both engines produce identical instances and provenance graphs.
+
+Run:  python examples/sqlite_exchange_demo.py [workdir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.workloads import chain
+
+
+def main() -> None:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="repro-exchange-")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    store_path = str(workdir / "exchange.db")
+
+    # One chain workload per engine; the sqlite one keeps its working
+    # set on disk (out-of-core).
+    memory = chain(6, base_size=40, engine="memory")
+    sqlite = chain(6, base_size=40, engine="sqlite", exchange_path=store_path)
+
+    print("engine matrix (identical results, different substrates):")
+    for label, system in (("memory", memory), ("sqlite", sqlite)):
+        result = system.last_exchange
+        print(
+            f"  {label:>6}: {system.instance_size()} tuples, "
+            f"graph {system.graph.size()}, {result.firings} firings, "
+            f"{result.plans_compiled} plans compiled"
+        )
+    assert memory.instance == sqlite.instance
+    assert memory.graph.tuples == sqlite.graph.tuples
+    assert memory.graph.derivations == sqlite.graph.derivations
+    print(f"  on-disk store: {store_path} "
+          f"({Path(store_path).stat().st_size} bytes)")
+
+    # Incremental update: the program is unchanged, so the compiled
+    # plans come from the cache and nothing is recompiled.
+    entry = (99_000_123, *(5,) * 12)
+    entry2 = (99_000_123, *(6,) * 13)
+    for system, engine in ((memory, "memory"), (sqlite, "sqlite")):
+        system.insert_local("P5_R1", entry)
+        system.insert_local("P5_R2", entry2)
+        result = system.exchange(engine=engine, storage=(
+            store_path if engine == "sqlite" else None
+        ))
+        print(
+            f"incremental on {engine:>6}: {result.inserted} new tuples, "
+            f"plans compiled = {result.plans_compiled} "
+            f"(cache hit: {result.plan_cache_hit})"
+        )
+        assert result.plan_cache_hit and result.plans_compiled == 0
+    assert memory.instance == sqlite.instance
+
+    # The P_m provenance relations were maintained inside SQLite,
+    # round by round, alongside the instance tables.
+    store = sqlite.exchange_store
+    mapping = next(
+        m for m in sqlite.mappings.values()
+        if not m.is_superfluous and m.provenance_columns
+    )
+    (count,) = store.connection.execute(
+        f'SELECT COUNT(*) FROM "P_{mapping.name}"'
+    ).fetchone()
+    print(
+        f"provenance relation P_{mapping.name} holds {count} derivation "
+        "rows, written transactionally during the SQL fixpoint"
+    )
+
+
+if __name__ == "__main__":
+    main()

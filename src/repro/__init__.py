@@ -3,7 +3,10 @@
 Public API surface.  The typical flow:
 
 1. build a :class:`~repro.cdss.CDSS` (peers + schema mappings),
-2. insert local data and :meth:`~repro.cdss.CDSS.exchange`,
+2. insert local data and :meth:`~repro.cdss.CDSS.exchange` — in memory
+   or set-oriented inside SQLite (``engine="sqlite"``, see
+   :mod:`repro.exchange`), with compiled plans cached across
+   incremental calls,
 3. load into :class:`~repro.storage.SQLiteStorage`,
 4. query with :class:`~repro.proql.SQLEngine` (or the reference
    :class:`~repro.proql.GraphEngine`), optionally after registering
@@ -12,6 +15,7 @@ Public API surface.  The typical flow:
 
 from repro.cdss import CDSS, Peer, SchemaMapping, TrustPolicy
 from repro.errors import ReproError
+from repro.exchange import ProgramCache, program_fingerprint
 from repro.indexing import ASRDefinition, ASRManager, asr_definitions_for
 from repro.proql import GraphEngine, SQLEngine, parse_query
 from repro.provenance import (
@@ -39,6 +43,7 @@ __all__ = [
     "Instance",
     "Peer",
     "Polynomial",
+    "ProgramCache",
     "ProvenanceGraph",
     "RelationSchema",
     "ReproError",
@@ -53,6 +58,7 @@ __all__ = [
     "get_semiring",
     "known_semirings",
     "parse_query",
+    "program_fingerprint",
     "provenance_polynomial",
     "to_dot",
     "to_json",

@@ -16,8 +16,9 @@ storage and query layers sit on:
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.cdss.mapping import SchemaMapping
 from repro.cdss.peer import Peer
@@ -25,12 +26,16 @@ from repro.cdss.trust import TrustPolicy
 from repro.datalog.evaluation import EvaluationResult, evaluate
 from repro.datalog.parser import parse_rule
 from repro.datalog.rules import Program, Rule
-from repro.errors import SchemaError
+from repro.errors import ExchangeError, SchemaError
+from repro.exchange.cache import ProgramCache
 from repro.provenance.annotate import annotate
 from repro.provenance.graph import ProvenanceGraph, TupleNode
 from repro.relational.instance import Catalog, Instance, Row
 from repro.relational.schema import RelationSchema, is_local_name, local_name
 from repro.semirings.registry import get_semiring
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exchange.sql_executor import ExchangeStore
 
 
 def local_rule_name(relation: str) -> str:
@@ -54,6 +59,12 @@ class CDSS:
         self.last_exchange: EvaluationResult | None = None
         #: cumulative wall-clock seconds spent in update exchange.
         self.exchange_seconds = 0.0
+        #: compiled-program cache shared by both exchange engines;
+        #: invalidated whenever the mapping program can change.
+        self.plan_cache = ProgramCache()
+        #: lazily created SQLite mirror for ``engine="sqlite"``.
+        self.exchange_store: "ExchangeStore | None" = None
+        self._owns_store = False
         for peer in peers:
             self.add_peer(peer)
 
@@ -65,6 +76,7 @@ class CDSS:
         self.peers[peer.name] = peer
         for schema in peer.relations:
             self._register_relation(schema)
+        self.plan_cache.invalidate()
         return peer
 
     def _register_relation(self, schema: RelationSchema) -> None:
@@ -100,6 +112,7 @@ class CDSS:
                     f"arity of {atom.relation}"
                 )
         self.mappings[mapping.name] = mapping
+        self.plan_cache.invalidate()
         return mapping
 
     def add_mappings(self, texts: Iterable[str]) -> list[SchemaMapping]:
@@ -132,30 +145,112 @@ class CDSS:
     ) -> int:
         return sum(self.insert_local(relation, row) for row in rows)
 
-    def exchange(self) -> EvaluationResult:
+    def exchange(
+        self,
+        engine: str = "memory",
+        storage: "ExchangeStore | str | os.PathLike | None" = None,
+    ) -> EvaluationResult:
         """Run (incremental) update exchange.
 
         The first call materializes everything; later calls seed the
         semi-naive evaluation with only the pending local insertions,
         so unchanged derivations are not re-fired.
+
+        ``engine`` selects the evaluation substrate: ``"memory"`` runs
+        compiled join plans over in-memory hash indexes; ``"sqlite"``
+        runs whole delta batches as set-oriented SQL statements
+        (:mod:`repro.exchange.sql_executor`) — the out-of-core mode.
+        ``storage`` (sqlite engine only) names the
+        :class:`~repro.exchange.sql_executor.ExchangeStore` to use, or
+        a filesystem path for instances larger than memory; by default
+        the CDSS owns one in-memory store, reused across incremental
+        calls.  Both engines share the compiled-program cache
+        (:attr:`plan_cache`): repeated exchanges over an unchanged
+        program compile zero plans (``plans_compiled == 0``).
         """
+        started = time.perf_counter()
+        rules = self.program()
+        program, cache_hit = self.plan_cache.fetch(rules)
         initial_delta: Mapping[str, set[Row]] | None
         if self._exchanged_once:
             initial_delta = dict(self._pending)
         else:
             initial_delta = None
-        started = time.perf_counter()
-        result = evaluate(
-            self.program(),
-            self.instance,
-            graph=self.graph,
-            initial_delta=initial_delta,
-        )
+        if engine == "memory":
+            if storage is not None:
+                raise ExchangeError(
+                    'storage= applies only to engine="sqlite"; the memory '
+                    "engine has no store"
+                )
+            result = evaluate(
+                rules,
+                self.instance,
+                graph=self.graph,
+                initial_delta=initial_delta,
+                compiled_program=program,
+            )
+        elif engine == "sqlite":
+            from repro.exchange.sql_executor import SQLiteExchangeEngine
+
+            result = SQLiteExchangeEngine(self._resolve_store(storage)).run(
+                program,
+                self.catalog,
+                self.mappings,
+                self.instance,
+                graph=self.graph,
+                initial_delta=initial_delta,
+            )
+        else:
+            raise ExchangeError(
+                f"unknown exchange engine {engine!r}; "
+                'expected "memory" or "sqlite"'
+            )
+        result.engine = engine
+        result.plan_cache_hit = cache_hit
+        result.plans_compiled = 0 if cache_hit else program.plan_count
         self.exchange_seconds += time.perf_counter() - started
         self.last_exchange = result
         self._pending.clear()
         self._exchanged_once = True
         return result
+
+    def _resolve_store(
+        self, storage: "ExchangeStore | str | os.PathLike | None"
+    ) -> "ExchangeStore":
+        """The ``storage=`` hook: an explicit store, a path, or the
+        CDSS-owned default (kept for incremental reuse).
+
+        Stores this CDSS created itself are closed when a different
+        store replaces them; caller-provided stores are never closed
+        here (the caller owns their lifecycle).
+        """
+        from repro.exchange.sql_executor import ExchangeStore
+
+        def adopt(store: "ExchangeStore", owned: bool) -> "ExchangeStore":
+            if (
+                self._owns_store
+                and self.exchange_store is not None
+                and self.exchange_store is not store
+            ):
+                self.exchange_store.close()
+            self.exchange_store = store
+            self._owns_store = owned
+            return store
+
+        if isinstance(storage, ExchangeStore):
+            return adopt(storage, owned=False)
+        if storage is not None:
+            path = os.fspath(storage)
+            if (
+                self.exchange_store is not None
+                and not self.exchange_store.closed
+                and self.exchange_store.path == path
+            ):
+                return self.exchange_store
+            return adopt(ExchangeStore(path), owned=True)
+        if self.exchange_store is None or self.exchange_store.closed:
+            return adopt(ExchangeStore(), owned=True)
+        return self.exchange_store
 
     # -- deletion propagation (Q5) --------------------------------------------
 

@@ -35,7 +35,7 @@ the indexes a plan will probe are registered up front.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from repro.datalog.atoms import Atom, match_tuple
 from repro.datalog.planner import (
@@ -49,6 +49,9 @@ from repro.datalog.terms import Constant, Variable
 from repro.errors import EvaluationError
 from repro.provenance.graph import DerivationNode, ProvenanceGraph, TupleNode
 from repro.relational.instance import Instance, Row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exchange.cache import CompiledExchangeProgram
 
 _EMPTY_DELTA: frozenset[Row] = frozenset()
 
@@ -135,6 +138,11 @@ class EvaluationResult:
     #: the delta — e.g. all of round 1 of a full exchange) contribute
     #: nothing.
     dedup_skipped: int = 0
+    #: which engine produced this result ("memory" | "sqlite").
+    engine: str = "memory"
+    #: True when the plans came from a :class:`ProgramCache` hit (the
+    #: run compiled nothing; ``plans_compiled`` is then 0).
+    plan_cache_hit: bool = False
 
     def derived_size(self) -> int:
         return self.instance.size()
@@ -341,6 +349,7 @@ def evaluate(
     record_provenance: bool = True,
     max_iterations: int | None = None,
     initial_delta: Mapping[str, Iterable[Row]] | None = None,
+    compiled_program: "CompiledExchangeProgram | None" = None,
 ) -> EvaluationResult:
     """Semi-naive fixpoint evaluation over compiled join plans.
 
@@ -359,8 +368,18 @@ def evaluate(
     during the round become next round's delta, and a firing is only
     enumerated from the first of its body atoms whose row is in the
     current delta — each distinct firing counts exactly once.
+
+    ``compiled_program`` supplies an already-prepared-and-compiled
+    program (a :class:`~repro.exchange.cache.CompiledExchangeProgram`,
+    typically from a :class:`~repro.exchange.cache.ProgramCache`); the
+    run then compiles nothing and reports ``plans_compiled == 0``.
     """
-    rules = _prepare(program)
+    if compiled_program is not None:
+        rules = list(compiled_program.rules)
+        compiled = list(compiled_program.compiled)
+    else:
+        rules = _prepare(program)
+        compiled = compile_program(rules)
     if graph is None:
         graph = ProvenanceGraph() if record_provenance else None
 
@@ -369,10 +388,10 @@ def evaluate(
         for row in instance[relation]:
             pool.add(relation, row)
 
-    compiled = compile_program(rules)
     result = EvaluationResult(instance, graph or ProvenanceGraph())
-    for crule in compiled:
-        result.plans_compiled += len(crule.plans)
+    if compiled_program is None:
+        for crule in compiled:
+            result.plans_compiled += len(crule.plans)
     if initial_delta is None:
         # Full exchange probes essentially every plan index; build them
         # up front in one pass.  Incremental runs leave registration to

@@ -61,5 +61,10 @@ class StorageError(ReproError):
     """Relational storage layer failure (SQLite, encoding, views)."""
 
 
+class ExchangeError(ReproError):
+    """Update-exchange engine failure (unknown engine, SQL lowering of
+    an uncompilable rule, store misuse)."""
+
+
 class IndexingError(ReproError):
     """Invalid ASR definition (e.g. overlapping ASRs) or rewrite failure."""

@@ -1,0 +1,70 @@
+"""``repro.exchange`` — SQL-backed, out-of-core update exchange.
+
+The paper (Section 4) runs the CDSS storage and maintenance layers
+*inside an RDBMS*: relations, local-contribution tables, and one
+provenance relation ``P_m`` per mapping live as tables (Section 4.1),
+and update exchange executes as set-oriented SQL over them (Section
+4.2's translated queries).  This subsystem brings the reproduction to
+that architecture, component by component:
+
+================  ==========================================================
+component          role (paper anchor)
+================  ==========================================================
+``cache``          Compiled-program cache keyed by a program fingerprint,
+                   so incremental exchanges (Section 4.2's incremental
+                   update policies) stop recompiling join plans; shared by
+                   the in-memory and SQLite engines.
+``sql_plans``      Lowers each per-delta-atom join plan of
+                   :mod:`repro.datalog.planner` into a parameterized SQL
+                   statement — the rule-to-SQL translation of Section 4's
+                   "update exchange ... performed within the DBMS",
+                   including Skolem (labeled-null, footnote 1) value
+                   construction in SQL and ``P_m`` maintenance
+                   (Section 4.1's provenance encoding).
+``sql_executor``   Set-oriented semi-naive fixpoint: one SQL statement per
+                   plan per round over delta tables, transactional
+                   instance + ``P_m`` maintenance, lazy write-back of the
+                   provenance graph (Figure 1) after convergence.
+================  ==========================================================
+
+Engine selection happens at the API surface:
+``CDSS.exchange(engine="memory"|"sqlite", storage=...)``, where
+``storage`` names an :class:`~repro.exchange.sql_executor.ExchangeStore`
+(or a filesystem path for out-of-core workloads whose working set
+exceeds memory).  Both engines are verified property-test-identical on
+instances and provenance graphs.
+
+Submodules that depend on :mod:`repro.cdss` are imported lazily so that
+``repro.cdss.system`` can import the cache without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.exchange.cache import (
+    CompiledExchangeProgram,
+    ProgramCache,
+    compile_exchange_program,
+    program_fingerprint,
+)
+
+__all__ = [
+    "CompiledExchangeProgram",
+    "ExchangeStore",
+    "ProgramCache",
+    "SQLiteExchangeEngine",
+    "compile_exchange_program",
+    "lower_program",
+    "program_fingerprint",
+]
+
+
+def __getattr__(name: str):
+    if name in ("ExchangeStore", "SQLiteExchangeEngine"):
+        from repro.exchange import sql_executor
+
+        return getattr(sql_executor, name)
+    if name == "lower_program":
+        from repro.exchange.sql_plans import lower_program
+
+        return lower_program
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,440 @@
+"""Set-oriented semi-naive update exchange inside SQLite.
+
+This is the out-of-core counterpart of
+:func:`repro.datalog.evaluation.evaluate`: every semi-naive round runs
+*whole delta batches* as one SQL statement per compiled plan, instead
+of enumerating candidate rows in Python.  The round structure mirrors
+the in-memory engine exactly, so both engines produce identical
+instances and provenance graphs:
+
+1. every plan whose seed relation has a non-empty delta fires as one
+   ``INSERT INTO __fired_<rule> SELECT DISTINCT ...`` join over the
+   frozen relation mirror and the ``__delta_*`` tables;
+2. the round's fresh firings drive the head inserts (into per-relation
+   candidate tables) and the ``P_m`` provenance-relation maintenance
+   (Section 4.1) — all inside one transaction per round;
+3. at round end, distinct candidates not already stored become the next
+   delta and are published to the relation mirror — insertions never
+   join within the round that produced them (snapshot semantics).
+
+The provenance graph is written back *lazily*: firings accumulate in
+relational form during the fixpoint and are converted to
+:class:`~repro.provenance.graph.DerivationNode` objects (and the head
+tuples inserted into the Python instance) in a single batched pass
+after convergence.
+
+:class:`ExchangeStore` owns the SQLite database (``:memory:`` or an
+on-disk path for out-of-core workloads), keeps one
+:class:`~repro.storage.encoding.ValueCodec` so labeled nulls intern
+consistently, and registers the ``repro_skolem`` SQL function that
+builds Skolem values inside queries.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Mapping as TMapping
+
+from repro.cdss.mapping import SchemaMapping
+from repro.datalog.evaluation import EvaluationResult
+from repro.datalog.planner import ground_extractors
+from repro.datalog.terms import SkolemValue
+from repro.errors import EvaluationError, ExchangeError
+from repro.exchange.cache import CompiledExchangeProgram
+from repro.exchange.sql_plans import (
+    ProgramSQL,
+    cand_table,
+    delta_table,
+    lower_program,
+    new_table,
+    slot_column,
+    stage_new_sql,
+)
+from repro.provenance.graph import DerivationNode, ProvenanceGraph, TupleNode
+from repro.relational.instance import Catalog, Instance, Row
+from repro.storage.encoding import ValueCodec, quote_identifier as _q
+
+
+def _skolem_function(codec: ValueCodec):
+    """The ``repro_skolem(name, types_csv, *args)`` SQL function.
+
+    Decodes each argument by its declared type tag, builds the
+    :class:`SkolemValue`, and returns its interned string encoding so
+    equal labeled nulls compare equal inside SQL joins.
+    """
+
+    def repro_skolem(function: str, types_csv: str, *args: object) -> object:
+        types = types_csv.split(",") if types_csv else []
+        values = tuple(
+            codec.decode(value, type_) for value, type_ in zip(args, types)
+        )
+        return codec.encode(SkolemValue(function, values))
+
+    return repro_skolem
+
+
+class ExchangeStore:
+    """SQLite database mirroring a CDSS instance for SQL exchange.
+
+    ``path=":memory:"`` keeps everything in RAM; any other path puts
+    the working set on disk, which is the out-of-core mode (instances
+    larger than memory join fine — SQLite pages them).  The store is
+    reusable across incremental :meth:`CDSS.exchange` calls and is a
+    context manager.
+
+    Dedicate a store to one CDSS for its lifetime: ``P_m`` provenance
+    rows accumulate across incremental calls (they mirror the growing
+    provenance graph), so pointing a second system at the same store
+    would leave the first system's rows behind.
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self.codec = ValueCodec()
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA synchronous = OFF")
+        self.connection.execute("PRAGMA journal_mode = MEMORY")
+        self.connection.create_function(
+            "repro_skolem", -1, _skolem_function(self.codec), deterministic=True
+        )
+        self.closed = False
+        self._known_tables: set[str] = set()
+
+    # -- schema ------------------------------------------------------------
+
+    def _create_table(self, name: str, columns: tuple[str, ...]) -> None:
+        # Columns are intentionally typeless (BLOB affinity): the store
+        # must preserve encoded values exactly as bound, with no column
+        # affinity coercion (e.g. TEXT affinity turning ints into text).
+        cols = ", ".join(_q(c) for c in columns)
+        self.connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {_q(name)} ({cols})"
+        )
+        self._known_tables.add(name)
+
+    def ensure_schema(
+        self,
+        catalog: Catalog,
+        mappings: TMapping[str, SchemaMapping],
+        sql: ProgramSQL,
+    ) -> None:
+        """Create (idempotently) every table and index the program needs."""
+        for schema in catalog:
+            for name in (
+                schema.name,
+                delta_table(schema.name),
+                new_table(schema.name),
+                cand_table(schema.name),
+            ):
+                self._create_table(name, schema.attribute_names)
+            dcols = ", ".join(_q(c) for c in schema.attribute_names)
+            self.connection.execute(
+                f"CREATE INDEX IF NOT EXISTS "
+                f"{_q('__ix_' + delta_table(schema.name))} "
+                f"ON {_q(delta_table(schema.name))} ({dcols})"
+            )
+        for rule in sql.rules:
+            self._create_table(
+                rule.firing_table,
+                tuple(slot_column(s) for s in range(rule.num_slots)),
+            )
+        for mapping in mappings.values():
+            if mapping.is_superfluous or not mapping.provenance_columns:
+                continue
+            schema = mapping.provenance_schema()
+            self._create_table(schema.name, schema.attribute_names)
+            # Indexed on every column (as in the paper's storage layer):
+            # the per-round dedup probe and path traversals may enter a
+            # provenance relation from either side.
+            for attribute in schema.attribute_names:
+                self.connection.execute(
+                    f"CREATE INDEX IF NOT EXISTS "
+                    f"{_q(f'__ix_{schema.name}__{attribute}')} "
+                    f"ON {_q(schema.name)} ({_q(attribute)})"
+                )
+        for relation, positions in sql.index_requirements:
+            if relation not in catalog:
+                continue
+            names = catalog[relation].attribute_names
+            cols = ", ".join(_q(names[p]) for p in positions)
+            suffix = "_".join(str(p) for p in positions)
+            self.connection.execute(
+                f"CREATE INDEX IF NOT EXISTS "
+                f"{_q(f'__ix_{relation}__{suffix}')} "
+                f"ON {_q(relation)} ({cols})"
+            )
+        self.connection.commit()
+
+    # -- per-run state ------------------------------------------------------
+
+    def reset_run(self, catalog: Catalog, sql: ProgramSQL) -> None:
+        """Clear firing logs and working tables for a fresh run."""
+        with self.connection:
+            for rule in sql.rules:
+                self.connection.execute(f"DELETE FROM {_q(rule.firing_table)}")
+            for schema in catalog:
+                for name in (
+                    delta_table(schema.name),
+                    new_table(schema.name),
+                    cand_table(schema.name),
+                ):
+                    self.connection.execute(f"DELETE FROM {_q(name)}")
+
+    def load_instance(self, instance: Instance) -> dict[str, int]:
+        """Mirror the Python instance; returns per-relation row counts."""
+        counts: dict[str, int] = {}
+        with self.connection:
+            for schema in instance.catalog:
+                rows = instance[schema.name]
+                self.connection.execute(f"DELETE FROM {_q(schema.name)}")
+                if rows:
+                    placeholders = ", ".join("?" for _ in range(schema.arity))
+                    self.connection.executemany(
+                        f"INSERT INTO {_q(schema.name)} VALUES ({placeholders})",
+                        [self.codec.encode_row(row) for row in sorted(rows, key=repr)],
+                    )
+                counts[schema.name] = len(rows)
+        return counts
+
+    # -- small helpers ------------------------------------------------------
+
+    def max_rowid(self, table: str) -> int:
+        (value,) = self.connection.execute(
+            f"SELECT COALESCE(MAX(rowid), 0) FROM {_q(table)}"
+        ).fetchone()
+        return int(value)
+
+    def count(self, table: str) -> int:
+        (value,) = self.connection.execute(
+            f"SELECT COUNT(*) FROM {_q(table)}"
+        ).fetchone()
+        return int(value)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.connection.close()
+            self.closed = True
+
+    def __enter__(self) -> "ExchangeStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return f"<ExchangeStore path={self.path!r} {state}>"
+
+
+class SQLiteExchangeEngine:
+    """Runs compiled exchange programs set-at-a-time over a store."""
+
+    def __init__(self, store: ExchangeStore):
+        if store.closed:
+            raise ExchangeError("exchange store is closed")
+        self.store = store
+
+    def run(
+        self,
+        program: CompiledExchangeProgram,
+        catalog: Catalog,
+        mappings: TMapping[str, SchemaMapping],
+        instance: Instance,
+        graph: ProvenanceGraph | None = None,
+        initial_delta: TMapping[str, set[Row]] | None = None,
+        max_iterations: int | None = None,
+    ) -> EvaluationResult:
+        """Semi-naive SQL fixpoint; mutates *instance* and *graph*.
+
+        Semantics match :func:`repro.datalog.evaluation.evaluate` with
+        the same ``initial_delta`` contract: ``None`` seeds a full
+        exchange from the whole instance, a mapping of per-relation row
+        sets seeds an incremental one (rows must already be inserted).
+        """
+        if graph is None:
+            graph = ProvenanceGraph()
+        if program.sql is None:
+            program.sql = lower_program(
+                program.compiled, catalog, mappings, self.store.codec
+            )
+        sql = program.sql
+        conn = self.store.connection
+        self.store.ensure_schema(catalog, mappings, sql)
+        self.store.reset_run(catalog, sql)
+        rel_counts = self.store.load_instance(instance)
+
+        delta_counts = self._seed_deltas(instance, sql, initial_delta)
+        stage_sql = {
+            relation: stage_new_sql(catalog, relation)
+            for relation in sql.relations
+        }
+        result = EvaluationResult(instance, graph, engine="sqlite")
+
+        iteration = 0
+        while self._any_runnable(sql, delta_counts):
+            iteration += 1
+            if max_iterations is not None and iteration > max_iterations:
+                raise EvaluationError(
+                    f"fixpoint did not converge within {max_iterations} "
+                    "iterations"
+                )
+            with conn:
+                watermarks = {
+                    rule.rule_name: self.store.max_rowid(rule.firing_table)
+                    for rule in sql.rules
+                }
+                for rule in sql.rules:
+                    for plan in rule.plans:
+                        if not delta_counts.get(plan.seed_relation):
+                            continue
+                        if self._blocked(plan, delta_counts, rel_counts):
+                            continue
+                        conn.execute(
+                            plan.statement.sql, dict(plan.statement.params)
+                        )
+                for rule in sql.rules:
+                    watermark = watermarks[rule.rule_name]
+                    fired = self.store.max_rowid(rule.firing_table) - watermark
+                    if fired <= 0:
+                        continue
+                    result.firings += fired
+                    runtime = {"wm": watermark}
+                    for statement in rule.head_inserts:
+                        conn.execute(
+                            statement.sql, {**statement.params, **runtime}
+                        )
+                    if rule.provenance_insert is not None:
+                        conn.execute(
+                            rule.provenance_insert.sql,
+                            {**rule.provenance_insert.params, **runtime},
+                        )
+                new_counts: dict[str, int] = {}
+                for relation in sql.relations:
+                    conn.execute(stage_sql[relation])
+                    fresh = self.store.count(new_table(relation))
+                    conn.execute(f"DELETE FROM {_q(delta_table(relation))}")
+                    if fresh:
+                        conn.execute(
+                            f"INSERT INTO {_q(relation)} "
+                            f"SELECT * FROM {_q(new_table(relation))}"
+                        )
+                        conn.execute(
+                            f"INSERT INTO {_q(delta_table(relation))} "
+                            f"SELECT * FROM {_q(new_table(relation))}"
+                        )
+                        conn.execute(f"DELETE FROM {_q(new_table(relation))}")
+                        new_counts[relation] = fresh
+                        rel_counts[relation] = (
+                            rel_counts.get(relation, 0) + fresh
+                        )
+                    conn.execute(f"DELETE FROM {_q(cand_table(relation))}")
+                delta_counts = new_counts
+        result.iterations = iteration
+        result.inserted = self._write_back(program, sql, instance, graph)
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    def _seed_deltas(
+        self,
+        instance: Instance,
+        sql: ProgramSQL,
+        initial_delta: TMapping[str, set[Row]] | None,
+    ) -> dict[str, int]:
+        conn = self.store.connection
+        counts: dict[str, int] = {}
+        with conn:
+            if initial_delta is None:
+                for relation in sql.relations:
+                    conn.execute(
+                        f"INSERT INTO {_q(delta_table(relation))} "
+                        f"SELECT * FROM {_q(relation)}"
+                    )
+                    counts[relation] = instance.size(relation)
+                return counts
+            for relation, rows in initial_delta.items():
+                rows = {tuple(row) for row in rows}
+                if not rows:
+                    continue
+                missing = [
+                    row for row in rows if not instance.contains(relation, row)
+                ]
+                if missing:
+                    raise EvaluationError(
+                        f"initial_delta rows not in the instance for "
+                        f"{relation}: {missing[:3]}; insert them before "
+                        "evaluating"
+                    )
+                if relation not in sql.relations:
+                    continue
+                arity = len(next(iter(rows)))
+                placeholders = ", ".join("?" for _ in range(arity))
+                conn.executemany(
+                    f"INSERT INTO {_q(delta_table(relation))} "
+                    f"VALUES ({placeholders})",
+                    [self.store.codec.encode_row(row) for row in sorted(rows, key=repr)],
+                )
+                counts[relation] = len(rows)
+        return counts
+
+    @staticmethod
+    def _any_runnable(
+        sql: ProgramSQL, delta_counts: dict[str, int]
+    ) -> bool:
+        for rule in sql.rules:
+            for plan in rule.plans:
+                if delta_counts.get(plan.seed_relation):
+                    return True
+        return False
+
+    @staticmethod
+    def _blocked(
+        plan, delta_counts: dict[str, int], rel_counts: dict[str, int]
+    ) -> bool:
+        # Mirrors the memory engine: when every stored row of a guarded
+        # relation is in the delta, the guard rejects every candidate.
+        for relation in plan.guarded_relations:
+            count = delta_counts.get(relation)
+            if count and count == rel_counts.get(relation, 0):
+                return True
+        return False
+
+    def _write_back(
+        self,
+        program: CompiledExchangeProgram,
+        sql: ProgramSQL,
+        instance: Instance,
+        graph: ProvenanceGraph,
+    ) -> int:
+        """Batched conversion of this run's firings into instance rows
+        and provenance derivations (the lazy graph view)."""
+        conn = self.store.connection
+        codec = self.store.codec
+        inserted = 0
+        for rule, crule in zip(sql.rules, program.compiled):
+            select = ", ".join(
+                _q(slot_column(s)) for s in range(rule.num_slots)
+            )
+            cursor = conn.execute(
+                f"SELECT {select or 'rowid'} FROM {_q(rule.firing_table)} "
+                "ORDER BY rowid"
+            )
+            for raw in cursor:
+                slots = [
+                    codec.decode(value, type_)
+                    for value, type_ in zip(raw, rule.slot_types)
+                ]
+                sources = tuple(
+                    TupleNode(relation, ground_extractors(extractors, slots))
+                    for relation, extractors in rule.body_extractors
+                )
+                targets = []
+                for relation, extractors in crule.head:
+                    row = ground_extractors(extractors, slots)
+                    if instance.insert(relation, row):
+                        inserted += 1
+                    targets.append(TupleNode(relation, row))
+                graph.add_derivation(
+                    DerivationNode(rule.rule_name, sources, tuple(targets))
+                )
+        return inserted

@@ -5,6 +5,15 @@ SQLite natively stores ints, floats, and strings.  Booleans map to
 Skolem values (labeled nulls) are interned as tagged strings so that
 equal labeled nulls compare equal inside SQL joins — the property data
 exchange needs from its canonical universal solution.
+
+Two more tagged encodings keep round-trips exact on edge values:
+
+* Python ints outside SQLite's signed 64-bit range (which would raise
+  ``OverflowError`` at bind time) are stored as ``@int:<decimal>``
+  strings — equality-joinable, since the decimal rendering is
+  canonical;
+* ordinary strings that *happen* to start with one of the tag prefixes
+  are escaped with ``@str:`` so decoding is unambiguous.
 """
 
 from __future__ import annotations
@@ -16,6 +25,13 @@ from repro.errors import StorageError
 from repro.relational.schema import RelationSchema
 
 _SKOLEM_TAG = "@sk:"
+_INT_TAG = "@int:"
+_STR_TAG = "@str:"
+_TAGS = (_SKOLEM_TAG, _INT_TAG, _STR_TAG)
+
+#: SQLite INTEGER is a signed 64-bit value.
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
 
 
 class ValueCodec:
@@ -31,16 +47,27 @@ class ValueCodec:
             key = _SKOLEM_TAG + str(value)
             self._skolems[key] = value
             return key
+        if isinstance(value, int) and not _INT64_MIN <= value <= _INT64_MAX:
+            return _INT_TAG + str(value)
+        if isinstance(value, str) and value.startswith(_TAGS):
+            return _STR_TAG + value
         if value is None or isinstance(value, (int, float, str)):
             return value
         raise StorageError(f"cannot store value of type {type(value).__name__}")
 
     def decode(self, value: object, attribute_type: str) -> object:
-        if isinstance(value, str) and value.startswith(_SKOLEM_TAG):
-            try:
-                return self._skolems[value]
-            except KeyError:
-                raise StorageError(f"unknown Skolem encoding {value!r}") from None
+        if isinstance(value, str):
+            if value.startswith(_SKOLEM_TAG):
+                try:
+                    return self._skolems[value]
+                except KeyError:
+                    raise StorageError(
+                        f"unknown Skolem encoding {value!r}"
+                    ) from None
+            if value.startswith(_INT_TAG):
+                return int(value[len(_INT_TAG):])
+            if value.startswith(_STR_TAG):
+                return value[len(_STR_TAG):]
         if attribute_type == "bool" and isinstance(value, int):
             return bool(value)
         return value

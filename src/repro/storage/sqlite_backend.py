@@ -37,6 +37,7 @@ class SQLiteStorage:
         self.connection.execute("PRAGMA synchronous = OFF")
         self.connection.execute("PRAGMA journal_mode = MEMORY")
         self._initialized = False
+        self._closed = False
 
     # -- DDL ------------------------------------------------------------------
 
@@ -46,10 +47,13 @@ class SQLiteStorage:
             for a in schema.attributes
         )
         table = quote_identifier(schema.name)
-        self.connection.execute(f"CREATE TABLE {table} ({columns})")
+        self.connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {table} ({columns})"
+        )
         key_cols = ", ".join(quote_identifier(k) for k in schema.key)
         self.connection.execute(
-            f"CREATE INDEX {quote_identifier('ix_' + schema.name + '_key')} "
+            f"CREATE INDEX IF NOT EXISTS "
+            f"{quote_identifier('ix_' + schema.name + '_key')} "
             f"ON {table} ({key_cols})"
         )
 
@@ -60,10 +64,12 @@ class SQLiteStorage:
             f"{quote_identifier(a.name)} {sql_type(a.type)}"
             for a in schema.attributes
         )
-        self.connection.execute(f"CREATE TABLE {table} ({columns})")
+        self.connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {table} ({columns})"
+        )
         for attribute in schema.attributes:
             self.connection.execute(
-                f"CREATE INDEX "
+                f"CREATE INDEX IF NOT EXISTS "
                 f"{quote_identifier(f'ix_{schema.name}_{attribute.name}')} "
                 f"ON {table} ({quote_identifier(attribute.name)})"
             )
@@ -104,14 +110,18 @@ class SQLiteStorage:
         source = quote_identifier(body_atom.relation)
         where = f" WHERE {' AND '.join(where_parts)}" if where_parts else ""
         self.connection.execute(
-            f"CREATE VIEW {view} AS SELECT {', '.join(select_parts)} "
+            f"CREATE VIEW IF NOT EXISTS {view} AS "
+            f"SELECT {', '.join(select_parts)} "
             f"FROM {source}{where}"
         )
 
     def initialize(self) -> None:
-        """Create all tables, indexes, and superfluous-mapping views."""
-        if self._initialized:
-            raise StorageError("storage already initialized")
+        """Create all tables, indexes, and superfluous-mapping views.
+
+        Idempotent: every DDL statement is ``IF NOT EXISTS``, so
+        repeated ``prepare_storage``/``load`` calls (and re-opening an
+        on-disk database that already has the schema) are safe.
+        """
         for schema in self.cdss.catalog:
             self._create_relation_table(schema)
         for mapping in self.cdss.mappings.values():
@@ -147,7 +157,11 @@ class SQLiteStorage:
             table = quote_identifier(schema.name)
             self.connection.execute(f"DELETE FROM {table}")
             total += self._insert_rows(
-                schema.name, schema.arity, sorted(self.cdss.instance[schema.name])
+                schema.name,
+                schema.arity,
+                # key=repr: deterministic order even for rows mixing
+                # value types (None/int/str) that do not compare.
+                sorted(self.cdss.instance[schema.name], key=repr),
             )
         for mapping in self.cdss.mappings.values():
             if mapping.is_superfluous:
@@ -159,7 +173,7 @@ class SQLiteStorage:
             total += self._insert_rows(
                 schema.name,
                 schema.arity,
-                sorted(set(provenance_rows(mapping, self.cdss.graph))),
+                sorted(set(provenance_rows(mapping, self.cdss.graph)), key=repr),
             )
         self.connection.commit()
         return total
@@ -183,7 +197,10 @@ class SQLiteStorage:
         return int(count)
 
     def close(self) -> None:
-        self.connection.close()
+        """Close the underlying connection (idempotent)."""
+        if not self._closed:
+            self.connection.close()
+            self._closed = True
 
     def __enter__(self) -> "SQLiteStorage":
         return self

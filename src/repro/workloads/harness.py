@@ -41,6 +41,12 @@ class ExperimentResult:
     plans_compiled: int = 0
     index_hits: int = 0
     dedup_skipped: int = 0
+    #: engine of the most recent exchange ("memory" | "sqlite").
+    engine: str = "memory"
+    #: whether that exchange hit the compiled-program cache.
+    plan_cache_hit: bool = False
+    #: cumulative program-cache hits over the CDSS's lifetime.
+    plan_cache_hits: int = 0
 
     @property
     def unfolded_rules(self) -> int:
@@ -112,6 +118,9 @@ def run_target_query(
         plans_compiled=exchange.plans_compiled if exchange else 0,
         index_hits=exchange.index_hits if exchange else 0,
         dedup_skipped=exchange.dedup_skipped if exchange else 0,
+        engine=exchange.engine if exchange else "memory",
+        plan_cache_hit=exchange.plan_cache_hit if exchange else False,
+        plan_cache_hits=cdss.plan_cache.hits,
     )
     if manager is not None:
         manager.drop_all()

@@ -46,6 +46,11 @@ class TopologySpec:
     seed: int = 0
     #: (source peer, target peer) per mapping, in mapping order
     edges: tuple[tuple[int, int], ...] = field(default=())
+    #: update-exchange engine ("memory" | "sqlite")
+    engine: str = "memory"
+    #: sqlite-engine store path (None = in-memory; a filesystem path
+    #: makes the exchange working set disk-resident / out-of-core)
+    exchange_path: str | None = None
 
 
 def chain_edges(num_peers: int) -> list[tuple[int, int]]:
@@ -108,7 +113,7 @@ def build_topology(spec: TopologySpec) -> CDSS:
     for number, (source, target) in enumerate(edges, start=1):
         cdss.add_mapping(_mapping_text(source, target), name=f"m{number}")
     _populate(cdss, spec)
-    cdss.exchange()
+    cdss.exchange(engine=spec.engine, storage=spec.exchange_path)
     return cdss
 
 
@@ -131,6 +136,8 @@ def chain(
     data_peers: Iterable[int] | None = None,
     base_size: int = 100,
     seed: int = 0,
+    engine: str = "memory",
+    exchange_path: str | None = None,
 ) -> CDSS:
     """A chain CDSS (Figure 5).  ``data_peers`` defaults to the two
     most-upstream peers, matching Section 6.3's setting of "data at a
@@ -138,7 +145,15 @@ def chain(
     if data_peers is None:
         data_peers = upstream_data_peers(num_peers, 2)
     return build_topology(
-        TopologySpec("chain", num_peers, tuple(data_peers), base_size, seed)
+        TopologySpec(
+            "chain",
+            num_peers,
+            tuple(data_peers),
+            base_size,
+            seed,
+            engine=engine,
+            exchange_path=exchange_path,
+        )
     )
 
 
@@ -147,12 +162,22 @@ def branched(
     data_peers: Iterable[int] | None = None,
     base_size: int = 100,
     seed: int = 0,
+    engine: str = "memory",
+    exchange_path: str | None = None,
 ) -> CDSS:
     """A branched CDSS (Figure 6) with data at the leaves by default."""
     if data_peers is None:
         data_peers = leaf_peers(num_peers)[:4]
     return build_topology(
-        TopologySpec("branched", num_peers, tuple(data_peers), base_size, seed)
+        TopologySpec(
+            "branched",
+            num_peers,
+            tuple(data_peers),
+            base_size,
+            seed,
+            engine=engine,
+            exchange_path=exchange_path,
+        )
     )
 
 

@@ -179,6 +179,46 @@ def test_incremental_exchange_matches_from_scratch(
     assert result.graph.derivations == oracle.graph.derivations
 
 
+def _insert_local_rows(cdss: CDSS, num_peers, rows):
+    """CDSS-level twin of :func:`_insert_rows` (queues pending rows)."""
+    for peer, k, v in rows:
+        peer %= num_peers
+        for suffix in ("R1", "R2"):
+            cdss.insert_local(f"P{peer}_{suffix}", (k, v))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    kind=st.sampled_from(["chain", "branched"]),
+    num_peers=st.integers(2, 4),
+    base_rows=topology_rows,
+    extra_rows=topology_rows,
+)
+def test_sqlite_engine_matches_memory_engine(
+    kind, num_peers, base_rows, extra_rows
+):
+    """The set-oriented SQLite engine and the in-memory engine yield
+    identical instances and provenance graphs on both topology shapes,
+    for the full exchange AND the incremental (initial_delta) call —
+    and the second exchange compiles 0 plans (program-cache hit) in
+    both engines."""
+    systems = {}
+    for engine in ("memory", "sqlite"):
+        system = _topology_cdss(kind, num_peers)
+        _insert_local_rows(system, num_peers, base_rows)
+        first = system.exchange(engine=engine)
+        assert not first.plan_cache_hit
+        _insert_local_rows(system, num_peers, extra_rows)
+        second = system.exchange(engine=engine)
+        assert second.plan_cache_hit
+        assert second.plans_compiled == 0
+        systems[engine] = system
+    memory, sqlite = systems["memory"], systems["sqlite"]
+    assert memory.instance == sqlite.instance
+    assert memory.graph.tuples == sqlite.graph.tuples
+    assert memory.graph.derivations == sqlite.graph.derivations
+
+
 @settings(max_examples=15, deadline=None)
 @given(r_rows=edges, s_rows=edges, drop=st.integers(0, 9))
 def test_deletion_propagation_equals_recomputation(r_rows, s_rows, drop):

@@ -1,0 +1,284 @@
+"""Tests for the SQL-backed update-exchange engine.
+
+The acceptance bar: ``engine="sqlite"`` must produce instances and
+provenance graphs *identical* to ``engine="memory"`` — on the paper's
+running example (cyclic and acyclic), with labeled nulls, across
+incremental calls, and out-of-core (on-disk store).
+"""
+
+import pytest
+
+from repro.cdss import CDSS, Peer
+from repro.errors import ExchangeError
+from repro.exchange.sql_executor import ExchangeStore, SQLiteExchangeEngine
+from repro.relational import RelationSchema
+from repro.storage import provenance_rows
+from repro.storage.encoding import quote_identifier
+
+# The running example (Example 2.1 / Figure 1), self-contained so this
+# module imports identically from the repo root and from tests/.
+EXAMPLE_MAPPINGS = [
+    "m1: C(i, n) :- A(i, s, _), N(i, n, false)",
+    "m2: N(i, n, true) :- A(i, n, _)",
+    "m3: N(i, n, false) :- C(i, n)",
+    "m4: O(n, h, true) :- A(i, n, h)",
+    "m5: O(n, h, true) :- A(i, _, h), C(i, n)",
+]
+
+
+def example_peers() -> list[Peer]:
+    return [
+        Peer.of(
+            "P1",
+            [
+                RelationSchema.of("A", ["id", ("sn", "str"), "len"], key=["id"]),
+                RelationSchema.of("C", ["id", ("name", "str")], key=["id", "name"]),
+            ],
+        ),
+        Peer.of(
+            "P2",
+            [
+                RelationSchema.of(
+                    "N",
+                    ["id", ("name", "str"), ("canon", "bool")],
+                    key=["id", "name"],
+                )
+            ],
+        ),
+        Peer.of(
+            "P3",
+            [
+                RelationSchema.of(
+                    "O", [("name", "str"), "h", ("animal", "bool")], key=["name"]
+                )
+            ],
+        ),
+    ]
+
+
+def populate_example(system: CDSS) -> CDSS:
+    insert_example_data(system)
+    system.exchange()
+    return system
+
+
+def example_twins(mappings=EXAMPLE_MAPPINGS):
+    """Two structurally identical CDSSs over the running example."""
+    out = []
+    for _ in range(2):
+        system = CDSS(example_peers())
+        system.add_mappings(mappings)
+        out.append(system)
+    return out
+
+
+def insert_example_data(system: CDSS) -> None:
+    """Figure 1's base data, without running an exchange."""
+    system.insert_local("A", (1, "sn1", 7))
+    system.insert_local("A", (2, "sn1", 5))
+    system.insert_local("N", (1, "cn1", False))
+    system.insert_local("C", (2, "cn2"))
+
+
+def assert_same_state(memory: CDSS, sqlite: CDSS) -> None:
+    assert memory.instance == sqlite.instance
+    assert memory.graph.tuples == sqlite.graph.tuples
+    assert memory.graph.derivations == sqlite.graph.derivations
+
+
+class TestEngineEquivalence:
+    def test_running_example_cyclic(self):
+        memory, sql = example_twins()
+        populate_example(memory)
+        insert_example_data(sql)
+        result = sql.exchange(engine="sqlite")
+        assert result.engine == "sqlite"
+        assert result.firings == memory.last_exchange.firings
+        assert result.inserted == memory.last_exchange.inserted
+        assert_same_state(memory, sql)
+
+    def test_running_example_acyclic(self):
+        mappings = [m for m in EXAMPLE_MAPPINGS if not m.startswith("m3")]
+        memory, sql = example_twins(mappings)
+        populate_example(memory)
+        insert_example_data(sql)
+        sql.exchange(engine="sqlite")
+        assert_same_state(memory, sql)
+
+    def test_incremental_updates(self):
+        memory, sql = example_twins()
+        for system, engine in ((memory, "memory"), (sql, "sqlite")):
+            system.insert_local("A", (1, "sn1", 7))
+            system.insert_local("N", (1, "cn1", False))
+            system.exchange(engine=engine)
+            system.insert_local("A", (2, "sn1", 5))
+            system.insert_local("C", (2, "cn2"))
+            system.exchange(engine=engine)
+        assert_same_state(memory, sql)
+
+    def test_skolem_values_join_in_sql(self):
+        def build():
+            system = CDSS(
+                [
+                    Peer.of(
+                        "P",
+                        [
+                            RelationSchema.of("A", ["x"]),
+                            RelationSchema.of("B", ["x", "y"]),
+                            RelationSchema.of("D", ["x", "y"]),
+                        ],
+                    )
+                ]
+            )
+            # Existential y becomes a labeled null; m2 must join on it.
+            system.add_mapping("m1: B(x, y) :- A(x)", name="m1")
+            system.add_mapping("m2: D(x, y) :- B(x, y), A(x)", name="m2")
+            system.insert_local_many("A", [(1,), (2,)])
+            return system
+
+        memory, sql = build(), build()
+        memory.exchange()
+        sql.exchange(engine="sqlite")
+        assert_same_state(memory, sql)
+        assert memory.instance.size("D") == 2
+
+    def test_empty_incremental_exchange(self):
+        memory, sql = example_twins()
+        populate_example(memory)
+        insert_example_data(sql)
+        sql.exchange(engine="sqlite")
+        memory.exchange()  # no pending rows
+        result = sql.exchange(engine="sqlite")  # no pending rows
+        assert result.iterations == 0
+        assert result.inserted == 0
+        assert_same_state(memory, sql)
+
+
+class TestProvenanceRelations:
+    def test_pm_rows_match_graph_encoding(self):
+        _, system = example_twins()
+        insert_example_data(system)
+        system.exchange(engine="sqlite")
+        store = system.exchange_store
+        for name, mapping in system.mappings.items():
+            if mapping.is_superfluous or not mapping.provenance_columns:
+                continue
+            table = quote_identifier(f"P_{name}")
+            stored = {
+                tuple(
+                    store.codec.decode(value, column.type)
+                    for value, column in zip(row, mapping.provenance_columns)
+                )
+                for row in store.connection.execute(f"SELECT * FROM {table}")
+            }
+            expected = set(provenance_rows(mapping, system.graph))
+            assert stored == expected, name
+
+    def test_pm_rows_accumulate_incrementally(self):
+        _, system = example_twins()
+        system.insert_local("A", (1, "sn1", 7))
+        system.insert_local("N", (1, "cn1", False))
+        system.exchange(engine="sqlite")
+        system.insert_local("A", (2, "sn1", 5))
+        system.insert_local("C", (2, "cn2"))
+        system.exchange(engine="sqlite")
+        store = system.exchange_store
+        mapping = system.mappings["m1"]
+        stored = {
+            tuple(
+                store.codec.decode(value, column.type)
+                for value, column in zip(row, mapping.provenance_columns)
+            )
+            for row in store.connection.execute('SELECT * FROM "P_m1"')
+        }
+        assert stored == set(provenance_rows(mapping, system.graph))
+
+
+class TestExchangeStore:
+    def test_on_disk_store(self, tmp_path):
+        path = str(tmp_path / "exchange.db")
+        memory, sql = example_twins()
+        populate_example(memory)
+        insert_example_data(sql)
+        sql.exchange(engine="sqlite", storage=path)
+        assert sql.exchange_store.path == path
+        # Incremental call with the same path reuses the store.
+        store = sql.exchange_store
+        sql.insert_local("A", (3, "sn3", 9))
+        memory.insert_local("A", (3, "sn3", 9))
+        sql.exchange(engine="sqlite", storage=path)
+        memory.exchange()
+        assert sql.exchange_store is store
+        assert_same_state(memory, sql)
+
+    def test_store_context_manager(self):
+        with ExchangeStore() as store:
+            assert not store.closed
+        assert store.closed
+        store.close()  # idempotent
+
+    def test_engine_rejects_closed_store(self):
+        store = ExchangeStore()
+        store.close()
+        with pytest.raises(ExchangeError):
+            SQLiteExchangeEngine(store)
+
+    def test_explicit_store_hook(self):
+        _, system = example_twins()
+        system.insert_local("A", (1, "sn1", 7))
+        with ExchangeStore() as store:
+            system.exchange(engine="sqlite", storage=store)
+            assert system.exchange_store is store
+
+    def test_replaced_owned_store_is_closed(self, tmp_path):
+        _, system = example_twins()
+        system.insert_local("A", (1, "sn1", 7))
+        system.exchange(engine="sqlite")  # CDSS-owned default store
+        owned = system.exchange_store
+        system.insert_local("A", (2, "sn2", 8))
+        system.exchange(engine="sqlite", storage=str(tmp_path / "a.db"))
+        assert owned.closed  # no connection leak
+
+    def test_caller_store_not_closed_on_replacement(self, tmp_path):
+        _, system = example_twins()
+        system.insert_local("A", (1, "sn1", 7))
+        with ExchangeStore() as caller_store:
+            system.exchange(engine="sqlite", storage=caller_store)
+            system.insert_local("A", (2, "sn2", 8))
+            system.exchange(engine="sqlite", storage=str(tmp_path / "b.db"))
+            # The caller's store is theirs to close.
+            assert not caller_store.closed
+
+    def test_memory_engine_rejects_storage(self):
+        _, system = example_twins()
+        system.insert_local("A", (1, "sn1", 7))
+        with pytest.raises(ExchangeError):
+            system.exchange(engine="memory", storage="somewhere.db")
+
+
+class TestLoweringLimits:
+    def test_skolem_body_rule_rejected(self):
+        from repro.datalog.parser import parse_rule
+        from repro.datalog.rules import Rule
+        from repro.datalog.terms import SkolemTerm, Variable
+        from repro.datalog.atoms import Atom
+        from repro.exchange.cache import compile_exchange_program
+        from repro.exchange.sql_plans import lower_program
+        from repro.relational.instance import Catalog
+        from repro.storage.encoding import ValueCodec
+
+        x = Variable("x")
+        body_atom = Atom("R", (SkolemTerm("f", (x,)), x))
+        rule = Rule("weird", (Atom("T", (x,)),), (body_atom,))
+        catalog = Catalog(
+            [
+                RelationSchema.of("R", ["a", "b"]),
+                RelationSchema.of("T", ["a"]),
+            ]
+        )
+        from repro.datalog.planner import compile_rule
+
+        compiled = compile_rule(rule)
+        assert not compiled.plans  # planner falls back -> SQL must refuse
+        with pytest.raises(ExchangeError):
+            lower_program([compiled], catalog, {}, ValueCodec())

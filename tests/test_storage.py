@@ -55,6 +55,85 @@ class TestValueCodec:
             quote_identifier('a"b')
 
 
+class TestValueCodecEdgeValues:
+    """Edge values must survive the SQLite encoding exactly: None,
+    non-ASCII strings, ints beyond SQLite's 64-bit range, floats, and
+    strings colliding with the codec's own tag prefixes."""
+
+    EDGE_VALUES = [
+        None,
+        "héllo wörld — ünïcode ✓",
+        "文字列",
+        2**70,
+        -(2**70),
+        2**63 - 1,
+        -(2**63),
+        2.5,
+        -0.0,
+        1e308,
+        "@sk:looks_like_a_skolem",
+        "@int:123",
+        "@str:@str:nested",
+        True,
+        False,
+    ]
+
+    def test_sqlite_roundtrip(self):
+        import sqlite3
+
+        codec = ValueCodec()
+        connection = sqlite3.connect(":memory:")
+        # Typeless column: no affinity coercion, as in the exchange store.
+        connection.execute("CREATE TABLE t (i, v)")
+        connection.executemany(
+            "INSERT INTO t VALUES (?, ?)",
+            [(i, codec.encode(v)) for i, v in enumerate(self.EDGE_VALUES)],
+        )
+        for i, raw in connection.execute("SELECT i, v FROM t ORDER BY i"):
+            expected = self.EDGE_VALUES[i]
+            type_ = "bool" if isinstance(expected, bool) else "any"
+            decoded = codec.decode(raw, type_)
+            assert decoded == expected, expected
+            assert type(decoded) is type(expected), expected
+
+    def test_large_int_encoding_is_joinable(self):
+        codec = ValueCodec()
+        assert codec.encode(2**70) == codec.encode(2**70)
+        assert codec.encode(2**70) != codec.encode(2**70 + 1)
+
+    def test_edge_values_through_provenance_rows(self, tmp_path):
+        """Edge values flow through exchange, into P_m rows on disk,
+        and decode back out unchanged."""
+        from repro.cdss import CDSS, Peer
+
+        keys = ["héllo", "@sk:fake", "文字列", 2**70, None]
+        system = CDSS(
+            [
+                Peer.of(
+                    "P",
+                    [
+                        RelationSchema.of("R", [("k", "str")]),
+                        RelationSchema.of("S", [("k", "str")]),
+                        RelationSchema.of("T", [("k", "str")]),
+                    ],
+                )
+            ]
+        )
+        system.add_mapping("m: T(k) :- R(k), S(k)", name="m")
+        system.insert_local_many("R", [(k,) for k in keys])
+        system.insert_local_many("S", [(k,) for k in keys])
+        system.exchange()
+        with SQLiteStorage(system, str(tmp_path / "edge.db")) as storage:
+            storage.load()
+            mapping = system.mappings["m"]
+            schema = mapping.provenance_schema()
+            decoded = {
+                storage.codec.decode_row(row, schema)[0]
+                for row in storage.query('SELECT * FROM "P_m"')
+            }
+        assert decoded == set(keys)
+
+
 class TestProvenanceRelations:
     def test_figure2_contents(self, example_storage):
         assert example_storage.query(
@@ -84,14 +163,41 @@ class TestProvenanceRelations:
         assert example_storage.table_size("O") == 4
         assert example_storage.table_size("A_l") == 2
 
-    def test_double_initialize_rejected(self, example_storage):
-        with pytest.raises(StorageError):
-            example_storage.initialize()
+    def test_double_initialize_is_idempotent(self, example_storage):
+        # All DDL is IF NOT EXISTS: re-initializing (and re-preparing
+        # storage over an existing database) must not fail.
+        example_storage.initialize()
+        example_storage.initialize()
+        assert example_storage.table_size("O") == 4
 
     def test_reload_is_idempotent(self, example_storage):
         first = example_storage.table_size("P_m1")
         example_storage.load()
         assert example_storage.table_size("P_m1") == first
+
+    def test_prepare_storage_twice_on_disk(self, example_cdss, tmp_path):
+        path = str(tmp_path / "cdss.db")
+        with SQLiteStorage(example_cdss, path) as storage:
+            storage.load()
+            size = storage.table_size("O")
+        # Re-opening the same file re-runs the DDL over existing tables.
+        with SQLiteStorage(example_cdss, path) as storage:
+            storage.load()
+            assert storage.table_size("O") == size
+
+    def test_close_is_idempotent(self, example_cdss):
+        storage = SQLiteStorage(example_cdss)
+        storage.load()
+        storage.close()
+        storage.close()
+
+    def test_context_manager_closes(self, example_cdss):
+        import sqlite3
+
+        with SQLiteStorage(example_cdss) as storage:
+            storage.load()
+        with pytest.raises(sqlite3.ProgrammingError):
+            storage.connection.execute("SELECT 1")
 
     def test_bad_sql_raises_storage_error(self, example_storage):
         with pytest.raises(StorageError):
