@@ -9,8 +9,10 @@ peers".
 Each point is measured under both update-exchange engines (in-memory
 compiled plans vs. set-oriented SQLite), and each system runs a second,
 incremental exchange after construction so the rows also witness the
-compiled-program cache: ``plans=0`` with a non-zero ``cache_hits``
-column means the incremental exchange recompiled nothing.
+compiled-program cache and the incremental instance mirror: ``plans=0``
+with a non-zero ``cache_hits`` column means the incremental exchange
+recompiled nothing, and ``mirrored=0`` means it re-shipped no rows into
+the SQLite store (the sync protocol found every relation unchanged).
 """
 
 import pytest
@@ -65,6 +67,8 @@ def test_fig08_point(benchmark, systems, recorder, engine, data_peers):
         cache_hits=result.plan_cache_hits,
         index_hits=result.index_hits,
         deduped=result.dedup_skipped,
+        mirrored=result.rows_mirrored,
+        rel_synced=result.relations_synced,
     )
 
 

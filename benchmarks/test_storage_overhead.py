@@ -64,6 +64,8 @@ def test_storage_overhead(benchmark, recorder, kind, build, peers, engine):
         cache_hits=system.plan_cache.hits,
         index_hits=exchange.index_hits if exchange else 0,
         deduped=exchange.dedup_skipped if exchange else 0,
+        mirrored=exchange.rows_mirrored if exchange else 0,
+        rel_synced=exchange.relations_synced if exchange else 0,
     )
     # "Modest": provenance cells are a small fraction of data cells
     # (each derivation stores only key columns, one per shared var).

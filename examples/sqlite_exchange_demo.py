@@ -11,6 +11,12 @@ same:
   the out-of-core mode for instances larger than memory;
 * the compiled-program cache makes incremental exchanges skip plan
   compilation entirely (`plans_compiled == 0` on a cache hit);
+* the store mirror is synced *incrementally* from each relation's
+  change journal — a repeat exchange over unchanged relations ships
+  zero rows (`rows_mirrored == 0`);
+* store-resident mode (`resident=True`) keeps the authoritative
+  instance on disk only: derived tuples are never materialized in
+  Python, so working sets can exceed memory;
 * both engines produce identical instances and provenance graphs.
 
 Run:  python examples/sqlite_exchange_demo.py [workdir]
@@ -20,6 +26,7 @@ import sys
 import tempfile
 from pathlib import Path
 
+from repro.relational.schema import is_local_name
 from repro.workloads import chain
 
 
@@ -46,6 +53,7 @@ def main() -> None:
     assert memory.instance == sqlite.instance
     assert memory.graph.tuples == sqlite.graph.tuples
     assert memory.graph.derivations == sqlite.graph.derivations
+    baseline_size = memory.instance_size()
     print(f"  on-disk store: {store_path} "
           f"({Path(store_path).stat().st_size} bytes)")
 
@@ -62,10 +70,44 @@ def main() -> None:
         print(
             f"incremental on {engine:>6}: {result.inserted} new tuples, "
             f"plans compiled = {result.plans_compiled} "
-            f"(cache hit: {result.plan_cache_hit})"
+            f"(cache hit: {result.plan_cache_hit}), "
+            f"mirrored {result.rows_mirrored} rows / "
+            f"{result.relations_synced} relations"
         )
         assert result.plan_cache_hit and result.plans_compiled == 0
     assert memory.instance == sqlite.instance
+    # Only the two appended rows crossed into the store — the rest of
+    # the instance was already mirrored (journal high-water marks).
+    assert sqlite.last_exchange.rows_mirrored == 2
+
+    # A repeat exchange over unchanged relations ships nothing at all.
+    unchanged = sqlite.exchange(engine="sqlite", storage=store_path)
+    print(
+        f"unchanged repeat: rows_mirrored = {unchanged.rows_mirrored}, "
+        f"relations_synced = {unchanged.relations_synced}"
+    )
+    assert unchanged.rows_mirrored == 0 and unchanged.relations_synced == 0
+
+    # Store-resident mode: the store IS the instance.  Derived tuples
+    # exist only on disk; Python holds just the local contributions.
+    resident = chain(
+        6,
+        base_size=40,
+        engine="sqlite",
+        exchange_path=str(workdir / "resident.db"),
+        resident=True,
+    )
+    public_in_python = sum(
+        resident.instance.size(r)
+        for r in resident.catalog.names()
+        if not is_local_name(r)
+    )
+    print(
+        f"resident mode: {resident.instance_size()} tuples on disk, "
+        f"{public_in_python} derived tuples in Python memory"
+    )
+    assert public_in_python == 0
+    assert resident.instance_size() == baseline_size
 
     # The P_m provenance relations were maintained inside SQLite,
     # round by round, alongside the instance tables.

@@ -65,6 +65,9 @@ class CDSS:
         #: lazily created SQLite mirror for ``engine="sqlite"``.
         self.exchange_store: "ExchangeStore | None" = None
         self._owns_store = False
+        #: True once this system has run a store-resident exchange
+        #: (``resident=True``); the mode is sticky for the CDSS's life.
+        self._resident = False
         for peer in peers:
             self.add_peer(peer)
 
@@ -149,6 +152,7 @@ class CDSS:
         self,
         engine: str = "memory",
         storage: "ExchangeStore | str | os.PathLike | None" = None,
+        resident: bool = False,
     ) -> EvaluationResult:
         """Run (incremental) update exchange.
 
@@ -167,8 +171,42 @@ class CDSS:
         calls.  Both engines share the compiled-program cache
         (:attr:`plan_cache`): repeated exchanges over an unchanged
         program compile zero plans (``plans_compiled == 0``).
+
+        **Sync protocol** (sqlite engine): the store mirrors the
+        instance incrementally.  Each relation carries a change journal
+        (:meth:`~repro.relational.instance.Instance.change_mark`), and
+        the store keeps a per-relation high-water mark: rows appended
+        since the mark ship as batched INSERTs, a relation that saw a
+        deletion reloads in full, and an unchanged relation ships
+        nothing.  The result reports the traffic as
+        ``rows_mirrored``/``relations_synced`` — a repeat exchange over
+        unchanged relations reports ``rows_mirrored == 0``.
+
+        **Resident mode** (``resident=True``, sqlite engine with
+        on-disk ``storage=`` only): the
+        on-disk store is the *authoritative* instance.  Derived tuples
+        and provenance derivations are never materialized in Python —
+        the instance holds only local contributions, so working sets
+        may exceed memory.  The mode is sticky: once a system has
+        exchanged residently it must keep doing so, graph-based
+        operations (:meth:`lineage`, :meth:`delete_local`,
+        :meth:`propagate_deletions`, ...) are unavailable, and
+        :meth:`instance_size` counts store rows.
         """
         started = time.perf_counter()
+        if resident and engine != "sqlite":
+            raise ExchangeError(
+                'resident=True requires engine="sqlite"; only the store '
+                "can hold the authoritative instance"
+            )
+        if self._exchanged_once and resident != self._resident:
+            raise ExchangeError(
+                "cannot switch store-resident mode mid-life: the "
+                f"{'store' if self._resident else 'Python instance'} "
+                "already holds the derived tuples; build a fresh CDSS"
+            )
+        if self._resident and self._exchanged_once:
+            self._check_resident_store(storage)
         rules = self.program()
         program, cache_hit = self.plan_cache.fetch(rules)
         initial_delta: Mapping[str, set[Row]] | None
@@ -192,13 +230,22 @@ class CDSS:
         elif engine == "sqlite":
             from repro.exchange.sql_executor import SQLiteExchangeEngine
 
-            result = SQLiteExchangeEngine(self._resolve_store(storage)).run(
+            store = self._resolve_store(storage)
+            if resident and store.path == ":memory:":
+                raise ExchangeError(
+                    "store-resident exchange requires an on-disk store "
+                    "(pass storage=<path>): an in-memory store would be "
+                    "the only copy of the derived instance with neither "
+                    "durability nor out-of-core capacity"
+                )
+            result = SQLiteExchangeEngine(store).run(
                 program,
                 self.catalog,
                 self.mappings,
                 self.instance,
                 graph=self.graph,
                 initial_delta=initial_delta,
+                resident=resident,
             )
         else:
             raise ExchangeError(
@@ -212,7 +259,56 @@ class CDSS:
         self.last_exchange = result
         self._pending.clear()
         self._exchanged_once = True
+        self._resident = resident
         return result
+
+    def _check_resident_store(
+        self, storage: "ExchangeStore | str | os.PathLike | None"
+    ) -> None:
+        """A resident system's store holds the only copy of the derived
+        tuples, so ``storage=`` must keep resolving to that same store —
+        switching (or silently adopting a fresh empty store after the
+        pinned one was closed) would abandon the authoritative
+        instance.  A *closed on-disk* store may be reopened by naming
+        its original path; its file still holds the data."""
+        from repro.exchange.sql_executor import ExchangeStore, normalize_store_path
+
+        store = self.exchange_store
+        if store is None or store.closed:
+            # Reopening the same on-disk file is fine — the data lives
+            # in the file, not the connection.  Anything else has no
+            # source to recover the derived instance from.
+            if (
+                store is not None
+                and storage is not None
+                and not isinstance(storage, ExchangeStore)
+                and normalize_store_path(storage) == store.path
+                and store.path != ":memory:"
+                # The file must still be there — reopening a deleted
+                # path would hand back a fresh empty database.
+                and os.path.exists(store.path)
+            ):
+                return
+            raise ExchangeError(
+                "the resident store is closed and it held the only "
+                "copy of the derived instance; reopen it by passing "
+                "its original on-disk path as storage=, or build a "
+                "fresh CDSS"
+            )
+        if storage is None:
+            return
+        same = (
+            storage is store
+            if isinstance(storage, ExchangeStore)
+            else normalize_store_path(storage) == store.path
+        )
+        if not same:
+            raise ExchangeError(
+                "store-resident exchange is pinned to its store "
+                f"({store.path!r}): it holds the only copy of the "
+                "derived instance, so storage= cannot name a different "
+                "store; build a fresh CDSS to start over"
+            )
 
     def _resolve_store(
         self, storage: "ExchangeStore | str | os.PathLike | None"
@@ -224,7 +320,7 @@ class CDSS:
         store replaces them; caller-provided stores are never closed
         here (the caller owns their lifecycle).
         """
-        from repro.exchange.sql_executor import ExchangeStore
+        from repro.exchange.sql_executor import ExchangeStore, normalize_store_path
 
         def adopt(store: "ExchangeStore", owned: bool) -> "ExchangeStore":
             if (
@@ -240,7 +336,7 @@ class CDSS:
         if isinstance(storage, ExchangeStore):
             return adopt(storage, owned=False)
         if storage is not None:
-            path = os.fspath(storage)
+            path = normalize_store_path(storage)
             if (
                 self.exchange_store is not None
                 and not self.exchange_store.closed
@@ -256,11 +352,25 @@ class CDSS:
 
     def delete_local(self, relation: str, row: Sequence[object]) -> bool:
         """Delete a local contribution (no propagation until
-        :meth:`propagate_deletions`)."""
+        :meth:`propagate_deletions`).
+
+        Rejected in store-resident mode: reconciling a deletion needs
+        :meth:`propagate_deletions` (unavailable there), so accepting
+        the mutation would leave the authoritative store permanently
+        serving tuples whose sole support was deleted.
+        """
+        if relation not in self.catalog:
+            raise SchemaError(f"unknown relation {relation}")
+        self._require_graph("local deletion")
         target = relation if is_local_name(relation) else local_name(relation)
         row = tuple(row)
         self._pending.get(target, set()).discard(row)
         return self.instance.delete(target, row)
+
+    def delete_local_many(
+        self, relation: str, rows: Iterable[Sequence[object]]
+    ) -> int:
+        return sum(self.delete_local(relation, row) for row in rows)
 
     def propagate_deletions(self) -> int:
         """Garbage-collect underivable tuples after local deletions.
@@ -272,6 +382,7 @@ class CDSS:
         its graph nodes are dropped.  Returns the number of removed
         tuples (including local-leaf nodes).
         """
+        self._require_graph("deletion propagation")
         semiring = get_semiring("DERIVABILITY")
         derivable = annotate(
             self.graph,
@@ -300,12 +411,25 @@ class CDSS:
 
     # -- queries over the graph ---------------------------------------------------
 
+    def _require_graph(self, operation: str) -> None:
+        """Graph-based operations need the in-memory provenance graph,
+        which store-resident exchange deliberately never builds — fail
+        loudly instead of answering from an empty graph."""
+        if self._resident:
+            raise ExchangeError(
+                f"{operation} needs the in-memory provenance graph, "
+                "which store-resident exchange does not build; run "
+                "exchange without resident=True"
+            )
+
     def derivability(self) -> dict[TupleNode, bool]:
         """Derivability annotation of every tuple (Q5)."""
+        self._require_graph("derivability annotation")
         return annotate(self.graph, get_semiring("DERIVABILITY"))
 
     def lineage(self, node: TupleNode) -> frozenset:
         """Set of local base tuples *node* derives from (Q6)."""
+        self._require_graph("lineage")
         values = annotate(
             self.graph,
             get_semiring("LINEAGE"),
@@ -318,6 +442,7 @@ class CDSS:
 
     def trusted(self, policy: TrustPolicy) -> dict[TupleNode, bool]:
         """Trust annotation of every tuple under *policy* (Q7)."""
+        self._require_graph("trust annotation")
         return annotate(
             self.graph,
             get_semiring("TRUST"),
@@ -328,16 +453,47 @@ class CDSS:
     # -- stats ------------------------------------------------------------
 
     def instance_size(self, public_only: bool = True) -> int:
-        """Total number of materialized tuples."""
+        """Total number of materialized tuples.
+
+        In store-resident mode derived relations live only in the
+        exchange store, so their rows are counted there — from the
+        store's maintained count cache, never a COUNT(*) rescan —
+        while local contributions still count from the Python
+        instance, which may run ahead of the store by the pending
+        batch.  With the resident store closed there is nothing
+        truthful to report (the Python side is deliberately empty), so
+        the call fails loudly rather than answering ~0.
+        """
+        store = self.exchange_store
+        if self._resident and (store is None or store.closed):
+            raise ExchangeError(
+                "instance_size needs the resident store (it holds the "
+                "only copy of the derived relations), but the store is "
+                "closed; reopen it via exchange(storage=<path>, "
+                "resident=True)"
+            )
+        count_from_store = self._resident
         total = 0
         for relation in self.catalog.names():
             if public_only and is_local_name(relation):
                 continue
-            total += self.instance.size(relation)
+            if (
+                count_from_store
+                and not is_local_name(relation)
+                and store.has_table(relation)
+            ):
+                total += store.cached_count(relation)
+            else:
+                total += self.instance.size(relation)
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        try:
+            size: object = self.instance_size()
+        except ExchangeError:
+            # Resident store closed: a diagnostic aid must not raise.
+            size = "?"
         return (
             f"<CDSS peers={len(self.peers)} mappings={len(self.mappings)} "
-            f"tuples={self.instance_size()}>"
+            f"tuples={size}>"
         )

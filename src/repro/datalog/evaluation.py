@@ -143,6 +143,13 @@ class EvaluationResult:
     #: True when the plans came from a :class:`ProgramCache` hit (the
     #: run compiled nothing; ``plans_compiled`` is then 0).
     plan_cache_hit: bool = False
+    #: rows shipped into the SQLite mirror by this run's incremental
+    #: instance sync (0 for the memory engine, and 0 again on a repeat
+    #: exchange over unchanged relations).
+    rows_mirrored: int = 0
+    #: relations the sync had to touch (changed since the store's
+    #: high-water mark).
+    relations_synced: int = 0
 
     def derived_size(self) -> int:
         return self.instance.size()

@@ -28,11 +28,16 @@ component          role (paper anchor)
 ================  ==========================================================
 
 Engine selection happens at the API surface:
-``CDSS.exchange(engine="memory"|"sqlite", storage=...)``, where
-``storage`` names an :class:`~repro.exchange.sql_executor.ExchangeStore`
-(or a filesystem path for out-of-core workloads whose working set
-exceeds memory).  Both engines are verified property-test-identical on
-instances and provenance graphs.
+``CDSS.exchange(engine="memory"|"sqlite", storage=..., resident=...)``,
+where ``storage`` names an
+:class:`~repro.exchange.sql_executor.ExchangeStore` (or a filesystem
+path for out-of-core workloads whose working set exceeds memory) and
+``resident=True`` makes that store the *authoritative* instance —
+derived tuples and provenance stay relational, never materialized in
+Python.  The store mirror is synced incrementally from each relation's
+change journal (``rows_mirrored == 0`` over unchanged relations).
+Both engines are verified property-test-identical on instances and
+provenance graphs.
 
 Submodules that depend on :mod:`repro.cdss` are imported lazily so that
 ``repro.cdss.system`` can import the cache without a cycle.

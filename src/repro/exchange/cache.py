@@ -6,8 +6,9 @@ safety checks, one join plan per rule body atom) is pure function of
 the rule text, so this module memoizes it:
 
 * :func:`program_fingerprint` — a stable digest of a program's rules
-  (names, heads, bodies, order).  Two programs with the same
-  fingerprint compile to the same plans.
+  (names, heads, bodies; order-normalized, since rule order cannot
+  change a semi-naive fixpoint).  Two programs with the same
+  fingerprint compile to equivalent plans.
 * :class:`CompiledExchangeProgram` — the prepared rules plus their
   compiled join plans, and a slot for the lazily attached SQL lowering
   (:mod:`repro.exchange.sql_plans`) so the SQLite engine shares the
@@ -41,13 +42,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def program_fingerprint(program: Program | Iterable[Rule]) -> str:
     """Stable digest of a mapping program.
 
-    Hashes the canonical text of every rule in order; rule text covers
-    the name, head, and body (constants rendered with ``repr``), so any
-    change that could alter a compiled plan changes the fingerprint.
+    Hashes the canonical text of every rule — name, head, and body
+    (constants rendered with ``repr``) — so any change that could alter
+    a compiled plan changes the fingerprint.  Rule texts are sorted
+    before hashing: semi-naive evaluation is insensitive to rule order
+    (every round runs all rules over the same delta snapshot), so a
+    logically identical program with reordered mappings shares the
+    fingerprint and reuses the cached plans instead of recompiling.
     """
     digest = hashlib.sha256()
-    for rule in program:
-        digest.update(str(rule).encode("utf-8"))
+    for text in sorted(str(rule) for rule in program):
+        digest.update(text.encode("utf-8"))
         digest.update(b"\n")
     return digest.hexdigest()
 

@@ -32,6 +32,7 @@ builds Skolem values inside queries.
 
 from __future__ import annotations
 
+import os
 import sqlite3
 from typing import Mapping as TMapping
 
@@ -51,8 +52,22 @@ from repro.exchange.sql_plans import (
     stage_new_sql,
 )
 from repro.provenance.graph import DerivationNode, ProvenanceGraph, TupleNode
-from repro.relational.instance import Catalog, Instance, Row
+from repro.relational.instance import Catalog, ChangeMark, Instance, Row
+from repro.relational.schema import RelationSchema, is_local_name
 from repro.storage.encoding import ValueCodec, quote_identifier as _q
+
+
+def normalize_store_path(path: "str | os.PathLike[str]") -> str:
+    """Canonical identity of a store file.
+
+    Two spellings of the same file (relative vs. absolute, ``..``
+    segments) must compare equal wherever a store is pinned or reopened
+    by path — and a relative spelling must not silently start naming a
+    *different* file after an ``os.chdir``.  ``":memory:"`` is its own
+    identity.
+    """
+    path = os.fspath(path)
+    return path if path == ":memory:" else os.path.abspath(path)
 
 
 def _skolem_function(codec: ValueCodec):
@@ -82,23 +97,96 @@ class ExchangeStore:
     reusable across incremental :meth:`CDSS.exchange` calls and is a
     context manager.
 
+    The mirror is maintained *incrementally*: :meth:`sync_instance`
+    reads each relation's change journal and ships only what moved
+    since this store's high-water mark (see the method docstring), so
+    a repeat exchange over unchanged relations transfers zero rows.
+    In store-resident exchange the mirror is not a mirror at all but
+    the authoritative instance — only local-contribution relations
+    are ever synced *into* it.
+
     Dedicate a store to one CDSS for its lifetime: ``P_m`` provenance
     rows accumulate across incremental calls (they mirror the growing
     provenance graph), so pointing a second system at the same store
-    would leave the first system's rows behind.
+    would leave the first system's rows behind.  ``P_m`` is the
+    *firing history*, append-only: deletion propagation shrinks the
+    Python graph and the data relations (reconciled by the next sync's
+    epoch-triggered full reload) but does not yet delete from ``P_m``
+    — running the derivability test relationally over ``P_m`` is the
+    ROADMAP lever that will close this.
     """
 
     def __init__(self, path: str = ":memory:"):
-        self.path = path
+        self.path = normalize_store_path(path)
         self.codec = ValueCodec()
-        self.connection = sqlite3.connect(path)
+        self.connection = sqlite3.connect(self.path)
         self.connection.execute("PRAGMA synchronous = OFF")
         self.connection.execute("PRAGMA journal_mode = MEMORY")
         self.connection.create_function(
             "repro_skolem", -1, _skolem_function(self.codec), deterministic=True
         )
         self.closed = False
+        self._durable = False
         self._known_tables: set[str] = set()
+        #: per-relation journal high-water marks of the mirrored
+        #: instance (see :meth:`sync_instance`).
+        self._marks: dict[str, ChangeMark] = {}
+        #: the instance the marks describe; syncing a different object
+        #: resets them (marks are only comparable within one instance).
+        self._mirrored: Instance | None = None
+        #: per-relation row counts, maintained by sync/publish so
+        #: resident-mode exchanges never rescan whole tables with
+        #: COUNT(*) (see :meth:`cached_count`).
+        self._row_counts: dict[str, int] = {}
+        # The dirty-run flag lives in the database file, not on this
+        # object: an aborted resident run must still trigger recovery
+        # after the store is reopened by path (or in a new process).
+        self.connection.execute(
+            'CREATE TABLE IF NOT EXISTS "__meta" (key TEXT PRIMARY KEY, value)'
+        )
+        self.connection.commit()
+        row = self.connection.execute(
+            "SELECT value FROM \"__meta\" WHERE key = 'dirty_run'"
+        ).fetchone()
+        self._dirty_run = bool(row and row[0])
+
+    def ensure_durable(self) -> None:
+        """Trade write speed for crash safety before a resident run.
+
+        A mirror keeps the fast defaults (``synchronous = OFF``,
+        in-memory rollback journal): a crash can only cost a rebuild
+        from the Python instance.  A *resident* store is the only copy
+        of the derived data, so an on-disk one is switched to WAL with
+        ``synchronous = NORMAL`` — a killed process can then never
+        corrupt the file, and WAL's append ordering guarantees the
+        dirty-run flag (committed before any fixpoint round) reaches
+        disk no later than the rounds it covers.  In-memory stores die
+        with the process regardless; they keep the fast settings.
+        """
+        if self._durable or self.path == ":memory:":
+            return
+        self.connection.execute("PRAGMA journal_mode = WAL")
+        self.connection.execute("PRAGMA synchronous = NORMAL")
+        self._durable = True
+
+    @property
+    def dirty_run(self) -> bool:
+        """True while an engine run is in flight (persisted in the
+        store file).  A run that aborts leaves it set, telling the next
+        resident run to re-seed from the full store extension —
+        committed partial rounds cannot be rolled back, only
+        completed — even across a close/reopen of an on-disk store."""
+        return self._dirty_run
+
+    @dirty_run.setter
+    def dirty_run(self, value: bool) -> None:
+        self._dirty_run = bool(value)
+        with self.connection:
+            self.connection.execute(
+                'INSERT OR REPLACE INTO "__meta" (key, value) '
+                "VALUES ('dirty_run', ?)",
+                (1 if value else 0,),
+            )
 
     # -- schema ------------------------------------------------------------
 
@@ -180,21 +268,110 @@ class ExchangeStore:
                 ):
                     self.connection.execute(f"DELETE FROM {_q(name)}")
 
-    def load_instance(self, instance: Instance) -> dict[str, int]:
-        """Mirror the Python instance; returns per-relation row counts."""
-        counts: dict[str, int] = {}
+    def sync_instance(
+        self, instance: Instance, resident: bool = False
+    ) -> tuple[int, int]:
+        """Incrementally mirror the Python instance into the store.
+
+        Consults each relation's change journal
+        (:meth:`~repro.relational.instance.Instance.change_mark`)
+        against this store's high-water marks and ships only what
+        moved: appended rows go over as batched INSERTs; a relation
+        that saw a deletion (epoch change) — or was never synced — is
+        reloaded in full.  Unchanged relations cost one mark
+        comparison and zero SQL.
+
+        With ``resident=True`` only local-contribution relations are
+        mirrored from the instance: the store itself is the
+        authoritative home of every derived relation, so the mirror
+        must never be overwritten from the (empty) Python side.
+
+        Returns ``(rows_mirrored, relations_synced)``.
+        """
+        if self._mirrored is not instance:
+            self._marks.clear()
+            self._mirrored = instance
+        rows_mirrored = 0
+        relations_synced = 0
+        # High-water marks and row counts advance only after the
+        # transaction commits: a failure mid-sync rolls back every
+        # shipped row, so both must keep describing the pre-sync store.
+        new_marks: dict[str, ChangeMark] = {}
+        new_counts: dict[str, int] = {}
         with self.connection:
             for schema in instance.catalog:
-                rows = instance[schema.name]
-                self.connection.execute(f"DELETE FROM {_q(schema.name)}")
-                if rows:
+                name = schema.name
+                if resident and not is_local_name(name):
+                    continue
+                current = instance.change_mark(name)
+                if self._marks.get(name) == current:
+                    continue
+                appended = instance.changes_since(name, self._marks.get(name))
+                if appended is None:
+                    self.connection.execute(f"DELETE FROM {_q(name)}")
+                    appended = sorted(instance[name], key=repr)
+                    new_counts[name] = len(appended)
+                elif name in self._row_counts:
+                    new_counts[name] = self._row_counts[name] + len(appended)
+                if appended:
                     placeholders = ", ".join("?" for _ in range(schema.arity))
                     self.connection.executemany(
-                        f"INSERT INTO {_q(schema.name)} VALUES ({placeholders})",
-                        [self.codec.encode_row(row) for row in sorted(rows, key=repr)],
+                        f"INSERT INTO {_q(name)} VALUES ({placeholders})",
+                        [self.codec.encode_row(row) for row in appended],
                     )
-                counts[schema.name] = len(rows)
-        return counts
+                rows_mirrored += len(appended)
+                relations_synced += 1
+                new_marks[name] = current
+        self._marks.update(new_marks)
+        self._row_counts.update(new_counts)
+        return rows_mirrored, relations_synced
+
+    def mark_synced(self, instance: Instance) -> None:
+        """Fast-forward every high-water mark to *instance*'s current
+        journal position without shipping rows — called by the engine
+        after write-back, when the mirror already holds exactly the
+        rows it just inserted into the instance."""
+        if self._mirrored is not instance:  # pragma: no cover - defensive
+            return
+        for schema in instance.catalog:
+            self._marks[schema.name] = instance.change_mark(schema.name)
+
+    def invalidate_sync(self) -> None:
+        """Forget all high-water marks (and cached row counts): the
+        next sync reloads every relation in full.  Called when a run
+        aborts mid-flight and the mirror may have drifted from the
+        instance."""
+        self._marks.clear()
+        self._mirrored = None
+        self._row_counts.clear()
+
+    def cached_count(self, relation: str) -> int:
+        """Rows in *relation*, from the count cache kept current by
+        :meth:`sync_instance` and :meth:`note_rows_added` — one
+        COUNT(*) scan per relation per store lifetime, after which
+        incremental exchanges never rescan (resident mode's tables may
+        hold working sets far larger than memory)."""
+        count = self._row_counts.get(relation)
+        if count is None:
+            count = self._row_counts[relation] = self.count(relation)
+        return count
+
+    def note_rows_added(self, relation: str, added: int) -> None:
+        """Advance the count cache for rows the engine just published
+        into *relation* (no-op for relations never counted)."""
+        if relation in self._row_counts:
+            self._row_counts[relation] += added
+
+    def relation_rows(self, schema: RelationSchema) -> set[Row]:
+        """Decode the mirror's extension of one relation (tests and
+        resident-mode readers).  Works on a store reopened by path:
+        labeled nulls are rebuilt from their self-describing
+        encodings."""
+        cursor = self.connection.execute(f"SELECT * FROM {_q(schema.name)}")
+        return {self.codec.decode_row(row, schema) for row in cursor}
+
+    def has_table(self, name: str) -> bool:
+        return name in self._known_tables
 
     # -- small helpers ------------------------------------------------------
 
@@ -243,6 +420,7 @@ class SQLiteExchangeEngine:
         graph: ProvenanceGraph | None = None,
         initial_delta: TMapping[str, set[Row]] | None = None,
         max_iterations: int | None = None,
+        resident: bool = False,
     ) -> EvaluationResult:
         """Semi-naive SQL fixpoint; mutates *instance* and *graph*.
 
@@ -250,6 +428,13 @@ class SQLiteExchangeEngine:
         the same ``initial_delta`` contract: ``None`` seeds a full
         exchange from the whole instance, a mapping of per-relation row
         sets seeds an incremental one (rows must already be inserted).
+
+        With ``resident=True`` the store is the authoritative home of
+        every derived relation: the run still converges inside SQLite,
+        but skips the write-back entirely — neither derived tuples nor
+        provenance derivations are materialized in Python (firings and
+        ``P_m`` rows stay relational), so the working set never has to
+        fit in memory.
         """
         if graph is None:
             graph = ProvenanceGraph()
@@ -258,17 +443,78 @@ class SQLiteExchangeEngine:
                 program.compiled, catalog, mappings, self.store.codec
             )
         sql = program.sql
-        conn = self.store.connection
+        if resident:
+            self.store.ensure_durable()
         self.store.ensure_schema(catalog, mappings, sql)
         self.store.reset_run(catalog, sql)
-        rel_counts = self.store.load_instance(instance)
+        if resident and self.store.dirty_run:
+            # A previous resident run aborted after committing some
+            # rounds.  Those orphan rows are sound (each committed
+            # round derives only valid tuples) but their downstream
+            # consequences may be missing, and an incremental delta
+            # would dedup them away before re-deriving anything — so
+            # re-seed from the full store extension, which converges to
+            # the complete fixpoint regardless of what partially
+            # committed.  (Non-resident runs heal differently: the full
+            # mirror reload after invalidate_sync deletes the orphans.)
+            initial_delta = None
+        if resident:
+            # Only resident runs consume the flag (non-resident aborts
+            # heal via the full mirror reload), so only they pay the
+            # two persisted writes.
+            self.store.dirty_run = True
+        try:
+            result = self._run_synced(
+                program, catalog, sql, instance, graph,
+                initial_delta, max_iterations, resident,
+            )
+        except BaseException:
+            # The mirror may hold rows the aborted run never wrote back
+            # to the instance; force a full reload on the next sync.
+            # dirty_run stays set for the resident-mode recovery above.
+            self.store.invalidate_sync()
+            raise
+        if resident:
+            self.store.dirty_run = False
+        return result
 
-        delta_counts = self._seed_deltas(instance, sql, initial_delta)
+    def _run_synced(
+        self,
+        program: CompiledExchangeProgram,
+        catalog: Catalog,
+        sql: ProgramSQL,
+        instance: Instance,
+        graph: ProvenanceGraph,
+        initial_delta: TMapping[str, set[Row]] | None,
+        max_iterations: int | None,
+        resident: bool,
+    ) -> EvaluationResult:
+        conn = self.store.connection
+        result = EvaluationResult(instance, graph, engine="sqlite")
+        result.rows_mirrored, result.relations_synced = (
+            self.store.sync_instance(instance, resident=resident)
+        )
+        # After the sync the mirror equals the instance, so sizes come
+        # from the Python side for free; only in resident mode — where
+        # derived relations live in the store alone — must they come
+        # from the store (its count cache, not a rescan).
+        if resident:
+            rel_counts = {
+                relation: self.store.cached_count(relation)
+                for relation in sql.relations
+            }
+        else:
+            rel_counts = {
+                relation: instance.size(relation)
+                for relation in sql.relations
+            }
+
+        delta_counts = self._seed_deltas(instance, sql, initial_delta, rel_counts)
         stage_sql = {
             relation: stage_new_sql(catalog, relation)
             for relation in sql.relations
         }
-        result = EvaluationResult(instance, graph, engine="sqlite")
+        published = 0
 
         iteration = 0
         while self._any_runnable(sql, delta_counts):
@@ -327,10 +573,21 @@ class SQLiteExchangeEngine:
                         rel_counts[relation] = (
                             rel_counts.get(relation, 0) + fresh
                         )
+                        self.store.note_rows_added(relation, fresh)
+                        published += fresh
                     conn.execute(f"DELETE FROM {_q(cand_table(relation))}")
                 delta_counts = new_counts
         result.iterations = iteration
-        result.inserted = self._write_back(program, sql, instance, graph)
+        if resident:
+            # The store already holds every derived row; nothing is
+            # materialized back into Python.
+            result.inserted = published
+        else:
+            result.inserted = self._write_back(program, sql, instance, graph)
+            # Write-back journaled the derived rows as appends, but the
+            # mirror already has them — fast-forward instead of
+            # reshipping on the next sync.
+            self.store.mark_synced(instance)
         return result
 
     # -- internals ---------------------------------------------------------
@@ -340,6 +597,7 @@ class SQLiteExchangeEngine:
         instance: Instance,
         sql: ProgramSQL,
         initial_delta: TMapping[str, set[Row]] | None,
+        rel_counts: dict[str, int],
     ) -> dict[str, int]:
         conn = self.store.connection
         counts: dict[str, int] = {}
@@ -350,7 +608,9 @@ class SQLiteExchangeEngine:
                         f"INSERT INTO {_q(delta_table(relation))} "
                         f"SELECT * FROM {_q(relation)}"
                     )
-                    counts[relation] = instance.size(relation)
+                    # The delta was seeded from the mirror table, whose
+                    # size is already known — no COUNT(*) rescan.
+                    counts[relation] = rel_counts.get(relation, 0)
                 return counts
             for relation, rows in initial_delta.items():
                 rows = {tuple(row) for row in rows}

@@ -47,6 +47,11 @@ class ExperimentResult:
     plan_cache_hit: bool = False
     #: cumulative program-cache hits over the CDSS's lifetime.
     plan_cache_hits: int = 0
+    #: rows shipped into the SQLite mirror by the most recent
+    #: exchange's incremental sync (0 over unchanged relations).
+    rows_mirrored: int = 0
+    #: relations that sync had to touch.
+    relations_synced: int = 0
 
     @property
     def unfolded_rules(self) -> int:
@@ -121,6 +126,8 @@ def run_target_query(
         engine=exchange.engine if exchange else "memory",
         plan_cache_hit=exchange.plan_cache_hit if exchange else False,
         plan_cache_hits=cdss.plan_cache.hits,
+        rows_mirrored=exchange.rows_mirrored if exchange else 0,
+        relations_synced=exchange.relations_synced if exchange else 0,
     )
     if manager is not None:
         manager.drop_all()

@@ -51,6 +51,9 @@ class TopologySpec:
     #: sqlite-engine store path (None = in-memory; a filesystem path
     #: makes the exchange working set disk-resident / out-of-core)
     exchange_path: str | None = None
+    #: store-resident exchange: the store is the authoritative
+    #: instance; derived tuples are never materialized in Python
+    resident: bool = False
 
 
 def chain_edges(num_peers: int) -> list[tuple[int, int]]:
@@ -113,7 +116,11 @@ def build_topology(spec: TopologySpec) -> CDSS:
     for number, (source, target) in enumerate(edges, start=1):
         cdss.add_mapping(_mapping_text(source, target), name=f"m{number}")
     _populate(cdss, spec)
-    cdss.exchange(engine=spec.engine, storage=spec.exchange_path)
+    cdss.exchange(
+        engine=spec.engine,
+        storage=spec.exchange_path,
+        resident=spec.resident,
+    )
     return cdss
 
 
@@ -138,6 +145,7 @@ def chain(
     seed: int = 0,
     engine: str = "memory",
     exchange_path: str | None = None,
+    resident: bool = False,
 ) -> CDSS:
     """A chain CDSS (Figure 5).  ``data_peers`` defaults to the two
     most-upstream peers, matching Section 6.3's setting of "data at a
@@ -153,6 +161,7 @@ def chain(
             seed,
             engine=engine,
             exchange_path=exchange_path,
+            resident=resident,
         )
     )
 
@@ -164,6 +173,7 @@ def branched(
     seed: int = 0,
     engine: str = "memory",
     exchange_path: str | None = None,
+    resident: bool = False,
 ) -> CDSS:
     """A branched CDSS (Figure 6) with data at the leaves by default."""
     if data_peers is None:
@@ -177,6 +187,7 @@ def branched(
             seed,
             engine=engine,
             exchange_path=exchange_path,
+            resident=resident,
         )
     )
 

@@ -162,3 +162,29 @@ class TestLineageHelper:
         assert all(
             values[node] for node in example_cdss.graph.tuples_in("O")
         )
+
+
+class TestDeletionValidation:
+    """delete_local must reject unknown relations exactly like
+    insert_local does (it used to silently accept any name)."""
+
+    def test_delete_local_unknown_relation_rejected(self, example_cdss):
+        with pytest.raises(SchemaError):
+            example_cdss.delete_local("Nope", (1,))
+
+    def test_delete_local_many_unknown_relation_rejected(self, example_cdss):
+        with pytest.raises(SchemaError):
+            example_cdss.delete_local_many("Nope", [(1,), (2,)])
+
+    def test_delete_local_many_counts_present_rows(self, example_cdss):
+        example_cdss.insert_local("A", (8, "sn8", 1))
+        example_cdss.exchange()
+        removed = example_cdss.delete_local_many(
+            "A", [(8, "sn8", 1), (99, "zz", 0)]
+        )
+        assert removed == 1
+
+    def test_delete_local_accepts_local_name(self, example_cdss):
+        # Both the public and the _l spelling address the contribution.
+        example_cdss.insert_local("A", (8, "sn8", 1))
+        assert example_cdss.delete_local("A_l", (8, "sn8", 1))

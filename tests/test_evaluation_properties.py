@@ -259,3 +259,45 @@ def test_deletion_propagation_equals_recomputation(r_rows, s_rows, drop):
 
     for relation in ("T", "U"):
         assert system.instance[relation] == reference[relation], relation
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    kind=st.sampled_from(["chain", "branched"]),
+    num_peers=st.integers(2, 4),
+    base_rows=topology_rows,
+    extra_rows=topology_rows,
+    drop=st.integers(0, 7),
+)
+def test_engines_agree_after_deletions_with_incremental_sync(
+    kind, num_peers, base_rows, extra_rows, drop
+):
+    """Full exchange, delete_local + propagate_deletions, then an
+    incremental exchange: both engines end with identical instances and
+    provenance graphs, and the SQLite mirror — synced incrementally,
+    with full reloads only where deletions struck — decodes back to
+    exactly the instance."""
+    victims = base_rows[: drop % (len(base_rows) + 1)]
+    systems = {}
+    for engine in ("memory", "sqlite"):
+        system = _topology_cdss(kind, num_peers)
+        _insert_local_rows(system, num_peers, base_rows)
+        system.exchange(engine=engine)
+        for peer, k, v in victims:
+            peer %= num_peers
+            for suffix in ("R1", "R2"):
+                system.delete_local(f"P{peer}_{suffix}", (k, v))
+        system.propagate_deletions()
+        _insert_local_rows(system, num_peers, extra_rows)
+        second = system.exchange(engine=engine)
+        assert second.plan_cache_hit
+        systems[engine] = system
+    memory, sqlite = systems["memory"], systems["sqlite"]
+    assert memory.instance == sqlite.instance
+    assert memory.graph.tuples == sqlite.graph.tuples
+    assert memory.graph.derivations == sqlite.graph.derivations
+    store = sqlite.exchange_store
+    for schema in sqlite.catalog:
+        assert store.relation_rows(schema) == set(
+            sqlite.instance[schema.name]
+        ), schema.name

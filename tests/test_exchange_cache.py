@@ -34,9 +34,16 @@ class TestFingerprint:
             simple_program("copy: T(x, y) :- R(x, y)")
         )
 
-    def test_sensitive_to_order(self):
+    def test_insensitive_to_rule_order(self):
+        # Rule order cannot change a semi-naive fixpoint, so reordered
+        # programs share plans instead of recompiling.
         a = parse_program("r1: T(x) :- R(x)\nr2: U(x) :- R(x)")
         b = parse_program("r2: U(x) :- R(x)\nr1: T(x) :- R(x)")
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_sensitive_to_rule_names(self):
+        a = parse_program("r1: T(x) :- R(x)")
+        b = parse_program("r2: T(x) :- R(x)")
         assert program_fingerprint(a) != program_fingerprint(b)
 
 
@@ -49,6 +56,39 @@ class TestProgramCache:
         assert (hit1, hit2) == (False, True)
         assert first is second
         assert cache.hits == 1 and cache.misses == 1
+
+    def test_reordered_program_hits_and_evaluates_identically(self):
+        """A reordered (logically identical) program is a cache hit,
+        and evaluating through the cached entry — whose compiled rules
+        keep the *first* program's order — produces the same instance
+        and provenance graph as compiling fresh."""
+        from repro.datalog import evaluate, parse_program as parse
+        from repro.relational import Catalog, Instance, RelationSchema
+
+        text_a = "L_R: R(x, y) :- R_l(x, y)\njoin: T(x, z) :- R(x, y), R(y, z)"
+        text_b = "join: T(x, z) :- R(x, y), R(y, z)\nL_R: R(x, y) :- R_l(x, y)"
+        cache = ProgramCache()
+        entry_a, hit_a = cache.fetch(parse(text_a))
+        entry_b, hit_b = cache.fetch(parse(text_b))
+        assert (hit_a, hit_b) == (False, True)
+        assert entry_a is entry_b
+
+        catalog = Catalog(
+            [
+                RelationSchema.of("R_l", ["a", "b"]),
+                RelationSchema.of("R", ["a", "b"]),
+                RelationSchema.of("T", ["a", "b"]),
+            ]
+        )
+        cached, fresh = Instance(catalog), Instance(catalog)
+        for instance in (cached, fresh):
+            instance.insert_many("R_l", [(1, 2), (2, 3), (3, 1)])
+        via_cache = evaluate(parse(text_b), cached, compiled_program=entry_b)
+        via_compile = evaluate(parse(text_b), fresh)
+        assert via_cache.plans_compiled == 0
+        assert cached == fresh
+        assert via_cache.graph.tuples == via_compile.graph.tuples
+        assert via_cache.graph.derivations == via_compile.graph.derivations
 
     def test_invalidate_drops_entries(self):
         cache = ProgramCache()

@@ -282,3 +282,473 @@ class TestLoweringLimits:
         assert not compiled.plans  # planner falls back -> SQL must refuse
         with pytest.raises(ExchangeError):
             lower_program([compiled], catalog, {}, ValueCodec())
+
+
+def assert_mirror_consistent(system: CDSS) -> None:
+    """The store's relation mirror decodes back to exactly the
+    instance's extension, relation by relation."""
+    store = system.exchange_store
+    for schema in system.catalog:
+        assert store.relation_rows(schema) == set(
+            system.instance[schema.name]
+        ), schema.name
+
+
+class TestIncrementalMirror:
+    """The sync protocol: ship only what moved since the store's
+    high-water mark, never the whole instance."""
+
+    def test_second_exchange_over_unchanged_relations_ships_nothing(self):
+        _, system = example_twins()
+        insert_example_data(system)
+        first = system.exchange(engine="sqlite")
+        assert first.rows_mirrored > 0
+        assert first.relations_synced > 0
+        repeat = system.exchange(engine="sqlite")
+        assert repeat.rows_mirrored == 0
+        assert repeat.relations_synced == 0
+        assert repeat.plans_compiled == 0
+        assert_mirror_consistent(system)
+
+    def test_incremental_exchange_ships_only_the_delta(self):
+        _, system = example_twins()
+        insert_example_data(system)
+        system.exchange(engine="sqlite")
+        baseline = system.instance.size()
+        system.insert_local("A", (3, "sn3", 9))
+        result = system.exchange(engine="sqlite")
+        # One appended local row — nowhere near a full instance reload.
+        assert result.rows_mirrored == 1
+        assert result.relations_synced == 1
+        assert system.instance.size() > baseline
+        assert_mirror_consistent(system)
+
+    def test_memory_engine_reports_zero_mirroring(self):
+        memory, _ = example_twins()
+        insert_example_data(memory)
+        result = memory.exchange()
+        assert result.rows_mirrored == 0
+        assert result.relations_synced == 0
+
+    def test_deletion_forces_full_reload_of_affected_relations(self):
+        memory, system = example_twins()
+        populate_example(memory)
+        insert_example_data(system)
+        system.exchange(engine="sqlite")
+        for target in (memory, system):
+            target.delete_local("A", (2, "sn1", 5))
+            target.propagate_deletions()
+            target.insert_local("C", (1, "cn9"))
+        system.exchange(engine="sqlite")
+        memory.exchange()
+        assert_same_state(memory, system)
+        assert_mirror_consistent(system)
+
+    def test_mixed_engines_keep_the_mirror_current(self):
+        # Rows inserted by a memory-engine exchange are journaled and
+        # shipped by the next sqlite sync.
+        memory, system = example_twins()
+        populate_example(memory)
+        insert_example_data(system)
+        system.exchange(engine="sqlite")
+        system.insert_local("A", (3, "sn3", 9))
+        memory.insert_local("A", (3, "sn3", 9))
+        system.exchange(engine="memory")
+        memory.exchange()
+        system.insert_local("A", (4, "sn4", 2))
+        memory.insert_local("A", (4, "sn4", 2))
+        system.exchange(engine="sqlite")
+        memory.exchange()
+        assert_same_state(memory, system)
+        assert_mirror_consistent(system)
+
+    def test_on_disk_incremental_sync(self, tmp_path):
+        path = str(tmp_path / "incr.db")
+        _, system = example_twins()
+        insert_example_data(system)
+        system.exchange(engine="sqlite", storage=path)
+        repeat = system.exchange(engine="sqlite", storage=path)
+        assert repeat.rows_mirrored == 0
+        assert_mirror_consistent(system)
+
+    def test_aborted_run_invalidates_sync_and_self_heals(self):
+        from repro.errors import EvaluationError
+
+        memory, system = example_twins()
+        insert_example_data(system)
+        program, _ = system.plan_cache.fetch(system.program())
+        store = ExchangeStore()
+        engine = SQLiteExchangeEngine(store)
+        with pytest.raises(EvaluationError):
+            engine.run(
+                program,
+                system.catalog,
+                system.mappings,
+                system.instance,
+                graph=system.graph,
+                max_iterations=1,
+            )
+        # The aborted run left rows in the mirror that were never
+        # written back; the next run must full-reload and converge.
+        system.exchange_store = store
+        system._owns_store = True
+        result = system.exchange(engine="sqlite")
+        assert result.rows_mirrored > 0
+        populate_example(memory)
+        assert_same_state(memory, system)
+        assert_mirror_consistent(system)
+
+
+class TestResidentMode:
+    """Store-resident exchange: the store is the authoritative
+    instance; Python holds only local contributions."""
+
+    def build_pair(self, tmp_path):
+        resident, plain = example_twins()
+        insert_example_data(resident)
+        insert_example_data(plain)
+        resident.exchange(
+            engine="sqlite",
+            storage=str(tmp_path / "resident.db"),
+            resident=True,
+        )
+        plain.exchange(engine="sqlite")
+        return resident, plain
+
+    def test_derived_tuples_live_only_in_the_store(self, tmp_path):
+        resident, plain = self.build_pair(tmp_path)
+        # Python side: local contributions only.
+        for schema in resident.catalog:
+            if not schema.name.endswith("_l"):
+                assert resident.instance.size(schema.name) == 0, schema.name
+        # Store side: exactly the plain twin's materialized instance.
+        store = resident.exchange_store
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                plain.instance[schema.name]
+            ), schema.name
+        assert len(resident.graph.tuples) == 0
+
+    def test_instance_size_counts_store_rows(self, tmp_path):
+        resident, plain = self.build_pair(tmp_path)
+        assert resident.instance_size() == plain.instance_size()
+        assert resident.instance_size(
+            public_only=False
+        ) == plain.instance_size(public_only=False)
+
+    def test_incremental_resident_exchange(self, tmp_path):
+        resident, plain = self.build_pair(tmp_path)
+        for system in (resident, plain):
+            system.insert_local("A", (3, "sn3", 9))
+        r = resident.exchange(engine="sqlite", resident=True)
+        plain.exchange(engine="sqlite")
+        assert r.rows_mirrored == 1
+        assert r.inserted == plain.last_exchange.inserted
+        store = resident.exchange_store
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                plain.instance[schema.name]
+            ), schema.name
+
+    def test_resident_requires_sqlite_engine(self):
+        _, system = example_twins()
+        insert_example_data(system)
+        with pytest.raises(ExchangeError):
+            system.exchange(engine="memory", resident=True)
+
+    def test_mode_is_sticky(self, tmp_path):
+        resident, _ = self.build_pair(tmp_path)
+        with pytest.raises(ExchangeError):
+            resident.exchange(engine="sqlite")
+        _, plain = example_twins()
+        insert_example_data(plain)
+        plain.exchange(engine="sqlite")
+        with pytest.raises(ExchangeError):
+            plain.exchange(engine="sqlite", resident=True)
+
+    def test_deletions_rejected(self, tmp_path):
+        # delete_local itself is refused: the reconciliation it needs
+        # (propagate_deletions) is unavailable in resident mode, so
+        # accepting the mutation would leave the authoritative store
+        # permanently serving unsupported tuples.
+        resident, _ = self.build_pair(tmp_path)
+        with pytest.raises(ExchangeError):
+            resident.delete_local("A", (2, "sn1", 5))
+        with pytest.raises(ExchangeError):
+            resident.delete_local_many("A", [(2, "sn1", 5)])
+        with pytest.raises(ExchangeError):
+            resident.propagate_deletions()
+
+    def test_graph_queries_rejected(self, tmp_path):
+        # The graph is deliberately never built in resident mode, so
+        # graph-based queries must fail loudly, not answer from an
+        # empty graph.
+        resident, _ = self.build_pair(tmp_path)
+        with pytest.raises(ExchangeError):
+            resident.derivability()
+        with pytest.raises(ExchangeError):
+            resident.lineage(None)
+        with pytest.raises(ExchangeError):
+            resident.trusted(None)
+
+    def test_storage_switch_rejected(self, tmp_path):
+        # The resident store holds the only copy of the derived
+        # instance; pointing a later exchange at a different store
+        # would silently abandon it.
+        resident, _ = self.build_pair(tmp_path)
+        with pytest.raises(ExchangeError):
+            resident.exchange(
+                engine="sqlite",
+                storage=str(tmp_path / "other.db"),
+                resident=True,
+            )
+        with pytest.raises(ExchangeError):
+            resident.exchange(
+                engine="sqlite", storage=ExchangeStore(), resident=True
+            )
+        # Re-naming the same store (by path or by object) stays legal.
+        r = resident.exchange(
+            engine="sqlite",
+            storage=str(tmp_path / "resident.db"),
+            resident=True,
+        )
+        assert r.rows_mirrored == 0
+        resident.exchange(
+            engine="sqlite", storage=resident.exchange_store, resident=True
+        )
+
+    def test_closed_store_rejected_but_reopenable_by_path(self, tmp_path):
+        # Once the pinned store is closed, a resident exchange must not
+        # silently adopt a fresh empty store (that would abandon the
+        # only copy of the derived instance) — but the on-disk file
+        # still holds the data, so reopening by path continues the
+        # incremental run.
+        path = str(tmp_path / "resident.db")
+        resident, plain = self.build_pair(tmp_path)
+        size_before = resident.instance_size()
+        resident.exchange_store.close()
+        with pytest.raises(ExchangeError):
+            resident.exchange(engine="sqlite", resident=True)
+        for system in (resident, plain):
+            system.insert_local("A", (3, "sn3", 9))
+        r = resident.exchange(engine="sqlite", storage=path, resident=True)
+        plain.exchange(engine="sqlite")
+        assert r.inserted == plain.last_exchange.inserted
+        assert resident.instance_size() > size_before
+        assert resident.instance_size() == plain.instance_size()
+
+    def test_resident_requires_on_disk_store(self):
+        # An in-memory store would be the only copy of the derived
+        # instance with neither durability nor out-of-core capacity —
+        # the dead end is rejected up front.
+        resident, _ = example_twins()
+        insert_example_data(resident)
+        with pytest.raises(ExchangeError):
+            resident.exchange(engine="sqlite", resident=True)
+        with pytest.raises(ExchangeError):
+            resident.exchange(engine="sqlite", storage=":memory:", resident=True)
+
+    def test_aborted_resident_run_recovers_by_full_reseed(self, tmp_path):
+        # A resident run that aborts mid-fixpoint leaves its committed
+        # rounds in the store (they cannot be rolled back across round
+        # transactions).  Those orphan rows are sound but incomplete —
+        # and an incremental retry would dedup them out of the delta,
+        # never deriving their consequences.  The dirty-run flag makes
+        # the retry re-seed from the full store extension instead, so
+        # it converges to the complete fixpoint.
+        from repro.errors import EvaluationError
+
+        resident, plain = self.build_pair(tmp_path)
+        for system in (resident, plain):
+            system.insert_local("A", (3, "sn3", 9))
+        program, _ = resident.plan_cache.fetch(resident.program())
+        engine = SQLiteExchangeEngine(resident.exchange_store)
+        with pytest.raises(EvaluationError):
+            engine.run(
+                program,
+                resident.catalog,
+                resident.mappings,
+                resident.instance,
+                graph=resident.graph,
+                initial_delta={"A_l": {(3, "sn3", 9)}},
+                max_iterations=1,
+                resident=True,
+            )
+        assert resident.exchange_store.dirty_run
+        resident.exchange(engine="sqlite", resident=True)
+        plain.exchange(engine="sqlite")
+        assert not resident.exchange_store.dirty_run
+        store = resident.exchange_store
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                plain.instance[schema.name]
+            ), schema.name
+        assert resident.instance_size() == plain.instance_size()
+
+    def test_reopen_decodes_persisted_labeled_nulls(self, tmp_path):
+        # The codec caching labeled nulls dies with the store
+        # connection, but the @sk: encoding is self-describing, so a
+        # reopened store decodes persisted nulls on the fly — even in
+        # the adversarial registration order where the Skolem-consuming
+        # mapping (m2, whose z-Skolem takes m1's y-Skolem as argument)
+        # runs before its producer in every round.
+        path = str(tmp_path / "resident.db")
+
+        def build():
+            system = CDSS(
+                [
+                    Peer.of(
+                        "P",
+                        [
+                            RelationSchema.of("A", ["a"]),
+                            RelationSchema.of("E", ["a"]),
+                            RelationSchema.of("B", ["a", "b"]),
+                            RelationSchema.of("C", ["a", "b"]),
+                        ],
+                    )
+                ]
+            )
+            system.add_mapping("m2: C(y, z) :- E(x), B(x, y)", name="m2")
+            system.add_mapping("m1: B(x, y) :- A(x)", name="m1")
+            system.insert_local("A", (1,))
+            return system
+
+        resident, plain = build(), build()
+        resident.exchange(engine="sqlite", storage=path, resident=True)
+        plain.exchange(engine="sqlite")
+        resident.exchange_store.close()
+
+        for system in (resident, plain):
+            system.insert_local("E", (1,))
+        resident.exchange(engine="sqlite", storage=path, resident=True)
+        plain.exchange(engine="sqlite")
+
+        # Reconstructed SkolemValues are value-equal to the originals
+        # (frozen dataclass), so the reopened store's extension matches
+        # the plain twin exactly, nested Skolem arguments included.
+        store = resident.exchange_store
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                plain.instance[schema.name]
+            ), schema.name
+
+    def test_reopen_of_deleted_file_rejected(self, tmp_path):
+        # Naming the right path is not enough — if the file is gone,
+        # reopening would hand back a fresh empty database, silently
+        # losing the authoritative instance.
+        import os
+
+        path = str(tmp_path / "resident.db")
+        resident, _ = self.build_pair(tmp_path)
+        resident.exchange_store.close()
+        for suffix in ("", "-wal", "-shm"):
+            if os.path.exists(path + suffix):
+                os.remove(path + suffix)
+        with pytest.raises(ExchangeError):
+            resident.exchange(engine="sqlite", storage=path, resident=True)
+
+    def test_nonresident_runs_never_persist_the_dirty_flag(self, tmp_path):
+        # Only resident runs consume dirty_run; a plain mirror exchange
+        # must not pay the two persisted writes per call.
+        _, system = example_twins()
+        insert_example_data(system)
+        system.exchange(engine="sqlite", storage=str(tmp_path / "m.db"))
+        row = system.exchange_store.connection.execute(
+            "SELECT value FROM \"__meta\" WHERE key = 'dirty_run'"
+        ).fetchone()
+        assert row is None
+
+    def test_resident_store_upgrades_durability(self, tmp_path):
+        # A resident on-disk store is the only copy of the data, so it
+        # trades the mirror's fast pragmas for crash-safe WAL; a plain
+        # mirror keeps the fast settings (it can always be rebuilt).
+        resident, plain = self.build_pair(tmp_path)
+        (mode,) = resident.exchange_store.connection.execute(
+            "PRAGMA journal_mode"
+        ).fetchone()
+        assert mode == "wal"
+        mirror, _ = example_twins()
+        insert_example_data(mirror)
+        mirror.exchange(engine="sqlite", storage=str(tmp_path / "mirror.db"))
+        (mode,) = mirror.exchange_store.connection.execute(
+            "PRAGMA journal_mode"
+        ).fetchone()
+        assert mode == "memory"
+
+    def test_store_pinning_is_spelling_insensitive(self, tmp_path, monkeypatch):
+        # Relative and absolute spellings of the same file are the same
+        # store (paths are normalized at construction and comparison).
+        monkeypatch.chdir(tmp_path)
+        resident, _ = example_twins()
+        insert_example_data(resident)
+        resident.exchange(engine="sqlite", storage="resident.db", resident=True)
+        r = resident.exchange(
+            engine="sqlite",
+            storage=str(tmp_path / "resident.db"),
+            resident=True,
+        )
+        assert r.rows_mirrored == 0
+
+    def test_dirty_run_survives_store_reopen(self, tmp_path):
+        # The dirty-run flag lives in the store file: an abort followed
+        # by close + reopen-by-path (the cross-connection recovery
+        # story) must still trigger the full re-seed.
+        from repro.errors import EvaluationError
+
+        path = str(tmp_path / "resident.db")
+        resident, plain = self.build_pair(tmp_path)
+        for system in (resident, plain):
+            system.insert_local("A", (3, "sn3", 9))
+        program, _ = resident.plan_cache.fetch(resident.program())
+        engine = SQLiteExchangeEngine(resident.exchange_store)
+        with pytest.raises(EvaluationError):
+            engine.run(
+                program,
+                resident.catalog,
+                resident.mappings,
+                resident.instance,
+                graph=resident.graph,
+                initial_delta={"A_l": {(3, "sn3", 9)}},
+                max_iterations=1,
+                resident=True,
+            )
+        resident.exchange_store.close()
+        resident.exchange(engine="sqlite", storage=path, resident=True)
+        plain.exchange(engine="sqlite")
+        store = resident.exchange_store
+        assert not store.dirty_run
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                plain.instance[schema.name]
+            ), schema.name
+
+    def test_instance_size_rejects_closed_store(self, tmp_path):
+        # The Python side is deliberately empty in resident mode, so a
+        # closed store must fail loudly instead of reporting ~0.
+        resident, _ = self.build_pair(tmp_path)
+        resident.exchange_store.close()
+        with pytest.raises(ExchangeError):
+            resident.instance_size()
+
+    def test_resident_exchange_never_rescans_relation_tables(
+        self, tmp_path, monkeypatch
+    ):
+        # rel_counts come from the store's count cache (maintained by
+        # sync and publish), so incremental resident exchanges must not
+        # COUNT(*) over relation tables — only over the `__`-prefixed
+        # staging tables, whose size is the per-round delta.
+        resident, plain = self.build_pair(tmp_path)
+        real_count = ExchangeStore.count
+
+        def staging_only(store, table):
+            assert table.startswith("__"), (
+                f"full COUNT(*) rescan of relation table {table!r}"
+            )
+            return real_count(store, table)
+
+        monkeypatch.setattr(ExchangeStore, "count", staging_only)
+        for system in (resident, plain):
+            system.insert_local("A", (3, "sn3", 9))
+        r = resident.exchange(engine="sqlite", resident=True)
+        plain.exchange(engine="sqlite")
+        assert r.inserted == plain.last_exchange.inserted

@@ -34,6 +34,23 @@ class TestValueCodec:
         with pytest.raises(StorageError):
             codec.decode("@sk:f(9)", "int")
 
+    def test_skolem_encoding_is_self_describing(self):
+        # A fresh codec (new connection/process over a reopened store)
+        # reconstructs labeled nulls — nested arguments included — from
+        # the canonical encoding alone, value-equal to the originals.
+        inner = SkolemValue("g", (1, "a", None, True))
+        outer = SkolemValue("f", (inner, 2.5))
+        encoded = ValueCodec().encode(outer)
+        fresh = ValueCodec()
+        decoded = fresh.decode(encoded, "str")
+        assert decoded == outer
+        assert decoded.args[0] == inner
+        # The rebuilt value re-encodes to the identical string, so SQL
+        # joins keep working across the reopen.
+        assert fresh.encode(decoded) == encoded
+        # And the fresh codec caches one object per distinct null.
+        assert fresh.decode(encoded, "str") is decoded
+
     def test_unstorable_type_rejected(self):
         with pytest.raises(StorageError):
             ValueCodec().encode(object())
@@ -71,6 +88,9 @@ class TestValueCodecEdgeValues:
         2.5,
         -0.0,
         1e308,
+        float("inf"),
+        float("-inf"),
+        "@float:nan",
         "@sk:looks_like_a_skolem",
         "@int:123",
         "@str:@str:nested",
@@ -100,6 +120,78 @@ class TestValueCodecEdgeValues:
         codec = ValueCodec()
         assert codec.encode(2**70) == codec.encode(2**70)
         assert codec.encode(2**70) != codec.encode(2**70 + 1)
+
+    def test_nan_roundtrips_and_is_not_null(self):
+        """SQLite stores a raw bound NaN as NULL; the @float: tag keeps
+        NaN distinct from None through a typeless column."""
+        import math
+        import sqlite3
+
+        codec = ValueCodec()
+        encoded = codec.encode(float("nan"))
+        assert encoded == "@float:nan"  # never reaches the binder raw
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE t (v)")
+        connection.execute("INSERT INTO t VALUES (?)", (encoded,))
+        (raw,) = connection.execute("SELECT v FROM t").fetchone()
+        assert raw is not None
+        decoded = codec.decode(raw, "float")
+        assert isinstance(decoded, float) and math.isnan(decoded)
+        # Sanity-check the failure mode being fixed: an untagged NaN
+        # really does come back as NULL.
+        connection.execute("INSERT INTO t VALUES (?)", (float("nan"),))
+        assert connection.execute(
+            "SELECT count(*) FROM t WHERE v IS NULL"
+        ).fetchone() == (1,)
+
+    def test_nonfinite_floats_through_exchange_both_engines(self):
+        """NaN/±inf survive exchange — including P_m rows built inside
+        SQL — under both engines, without collapsing into None."""
+        import math
+
+        from repro.cdss import CDSS, Peer
+
+        nan = float("nan")
+        values = [nan, float("inf"), float("-inf"), 2.5]
+
+        def build():
+            system = CDSS(
+                [
+                    Peer.of(
+                        "P",
+                        [
+                            RelationSchema.of("R", [("k", "float")]),
+                            RelationSchema.of("S", [("k", "float")]),
+                            RelationSchema.of("T", [("k", "float")]),
+                        ],
+                    )
+                ]
+            )
+            system.add_mapping("m: T(k) :- R(k), S(k)", name="m")
+            system.insert_local_many("R", [(v,) for v in values])
+            system.insert_local_many("S", [(v,) for v in values])
+            return system
+
+        for engine in ("memory", "sqlite"):
+            system = build()
+            system.exchange(engine=engine)
+            derived = [row[0] for row in system.instance["T"]]
+            assert None not in derived, engine
+            assert sum(1 for v in derived if math.isnan(v)) == 1, engine
+            assert float("inf") in derived and float("-inf") in derived
+
+        # P_m rows: written by SQL in the sqlite engine, decoded back.
+        system = build()
+        system.exchange(engine="sqlite")
+        store = system.exchange_store
+        mapping = system.mappings["m"]
+        decoded = [
+            store.codec.decode(value, column.type)
+            for row in store.connection.execute('SELECT * FROM "P_m"')
+            for value, column in zip(row, mapping.provenance_columns)
+        ]
+        assert None not in decoded
+        assert sum(1 for v in decoded if math.isnan(v)) == 1
 
     def test_edge_values_through_provenance_rows(self, tmp_path):
         """Edge values flow through exchange, into P_m rows on disk,
