@@ -14,10 +14,12 @@ from repro.errors import StorageError
 from repro.workloads import branched, chain, prepare_storage, run_target_query
 
 from conftest import scaled
+from test_fig09_base_size import record_deletion_matrix
 
 FIGURE = "fig10"
 
 PEER_COUNTS = (5, 10, 15, 20, 25)
+DELETE_PEER_COUNTS = (5, 10, 15)
 
 
 @pytest.fixture(scope="module")
@@ -47,6 +49,17 @@ def test_fig10_point(benchmark, systems, recorder, kind, peers):
         total_ms=round(result.query_processing_seconds * 1e3, 1),
         instance_tuples=result.instance_tuples,
         max_join=result.stats.max_join_width,
+    )
+
+
+@pytest.mark.parametrize("peers", DELETE_PEER_COUNTS)
+def test_fig10_deletion_point(benchmark, recorder, tmp_path, peers):
+    """Deletion propagation vs. chain length, across both engines:
+    propagation work grows with the number of downstream peers the
+    deleted base tuples reached."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record_deletion_matrix(
+        recorder, tmp_path, peers, scaled(100), f"peers={peers}"
     )
 
 

@@ -17,6 +17,12 @@ same:
 * store-resident mode (`resident=True`) keeps the authoritative
   instance on disk only: derived tuples are never materialized in
   Python, so working sets can exceed memory;
+* deletions work store-resident too: `delete_local` marks victims in
+  SQL and `propagate_deletions` re-runs the paper's DERIVABILITY test
+  as an iterative SQL fixpoint over the `P_m` firing history, killing
+  unsupported tuples and garbage-collecting dead `P_m` rows — no graph
+  is ever materialized (graph *queries* like `lineage` remain the one
+  thing resident mode cannot answer);
 * both engines produce identical instances and provenance graphs.
 
 Run:  python examples/sqlite_exchange_demo.py [workdir]
@@ -28,6 +34,7 @@ from pathlib import Path
 
 from repro.relational.schema import is_local_name
 from repro.workloads import chain
+from repro.workloads.swissprot import generate_entries
 
 
 def main() -> None:
@@ -108,6 +115,39 @@ def main() -> None:
     )
     assert public_in_python == 0
     assert resident.instance_size() == baseline_size
+
+    # Store-resident deletion propagation: delete a slice of the most
+    # upstream peer's base data, then let the DERIVABILITY test run as
+    # a SQL fixpoint over the P_m firing history — victims and every
+    # tuple they solely supported disappear from the on-disk instance,
+    # and the dead P_m rows are garbage-collected alongside.
+    upstream = 5
+    victims = generate_entries(40, seed=upstream, key_offset=upstream * 10_000_000)[:4]
+    for victim in victims:
+        resident.delete_local(f"P{upstream}_R1", victim.first_row())
+        resident.delete_local(f"P{upstream}_R2", victim.second_row())
+    removed = resident.propagate_deletions()
+    stats = resident.last_deletion
+    print(
+        f"resident delete: {len(victims) * 2} victims marked in SQL, "
+        f"{removed} unsupported tuples propagated out in "
+        f"{stats.iterations} fixpoint rounds, "
+        f"{stats.pm_rows_collected} P_m rows collected"
+    )
+    assert stats.rows_deleted == removed > 0
+    assert stats.pm_rows_collected > 0
+    assert resident.instance_size() < baseline_size
+
+    # The store remains fully incremental after the delete: a fresh
+    # exchange re-derives only what the new rows support.
+    resident.insert_local("P5_R1", entry)
+    resident.insert_local("P5_R2", entry2)
+    after_delete = resident.exchange(engine="sqlite", resident=True)
+    assert after_delete.rows_mirrored == 2
+    print(
+        f"post-delete incremental exchange: {after_delete.inserted} tuples "
+        f"re-derived, {after_delete.rows_mirrored} rows mirrored"
+    )
 
     # The P_m provenance relations were maintained inside SQLite,
     # round by round, alongside the instance tables.

@@ -28,7 +28,7 @@ from repro.datalog.parser import parse_rule
 from repro.datalog.rules import Program, Rule
 from repro.errors import ExchangeError, SchemaError
 from repro.exchange.cache import ProgramCache
-from repro.provenance.annotate import annotate
+from repro.provenance.annotate import annotate, derivability_partition
 from repro.provenance.graph import ProvenanceGraph, TupleNode
 from repro.relational.instance import Catalog, Instance, Row
 from repro.relational.schema import RelationSchema, is_local_name, local_name
@@ -57,6 +57,9 @@ class CDSS:
         self._exchanged_once = False
         #: engine statistics of the most recent :meth:`exchange`.
         self.last_exchange: EvaluationResult | None = None
+        #: statistics of the most recent :meth:`propagate_deletions`
+        #: (``rows_deleted`` / ``pm_rows_collected`` / ``engine``).
+        self.last_deletion: EvaluationResult | None = None
         #: cumulative wall-clock seconds spent in update exchange.
         self.exchange_seconds = 0.0
         #: compiled-program cache shared by both exchange engines;
@@ -188,10 +191,13 @@ class CDSS:
         and provenance derivations are never materialized in Python —
         the instance holds only local contributions, so working sets
         may exceed memory.  The mode is sticky: once a system has
-        exchanged residently it must keep doing so, graph-based
-        operations (:meth:`lineage`, :meth:`delete_local`,
-        :meth:`propagate_deletions`, ...) are unavailable, and
-        :meth:`instance_size` counts store rows.
+        exchanged residently it must keep doing so, graph-*query*
+        operations (:meth:`lineage`, :meth:`derivability`,
+        :meth:`trusted`, ...) are unavailable, and
+        :meth:`instance_size` counts store rows.  Deletions are fully
+        supported: :meth:`delete_local` marks victims in SQL and
+        :meth:`propagate_deletions` runs the DERIVABILITY test as an
+        iterative SQL fixpoint over the stored firing history.
         """
         started = time.perf_counter()
         if resident and engine != "sqlite":
@@ -354,18 +360,36 @@ class CDSS:
         """Delete a local contribution (no propagation until
         :meth:`propagate_deletions`).
 
-        Rejected in store-resident mode: reconciling a deletion needs
-        :meth:`propagate_deletions` (unavailable there), so accepting
-        the mutation would leave the authoritative store permanently
-        serving tuples whose sole support was deleted.
+        In store-resident mode the victim is additionally marked in
+        SQL: the row is removed from the authoritative store's
+        local-contribution table (with the sync high-water mark
+        fast-forwarded when possible, so the deletion does not force a
+        full reload of the relation on the next exchange).
         """
         if relation not in self.catalog:
             raise SchemaError(f"unknown relation {relation}")
-        self._require_graph("local deletion")
         target = relation if is_local_name(relation) else local_name(relation)
         row = tuple(row)
+        if self._resident:
+            return self._resident_delete(target, row)
         self._pending.get(target, set()).discard(row)
         return self.instance.delete(target, row)
+
+    def _resident_delete(self, target: str, row: Row) -> bool:
+        """Victim marking in the authoritative store: mirror the local
+        deletion into the on-disk ``R_l`` table."""
+        store = self._open_resident_store("local deletion")
+        in_sync = store.relation_in_sync(self.instance, target)
+        self._pending.get(target, set()).discard(row)
+        present = self.instance.delete(target, row)
+        if present and store.has_table(target):
+            store.delete_relation_row(self.catalog[target], row)
+            if in_sync:
+                # Both sides saw the same mutation; without this the
+                # deletion epoch would trigger a full reload of the
+                # whole relation on the next sync.
+                store.fast_forward_mark(self.instance, target)
+        return present
 
     def delete_local_many(
         self, relation: str, rows: Iterable[Sequence[object]]
@@ -375,39 +399,119 @@ class CDSS:
     def propagate_deletions(self) -> int:
         """Garbage-collect underivable tuples after local deletions.
 
-        Uses the DERIVABILITY semiring over the stored provenance graph
-        (the paper's Q5: "provenance can speed up this test"): a leaf is
-        derivable iff its local tuple still exists; any tuple whose
-        annotation becomes ``false`` is removed from the instance, and
-        its graph nodes are dropped.  Returns the number of removed
-        tuples (including local-leaf nodes).
+        Runs the DERIVABILITY test (the paper's Q5: "provenance can
+        speed up this test"): a leaf is derivable iff its local tuple
+        still exists, and a derived tuple survives only while some
+        firing with all-derivable antecedents still produces it.  The
+        two engines share this semantics
+        (:func:`~repro.provenance.annotate.derivability_partition`)
+        over different substrates — the in-memory provenance graph, or,
+        in store-resident mode, an iterative SQL fixpoint over the
+        ``P_m`` firing history that never materializes anything in
+        Python.  Dead ``P_m`` rows are garbage-collected alongside (for
+        a non-resident system with a SQLite mirror too), so the stored
+        firing history tracks the surviving derivations.
+
+        Returns the number of removed tuples; the full statistics
+        (``rows_deleted``, ``pm_rows_collected``, ``iterations``,
+        ``engine``) land in :attr:`last_deletion`.
         """
-        self._require_graph("deletion propagation")
-        semiring = get_semiring("DERIVABILITY")
-        derivable = annotate(
+        if self._resident:
+            result = self._propagate_deletions_resident()
+        else:
+            result = self._propagate_deletions_graph()
+        self.last_deletion = result
+        return result.rows_deleted
+
+    def _propagate_deletions_graph(self) -> EvaluationResult:
+        """Graph-path propagation (non-resident systems)."""
+        dead_tuples, dead_derivations = derivability_partition(
             self.graph,
-            semiring,
             leaf_assignment=lambda node: self.instance.contains(
                 node.relation, node.values
             ),
         )
-        dead_tuples = {node for node, value in derivable.items() if not value}
+        result = EvaluationResult(self.instance, self.graph, engine="memory")
         if not dead_tuples:
-            return 0
-        dead_derivations = {
-            deriv
-            for deriv in self.graph.derivations
-            if any(src in dead_tuples for src in deriv.sources)
-            or any(tgt in dead_tuples for tgt in deriv.targets)
-        }
-        survivors_t = [t for t in self.graph.tuples if t not in dead_tuples]
-        survivors_d = [d for d in self.graph.derivations if d not in dead_derivations]
-        removed = 0
+            return result
+        collected = self._collected_provenance_rows(dead_derivations)
         for node in dead_tuples:
             if self.instance.delete(node.relation, node.values):
-                removed += 1
-        self.graph = self.graph.subgraph(survivors_t, survivors_d)
-        return removed
+                result.rows_deleted += 1
+        self.graph.remove_nodes(dead_tuples, dead_derivations)
+        result.pm_rows_collected = sum(
+            len(rows) for rows in collected.values()
+        )
+        store = self.exchange_store
+        if store is not None and not store.closed:
+            # Keep a non-resident mirror's firing history honest too:
+            # drop the P_m rows whose every supporting firing died.
+            for name, rows in collected.items():
+                store.delete_provenance_rows(self.mappings[name], rows)
+        return result
+
+    def _collected_provenance_rows(
+        self, dead_derivations: "set"
+    ) -> dict[str, set[tuple]]:
+        """P_m rows to garbage-collect, per mapping: the projections of
+        dead derivations not kept alive by a surviving firing (distinct
+        firings may share a P_m row when they agree on every key
+        variable)."""
+        from repro.storage.provrel import binding_of
+
+        dead_by_mapping: dict[str, list] = {}
+        for deriv in dead_derivations:
+            dead_by_mapping.setdefault(deriv.mapping, []).append(deriv)
+        tracked = {
+            name: mapping
+            for name in dead_by_mapping
+            if (mapping := self.mappings.get(name)) is not None
+            and not mapping.is_superfluous
+            and mapping.provenance_columns
+        }
+        dead_keys = {
+            name: {
+                mapping.derivation_key(binding_of(mapping, d))
+                for d in dead_by_mapping[name]
+            }
+            for name, mapping in tracked.items()
+        }
+        # One pass over the graph retracts every key a surviving firing
+        # still supports (distinct firings share a key when they agree
+        # on all key variables).
+        for deriv in self.graph.derivations:
+            mapping = tracked.get(deriv.mapping)
+            if mapping is None or deriv in dead_derivations:
+                continue
+            keys = dead_keys[deriv.mapping]
+            if keys:
+                keys.discard(
+                    mapping.derivation_key(binding_of(mapping, deriv))
+                )
+        return {name: keys for name, keys in dead_keys.items() if keys}
+
+    def _propagate_deletions_resident(self) -> EvaluationResult:
+        """Store-path propagation: the SQL derivability fixpoint."""
+        from repro.exchange.sql_executor import SQLiteExchangeEngine
+
+        store = self._open_resident_store("deletion propagation")
+        program, _ = self.plan_cache.fetch(self.program())
+        return SQLiteExchangeEngine(store).propagate_deletions(
+            program, self.catalog, self.mappings, self.instance
+        )
+
+    def _open_resident_store(self, operation: str) -> "ExchangeStore":
+        """The pinned resident store, required open: it holds the only
+        copy of the derived instance this operation must consult."""
+        store = self.exchange_store
+        if store is None or store.closed:
+            raise ExchangeError(
+                f"{operation} needs the resident store (it holds the "
+                "only copy of the derived relations), but the store is "
+                "closed; reopen it via exchange(storage=<path>, "
+                "resident=True)"
+            )
+        return store
 
     # -- queries over the graph ---------------------------------------------------
 

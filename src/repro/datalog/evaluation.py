@@ -150,6 +150,13 @@ class EvaluationResult:
     #: relations the sync had to touch (changed since the store's
     #: high-water mark).
     relations_synced: int = 0
+    #: tuples removed by deletion propagation (Q5) — the unsupported
+    #: rows killed after the DERIVABILITY test; 0 for plain exchanges.
+    rows_deleted: int = 0
+    #: P_m firing-history rows garbage-collected alongside a deletion
+    #: propagation (store rows for the sqlite engine, their graph-side
+    #: projections for the memory engine — comparable counts).
+    pm_rows_collected: int = 0
 
     def derived_size(self) -> int:
         return self.instance.size()

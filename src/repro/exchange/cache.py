@@ -36,7 +36,7 @@ from repro.datalog.planner import CompiledRule, compile_program
 from repro.datalog.rules import Program, Rule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.exchange.sql_plans import ProgramSQL
+    from repro.exchange.sql_plans import DerivabilitySQL, ProgramSQL
 
 
 def program_fingerprint(program: Program | Iterable[Rule]) -> str:
@@ -69,6 +69,9 @@ class CompiledExchangeProgram:
     #: SQL lowering, attached lazily by the SQLite engine so a
     #: memory-only workload never pays for it.
     sql: "ProgramSQL | None" = field(default=None, repr=False)
+    #: SQL lowering of the relational DERIVABILITY test, attached
+    #: lazily by the first store-resident deletion propagation.
+    derivability: "DerivabilitySQL | None" = field(default=None, repr=False)
 
     @property
     def plan_count(self) -> int:

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import os
 import sqlite3
-from typing import Mapping as TMapping
+from typing import Iterable, Mapping as TMapping
 
 from repro.cdss.mapping import SchemaMapping
 from repro.datalog.evaluation import EvaluationResult
@@ -43,12 +43,21 @@ from repro.datalog.terms import SkolemValue
 from repro.errors import EvaluationError, ExchangeError
 from repro.exchange.cache import CompiledExchangeProgram
 from repro.exchange.sql_plans import (
+    DerivabilitySQL,
     ProgramSQL,
     cand_table,
     delta_table,
+    kill_sql,
+    live_cand_table,
+    live_delta_table,
+    live_new_table,
+    live_table,
+    lower_derivability_program,
     lower_program,
     new_table,
+    pm_gc_sql,
     slot_column,
+    stage_live_sql,
     stage_new_sql,
 )
 from repro.provenance.graph import DerivationNode, ProvenanceGraph, TupleNode
@@ -109,11 +118,13 @@ class ExchangeStore:
     rows accumulate across incremental calls (they mirror the growing
     provenance graph), so pointing a second system at the same store
     would leave the first system's rows behind.  ``P_m`` is the
-    *firing history*, append-only: deletion propagation shrinks the
-    Python graph and the data relations (reconciled by the next sync's
-    epoch-triggered full reload) but does not yet delete from ``P_m``
-    — running the derivability test relationally over ``P_m`` is the
-    ROADMAP lever that will close this.
+    *firing history*; deletion propagation keeps it honest: the
+    relational DERIVABILITY fixpoint
+    (:meth:`SQLiteExchangeEngine.propagate_deletions`) garbage-collects
+    the rows whose firing lost a supporting antecedent, and the
+    graph-path propagation of a non-resident system reconciles the
+    store's ``P_m`` via :meth:`delete_provenance_rows` — so the firing
+    history no longer retains derivations the graph collected.
     """
 
     def __init__(self, path: str = ":memory:"):
@@ -253,6 +264,61 @@ class ExchangeStore:
             )
         self.connection.commit()
 
+    def ensure_derivability_schema(
+        self, catalog: Catalog, dsql: DerivabilitySQL
+    ) -> None:
+        """Create (idempotently) the deletion-propagation work tables:
+        per-relation live/delta/candidate/new stages (the live table
+        indexed on all columns — the kill sweep probes it once per
+        stored row), per-rule live-firing tables, and per-mapping
+        surviving-``P_m`` projections."""
+        for relation in dsql.relations:
+            schema = catalog[relation]
+            for name in (
+                live_table(relation),
+                live_delta_table(relation),
+                live_cand_table(relation),
+                live_new_table(relation),
+            ):
+                self._create_table(name, schema.attribute_names)
+            cols = ", ".join(_q(c) for c in schema.attribute_names)
+            self.connection.execute(
+                f"CREATE INDEX IF NOT EXISTS "
+                f"{_q('__ix_' + live_table(relation))} "
+                f"ON {_q(live_table(relation))} ({cols})"
+            )
+        for rule in dsql.rules:
+            self._create_table(
+                rule.firing_table,
+                tuple(slot_column(s) for s in range(rule.num_slots)),
+            )
+        for _name, _pm_table, live_pm, columns in dsql.pm_tables:
+            self._create_table(live_pm, columns)
+            cols = ", ".join(_q(c) for c in columns)
+            self.connection.execute(
+                f"CREATE INDEX IF NOT EXISTS {_q('__ix_' + live_pm)} "
+                f"ON {_q(live_pm)} ({cols})"
+            )
+        self.connection.commit()
+
+    def reset_derivability(self, dsql: DerivabilitySQL) -> None:
+        """Clear every deletion-propagation work table (before a run,
+        and again after it so the live sets — as large as the surviving
+        instance — do not linger on disk)."""
+        with self.connection:
+            for relation in dsql.relations:
+                for name in (
+                    live_table(relation),
+                    live_delta_table(relation),
+                    live_cand_table(relation),
+                    live_new_table(relation),
+                ):
+                    self.connection.execute(f"DELETE FROM {_q(name)}")
+            for rule in dsql.rules:
+                self.connection.execute(f"DELETE FROM {_q(rule.firing_table)}")
+            for _name, _pm_table, live_pm, _columns in dsql.pm_tables:
+                self.connection.execute(f"DELETE FROM {_q(live_pm)}")
+
     # -- per-run state ------------------------------------------------------
 
     def reset_run(self, catalog: Catalog, sql: ProgramSQL) -> None:
@@ -362,6 +428,64 @@ class ExchangeStore:
         if relation in self._row_counts:
             self._row_counts[relation] += added
 
+    def note_rows_removed(self, relation: str, removed: int) -> None:
+        """Rewind the count cache for rows deletion propagation just
+        killed in *relation* (no-op for relations never counted)."""
+        if relation in self._row_counts:
+            self._row_counts[relation] = max(
+                0, self._row_counts[relation] - removed
+            )
+
+    def relation_in_sync(self, instance: Instance, relation: str) -> bool:
+        """True iff *relation*'s store table provably matches the
+        instance (the high-water mark is current), so a mutation
+        applied to both sides keeps them in lockstep."""
+        return (
+            self._mirrored is instance
+            and self._marks.get(relation) == instance.change_mark(relation)
+        )
+
+    def fast_forward_mark(self, instance: Instance, relation: str) -> None:
+        """Advance one relation's high-water mark to the instance's
+        current journal position — called after the same mutation was
+        applied to both sides, so the next sync ships nothing instead
+        of epoch-reloading the whole relation."""
+        if self._mirrored is instance:
+            self._marks[relation] = instance.change_mark(relation)
+
+    def delete_relation_row(self, schema: RelationSchema, row: Row) -> bool:
+        """Delete one row from *schema*'s table (deletion-victim
+        marking), keeping the count cache current."""
+        condition = " AND ".join(
+            f"{_q(c)} IS ?" for c in schema.attribute_names
+        )
+        with self.connection:
+            cursor = self.connection.execute(
+                f"DELETE FROM {_q(schema.name)} WHERE {condition}",
+                self.codec.encode_row(row),
+            )
+        removed = max(cursor.rowcount, 0)
+        if removed:
+            self.note_rows_removed(schema.name, removed)
+        return bool(removed)
+
+    def delete_provenance_rows(
+        self, mapping: SchemaMapping, rows: Iterable[Row]
+    ) -> None:
+        """Garbage-collect specific ``P_m`` rows (the graph-path
+        propagation reconciling a non-resident mirror)."""
+        schema = mapping.provenance_schema()
+        if not self.has_table(schema.name):
+            return
+        condition = " AND ".join(
+            f"{_q(c)} IS ?" for c in schema.attribute_names
+        )
+        with self.connection:
+            self.connection.executemany(
+                f"DELETE FROM {_q(schema.name)} WHERE {condition}",
+                [self.codec.encode_row(row) for row in rows],
+            )
+
     def relation_rows(self, schema: RelationSchema) -> set[Row]:
         """Decode the mirror's extension of one relation (tests and
         resident-mode readers).  Works on a store reopened by path:
@@ -371,7 +495,18 @@ class ExchangeStore:
         return {self.codec.decode_row(row, schema) for row in cursor}
 
     def has_table(self, name: str) -> bool:
-        return name in self._known_tables
+        if name in self._known_tables:
+            return True
+        # A store reopened by path holds tables this connection never
+        # created; consult the catalog so e.g. P_m garbage collection
+        # still finds them.
+        row = self.connection.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = ?",
+            (name,),
+        ).fetchone()
+        if row:
+            self._known_tables.add(name)
+        return row is not None
 
     # -- small helpers ------------------------------------------------------
 
@@ -588,6 +723,187 @@ class SQLiteExchangeEngine:
             # mirror already has them — fast-forward instead of
             # reshipping on the next sync.
             self.store.mark_synced(instance)
+        return result
+
+    def propagate_deletions(
+        self,
+        program: CompiledExchangeProgram,
+        catalog: Catalog,
+        mappings: TMapping[str, SchemaMapping],
+        instance: Instance,
+        max_iterations: int | None = None,
+    ) -> EvaluationResult:
+        """Relational deletion propagation (Q5) inside the store.
+
+        Runs after deletion victims were removed from the ``R_l``
+        tables (:meth:`ExchangeStore.delete_relation_row` /
+        :meth:`ExchangeStore.sync_instance`): an iterative SQL fixpoint
+        re-runs the DERIVABILITY test over the firing history — every
+        relation's *live* set grows semi-naively from the surviving
+        EDB leaves through the rule bodies, so a tuple is killed
+        exactly when every firing producing it has a killed antecedent
+        (and, because liveness is the *least* fixpoint, cyclically
+        self-supporting derivations with no surviving base die too,
+        matching the graph engine's Kleene iteration).  Unsupported
+        rows are then deleted set-at-a-time and the dead ``P_m`` rows
+        garbage-collected, so the firing history stops retaining
+        graph-collected derivations.
+
+        Returns an :class:`EvaluationResult` with ``rows_deleted`` /
+        ``pm_rows_collected`` / ``iterations`` filled in.  Nothing is
+        materialized in Python — the working set stays out-of-core.
+        """
+        if program.sql is None:
+            program.sql = lower_program(
+                program.compiled, catalog, mappings, self.store.codec
+            )
+        if program.derivability is None:
+            program.derivability = lower_derivability_program(
+                program.compiled, catalog, mappings, self.store.codec
+            )
+        dsql = program.derivability
+        self.store.ensure_schema(catalog, mappings, program.sql)
+        self.store.ensure_derivability_schema(catalog, dsql)
+        self.store.reset_derivability(dsql)
+        try:
+            return self._propagate_over_live_tables(
+                dsql, catalog, instance, max_iterations
+            )
+        finally:
+            # Win or lose, the live sets — as large as the surviving
+            # instance — must not linger on disk.
+            self.store.reset_derivability(dsql)
+
+    def _propagate_over_live_tables(
+        self,
+        dsql: DerivabilitySQL,
+        catalog: Catalog,
+        instance: Instance,
+        max_iterations: int | None,
+    ) -> EvaluationResult:
+        conn = self.store.connection
+        result = EvaluationResult(instance, ProvenanceGraph(), engine="sqlite")
+        # Bring the store's EDB up to date with the Python side (victim
+        # marking already shrank both).  Pending unexchanged local rows
+        # ride along and do seed the live set — but their derived
+        # consequences are discarded by the stage's stored-row filter
+        # (an unexchanged row's heads are not in the relation tables),
+        # so, like the graph engine's unrecorded firings, they can
+        # neither resurrect a dying tuple nor leak into the P_m
+        # projections.
+        result.rows_mirrored, result.relations_synced = (
+            self.store.sync_instance(instance, resident=True)
+        )
+
+        delta_counts: dict[str, int] = {}
+        with conn:
+            for relation in dsql.edb_relations:
+                conn.execute(
+                    f"INSERT INTO {_q(live_table(relation))} "
+                    f"SELECT * FROM {_q(relation)}"
+                )
+                conn.execute(
+                    f"INSERT INTO {_q(live_delta_table(relation))} "
+                    f"SELECT * FROM {_q(relation)}"
+                )
+                count = self.store.cached_count(relation)
+                if count:
+                    delta_counts[relation] = count
+        stage_sql = {
+            relation: stage_live_sql(catalog, relation)
+            for relation in dsql.derived_relations
+        }
+
+        iteration = 0
+        while any(
+            delta_counts.get(plan.seed_relation)
+            for rule in dsql.rules
+            for plan in rule.plans
+        ):
+            iteration += 1
+            if max_iterations is not None and iteration > max_iterations:
+                raise EvaluationError(
+                    f"derivability fixpoint did not converge within "
+                    f"{max_iterations} iterations"
+                )
+            with conn:
+                watermarks = {
+                    rule.rule_name: self.store.max_rowid(rule.firing_table)
+                    for rule in dsql.rules
+                }
+                for rule in dsql.rules:
+                    for plan in rule.plans:
+                        if delta_counts.get(plan.seed_relation):
+                            conn.execute(
+                                plan.statement.sql,
+                                dict(plan.statement.params),
+                            )
+                for rule in dsql.rules:
+                    watermark = watermarks[rule.rule_name]
+                    fired = (
+                        self.store.max_rowid(rule.firing_table) - watermark
+                    )
+                    if fired <= 0:
+                        continue
+                    runtime = {"wm": watermark}
+                    for statement in rule.head_inserts:
+                        conn.execute(
+                            statement.sql, {**statement.params, **runtime}
+                        )
+                    if rule.pm_insert is not None:
+                        conn.execute(
+                            rule.pm_insert.sql,
+                            {**rule.pm_insert.params, **runtime},
+                        )
+                for relation in dsql.derived_relations:
+                    conn.execute(stage_sql[relation])
+                for relation in dsql.relations:
+                    conn.execute(
+                        f"DELETE FROM {_q(live_delta_table(relation))}"
+                    )
+                new_counts: dict[str, int] = {}
+                for relation in dsql.derived_relations:
+                    fresh = self.store.count(live_new_table(relation))
+                    if fresh:
+                        conn.execute(
+                            f"INSERT INTO {_q(live_table(relation))} "
+                            f"SELECT * FROM {_q(live_new_table(relation))}"
+                        )
+                        conn.execute(
+                            f"INSERT INTO {_q(live_delta_table(relation))} "
+                            f"SELECT * FROM {_q(live_new_table(relation))}"
+                        )
+                        conn.execute(
+                            f"DELETE FROM {_q(live_new_table(relation))}"
+                        )
+                        new_counts[relation] = fresh
+                    conn.execute(
+                        f"DELETE FROM {_q(live_cand_table(relation))}"
+                    )
+                delta_counts = new_counts
+        result.iterations = iteration
+
+        # Kill phase, one transaction: unsupported rows die, dead P_m
+        # firing-history rows are garbage-collected alongside.
+        pm_collected = 0
+        removed_counts: dict[str, int] = {}
+        with conn:
+            for relation in dsql.derived_relations:
+                cursor = conn.execute(kill_sql(catalog, relation))
+                removed = max(cursor.rowcount, 0)
+                if removed:
+                    removed_counts[relation] = removed
+            for _name, pm_table, live_pm, columns in dsql.pm_tables:
+                cursor = conn.execute(pm_gc_sql(pm_table, live_pm, columns))
+                pm_collected += max(cursor.rowcount, 0)
+        # The count cache moves only after the kill transaction commits
+        # (a rollback must leave it describing the uncut tables).
+        rows_deleted = 0
+        for relation, removed in removed_counts.items():
+            rows_deleted += removed
+            self.store.note_rows_removed(relation, removed)
+        result.rows_deleted = rows_deleted
+        result.pm_rows_collected = pm_collected
         return result
 
     # -- internals ---------------------------------------------------------

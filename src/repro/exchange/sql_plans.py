@@ -29,6 +29,20 @@ All value comparisons use SQLite's null-safe ``IS`` operator so SQL
 semantics match the Python engine's ``==`` on rows that may contain
 ``None``.  Statements use named parameters: compile-time constants bind
 ``:p<N>``; the per-round firing-table watermark binds ``:wm``.
+
+**Deletion propagation** (the paper's Q5) gets its own lowering: after
+local victims are removed from the store's ``R_l`` tables,
+:func:`lower_derivability_program` re-runs the DERIVABILITY test
+*relationally* — a semi-naive fixpoint over ``__live_*`` tables marks
+every tuple still derivable from the surviving EDB leaves (the least
+fixpoint, so cyclically self-supporting tuples correctly die), after
+which one ``DELETE`` per relation kills the unsupported rows and one
+per ``P_m`` garbage-collects the firing-history rows whose every
+supporting derivation died.  Because the store holds an exchange
+fixpoint, re-joining *live* rows through the rule bodies enumerates
+exactly the historical firings whose antecedents all survive — the
+relational mirror of annotating the provenance graph with the
+DERIVABILITY semiring.
 """
 
 from __future__ import annotations
@@ -48,6 +62,7 @@ from repro.datalog.planner import (
 )
 from repro.errors import ExchangeError
 from repro.relational.instance import Catalog
+from repro.relational.schema import is_local_name
 from repro.storage.encoding import ValueCodec, quote_identifier as _q
 
 #: table-name prefixes of the executor's working tables.
@@ -55,6 +70,16 @@ DELTA_PREFIX = "__delta_"
 NEW_PREFIX = "__new_"
 CAND_PREFIX = "__cand_"
 FIRED_PREFIX = "__fired_"
+#: table-name prefixes of the derivability (deletion-propagation)
+#: working tables: the set of live (still-derivable) rows per relation,
+#: its semi-naive delta/candidate/new stages, the live firings per
+#: rule, and the surviving P_m projection per mapping.
+LIVE_PREFIX = "__live_"
+LIVE_DELTA_PREFIX = "__ldelta_"
+LIVE_CAND_PREFIX = "__lcand_"
+LIVE_NEW_PREFIX = "__lnew_"
+LIVE_FIRED_PREFIX = "__lfired_"
+LIVE_PM_PREFIX = "__lpm_"
 
 #: pseudo attribute type for Skolem-argument decoding: "decode by tag
 #: only" (ints/floats/strings pass through, labeled nulls re-intern).
@@ -75,6 +100,30 @@ def cand_table(relation: str) -> str:
 
 def fired_table(rule_name: str) -> str:
     return FIRED_PREFIX + rule_name
+
+
+def live_table(relation: str) -> str:
+    return LIVE_PREFIX + relation
+
+
+def live_delta_table(relation: str) -> str:
+    return LIVE_DELTA_PREFIX + relation
+
+
+def live_cand_table(relation: str) -> str:
+    return LIVE_CAND_PREFIX + relation
+
+
+def live_new_table(relation: str) -> str:
+    return LIVE_NEW_PREFIX + relation
+
+
+def live_fired_table(rule_name: str) -> str:
+    return LIVE_FIRED_PREFIX + rule_name
+
+
+def live_pm_table(mapping_name: str) -> str:
+    return LIVE_PM_PREFIX + mapping_name
 
 
 def slot_column(slot: int) -> str:
@@ -187,13 +236,25 @@ def _term_variables(term):
             yield from _term_variables(arg)
 
 
-def _lower_plan(
+def _plan_firing_sql(
     crule: CompiledRule,
     plan: RulePlan,
     catalog: Catalog,
-    codec: ValueCodec,
-) -> PlanSQL:
-    alloc = _ParamAllocator(codec)
+    alloc: _ParamAllocator,
+    seed_from: str,
+    join_of,
+    guards: bool,
+    target: str,
+) -> str:
+    """The ``INSERT ... SELECT DISTINCT`` enumerating one plan's firings.
+
+    ``seed_from`` names the table the seed atom ranges over, ``join_of``
+    maps each join step's relation to the table actually joined (the
+    frozen mirror for exchange, the ``__live_*`` tables for the
+    derivability fixpoint), and ``guards`` controls whether guard steps
+    emit their ``NOT EXISTS`` once-per-firing probes (liveness is a set
+    computation, so the derivability lowering skips them).
+    """
     seed = plan.seed
     seed_cols = _columns(catalog, seed.relation)
     slot_src: dict[int, str] = {}
@@ -227,10 +288,10 @@ def _lower_plan(
         for pos, slot in step.checks:
             on_parts.append(f'{alias}.{_q(cols[pos])} IS {slot_src[slot]}')
         joins.append(
-            f'JOIN {_q(step.relation)} AS {alias} '
+            f'JOIN {_q(join_of(step.relation))} AS {alias} '
             f"ON {' AND '.join(on_parts) if on_parts else '1'}"
         )
-        if step.guard:
+        if guards and step.guard:
             guard_alias = f"g{index}"
             guard_conds = " AND ".join(
                 f'{guard_alias}.{_q(col)} IS {alias}.{_q(col)}' for col in cols
@@ -250,15 +311,34 @@ def _lower_plan(
         _q(slot_column(s)) for s in range(crule.num_slots)
     )
     where = f"\nWHERE {' AND '.join(conditions)}" if conditions else ""
-    sql = (
-        f"INSERT INTO {_q(fired_table(crule.rule.name))} ({target_cols})\n"
+    return (
+        f"INSERT INTO {_q(target)} ({target_cols})\n"
         f"SELECT DISTINCT {select_list}\n"
-        f"FROM {_q(delta_table(seed.relation))} AS {seed_alias}\n"
+        f"FROM {_q(seed_from)} AS {seed_alias}\n"
         + "\n".join(joins)
         + where
     )
+
+
+def _lower_plan(
+    crule: CompiledRule,
+    plan: RulePlan,
+    catalog: Catalog,
+    codec: ValueCodec,
+) -> PlanSQL:
+    alloc = _ParamAllocator(codec)
+    sql = _plan_firing_sql(
+        crule,
+        plan,
+        catalog,
+        alloc,
+        seed_from=delta_table(plan.seed.relation),
+        join_of=lambda relation: relation,
+        guards=True,
+        target=fired_table(crule.rule.name),
+    )
     return PlanSQL(
-        seed.relation, Statement(sql, alloc.params), plan.guarded_relations
+        plan.seed.relation, Statement(sql, alloc.params), plan.guarded_relations
     )
 
 
@@ -311,13 +391,18 @@ def _lower_head_insert(
     extractors: Sequence[tuple[int, object]],
     slot_types: Sequence[str],
     codec: ValueCodec,
+    target: str | None = None,
+    fired: str | None = None,
 ) -> Statement:
+    """Fresh firings -> candidate rows.  ``target``/``fired`` override
+    the table names so the derivability fixpoint reuses the lowering
+    over its ``__lcand_*``/``__lfired_*`` tables."""
     alloc = _ParamAllocator(codec)
     exprs = _extractor_sql(extractors, alloc, slot_types)
     sql = (
-        f"INSERT INTO {_q(cand_table(relation))}\n"
+        f"INSERT INTO {_q(target or cand_table(relation))}\n"
         f"SELECT DISTINCT {', '.join(exprs)}\n"
-        f"FROM {_q(fired_table(crule.rule.name))} AS f\n"
+        f"FROM {_q(fired or fired_table(crule.rule.name))} AS f\n"
         f"WHERE f.rowid > :wm"
     )
     return Statement(sql, alloc.params, runtime=("wm",))
@@ -327,11 +412,13 @@ def _lower_provenance_insert(
     crule: CompiledRule,
     mapping: SchemaMapping,
     codec: ValueCodec,
+    target: str | None = None,
+    fired: str | None = None,
 ) -> Statement | None:
     if mapping.is_superfluous or not mapping.provenance_columns:
         return None
     slot_of = _assign_slots(crule.rule)
-    table = provenance_relation_name(mapping.name)
+    table = target or provenance_relation_name(mapping.name)
     cols = []
     exprs = []
     for column in mapping.provenance_columns:
@@ -349,7 +436,7 @@ def _lower_provenance_insert(
     sql = (
         f"INSERT INTO {_q(table)} ({', '.join(cols)})\n"
         f"SELECT DISTINCT {', '.join(exprs)}\n"
-        f"FROM {_q(fired_table(crule.rule.name))} AS f\n"
+        f"FROM {_q(fired or fired_table(crule.rule.name))} AS f\n"
         f"WHERE f.rowid > :wm\n"
         f"AND NOT EXISTS (SELECT 1 FROM {_q(table)} AS p WHERE {dedup})"
     )
@@ -432,3 +519,213 @@ def lower_program(
     for crule in compiled:
         indexes |= crule.index_requirements()
     return ProgramSQL(rules, tuple(relations), tuple(sorted(indexes)))
+
+
+# -- deletion propagation (derivability over P_m, Q5) -----------------------
+
+
+@dataclass(frozen=True)
+class DerivabilityPlanSQL:
+    """One plan of the liveness fixpoint: finds the firings whose last
+    body row just became live."""
+
+    seed_relation: str
+    statement: Statement
+
+
+@dataclass(frozen=True)
+class DerivabilityRuleSQL:
+    """One rule of the liveness fixpoint (no guards, no write-back)."""
+
+    rule_name: str
+    num_slots: int
+    firing_table: str
+    plans: tuple[DerivabilityPlanSQL, ...]
+    #: fresh live firings -> ``__lcand_<relation>`` per head atom.
+    head_inserts: tuple[Statement, ...]
+    #: fresh live firings -> surviving ``P_m`` projection (None for
+    #: non-mappings / superfluous mappings).
+    pm_insert: Statement | None
+
+
+@dataclass(frozen=True)
+class DerivabilitySQL:
+    """SQL lowering of the relational DERIVABILITY test.
+
+    A tuple is live iff it is an EDB (local-contribution) row that
+    survived the victim marking, or some firing over live rows produces
+    it *and* the tuple is still stored — the least fixpoint of the
+    DERIVABILITY semiring over the firing history, computed without
+    materializing anything in Python.
+    """
+
+    rules: tuple[DerivabilityRuleSQL, ...]
+    #: every relation the fixpoint touches.
+    relations: tuple[str, ...]
+    #: relations seeded live from their full extension (EDB leaves —
+    #: the local-contribution tables; their firings are the paper's
+    #: "EDB-insertion firings", which keep their tuples alive).
+    edb_relations: tuple[str, ...]
+    #: head relations: only these can gain live rows per round, and
+    #: only these are swept for unsupported victims afterwards.
+    derived_relations: tuple[str, ...]
+    #: per materialized provenance relation:
+    #: (mapping name, P_m table, live-projection table, columns).
+    pm_tables: tuple[tuple[str, str, str, tuple[str, ...]], ...]
+
+
+def stage_live_sql(catalog: Catalog, relation: str) -> str:
+    """Round-end liveness stage: distinct candidates that are stored
+    (derivations must correspond to recorded firings — a row absent
+    from the relation was never exchanged and supports nothing) and not
+    yet marked live."""
+    cols = _columns(catalog, relation)
+    stored = " AND ".join(f'r.{_q(c)} IS c.{_q(c)}' for c in cols)
+    live = " AND ".join(f'l.{_q(c)} IS c.{_q(c)}' for c in cols)
+    return (
+        f"INSERT INTO {_q(live_new_table(relation))}\n"
+        f"SELECT DISTINCT * FROM {_q(live_cand_table(relation))} AS c\n"
+        f"WHERE EXISTS (SELECT 1 FROM {_q(relation)} AS r WHERE {stored})\n"
+        f"AND NOT EXISTS "
+        f"(SELECT 1 FROM {_q(live_table(relation))} AS l WHERE {live})"
+    )
+
+
+def kill_sql(catalog: Catalog, relation: str) -> str:
+    """Delete *relation*'s rows with no support among the live set."""
+    match = " AND ".join(
+        f'l.{_q(c)} IS {_q(relation)}.{_q(c)}'
+        for c in _columns(catalog, relation)
+    )
+    return (
+        f"DELETE FROM {_q(relation)} WHERE NOT EXISTS "
+        f"(SELECT 1 FROM {_q(live_table(relation))} AS l WHERE {match})"
+    )
+
+
+def pm_gc_sql(pm_table: str, live_pm: str, columns: Sequence[str]) -> str:
+    """Garbage-collect ``P_m`` rows whose firing is no longer live."""
+    match = " AND ".join(
+        f'l.{_q(c)} IS {_q(pm_table)}.{_q(c)}' for c in columns
+    )
+    return (
+        f"DELETE FROM {_q(pm_table)} WHERE NOT EXISTS "
+        f"(SELECT 1 FROM {_q(live_pm)} AS l WHERE {match})"
+    )
+
+
+def _lower_derivability_rule(
+    crule: CompiledRule,
+    catalog: Catalog,
+    mappings: Mapping[str, SchemaMapping],
+    codec: ValueCodec,
+) -> DerivabilityRuleSQL:
+    if not crule.plans:
+        raise ExchangeError(
+            f"rule {crule.rule.name} cannot run on the sqlite engine "
+            "(its body contains terms the planner does not compile); "
+            'use exchange(engine="memory")'
+        )
+    name = crule.rule.name
+    fired = live_fired_table(name)
+    slot_types = _slot_types(crule, catalog)
+    plans = []
+    for plan in crule.plans:
+        alloc = _ParamAllocator(codec)
+        sql = _plan_firing_sql(
+            crule,
+            plan,
+            catalog,
+            alloc,
+            seed_from=live_delta_table(plan.seed.relation),
+            join_of=live_table,
+            guards=False,
+            target=fired,
+        )
+        plans.append(
+            DerivabilityPlanSQL(
+                plan.seed.relation, Statement(sql, alloc.params)
+            )
+        )
+    head_inserts = tuple(
+        _lower_head_insert(
+            crule,
+            relation,
+            extractors,
+            slot_types,
+            codec,
+            target=live_cand_table(relation),
+            fired=fired,
+        )
+        for relation, extractors in crule.head
+    )
+    mapping = mappings.get(name)
+    pm_insert = (
+        _lower_provenance_insert(
+            crule, mapping, codec, target=live_pm_table(name), fired=fired
+        )
+        if mapping
+        else None
+    )
+    return DerivabilityRuleSQL(
+        name, crule.num_slots, fired, tuple(plans), head_inserts, pm_insert
+    )
+
+
+def lower_derivability_program(
+    compiled: Sequence[CompiledRule],
+    catalog: Catalog,
+    mappings: Mapping[str, SchemaMapping],
+    codec: ValueCodec,
+) -> DerivabilitySQL:
+    """Lower the whole program's DERIVABILITY test.
+
+    The leaf model requires every local-contribution relation to be an
+    EDB leaf: a mapping deriving *into* an ``R_l`` relation would make
+    its rows part-leaf, part-derived, which the relational test (unlike
+    the per-node graph test) cannot express — rejected loudly.
+    """
+    relations: dict[str, None] = {}
+    heads: set[str] = set()
+    for crule in compiled:
+        for rel in crule.body_relations:
+            relations.setdefault(rel, None)
+        for rel, _extractors in crule.head:
+            relations.setdefault(rel, None)
+            heads.add(rel)
+            if is_local_name(rel):
+                raise ExchangeError(
+                    f"rule {crule.rule.name} derives into the "
+                    f"local-contribution relation {rel}; the relational "
+                    "derivability test treats local relations as EDB "
+                    "leaves — rewrite the mapping to target the public "
+                    "relation"
+                )
+    rules = tuple(
+        _lower_derivability_rule(crule, catalog, mappings, codec)
+        for crule in compiled
+    )
+    pm_tables = []
+    for name in {crule.rule.name for crule in compiled}:
+        mapping = mappings.get(name)
+        if (
+            mapping is None
+            or mapping.is_superfluous
+            or not mapping.provenance_columns
+        ):
+            continue
+        pm_tables.append(
+            (
+                name,
+                provenance_relation_name(name),
+                live_pm_table(name),
+                tuple(c.name for c in mapping.provenance_columns),
+            )
+        )
+    return DerivabilitySQL(
+        rules,
+        tuple(relations),
+        tuple(r for r in relations if r not in heads),
+        tuple(r for r in relations if r in heads),
+        tuple(sorted(pm_tables)),
+    )

@@ -181,6 +181,44 @@ def _annotate_fixpoint(
     )
 
 
+def derivability_partition(
+    graph: ProvenanceGraph,
+    leaf_assignment: LeafAssignment | Mapping[TupleNode, Any] | None = None,
+) -> tuple[set[TupleNode], set[DerivationNode]]:
+    """Split *graph* by the DERIVABILITY test (the paper's Q5).
+
+    Annotates every tuple node in the DERIVABILITY semiring under
+    *leaf_assignment* (typically "does the local tuple still exist")
+    and returns ``(dead_tuples, dead_derivations)``: the underivable
+    tuple nodes plus every derivation touching one of them as source or
+    target (derivation-node inseparability, Section 3.1).  Cyclic
+    graphs use the Kleene iteration from all-``false`` — the *least*
+    fixpoint — so cyclically self-supporting tuples with no surviving
+    base are dead.
+
+    This single definition is the deletion-propagation semantics both
+    engines implement: the memory engine applies it to the provenance
+    graph directly, and the SQLite engine's relational fixpoint
+    (:meth:`repro.exchange.sql_executor.SQLiteExchangeEngine.propagate_deletions`)
+    computes the same least fixpoint over the stored firing history.
+    """
+    from repro.semirings.registry import get_semiring
+
+    derivable = annotate(
+        graph, get_semiring("DERIVABILITY"), leaf_assignment=leaf_assignment
+    )
+    dead_tuples = {node for node, value in derivable.items() if not value}
+    if not dead_tuples:
+        return dead_tuples, set()
+    dead_derivations = {
+        deriv
+        for deriv in graph.derivations
+        if any(src in dead_tuples for src in deriv.sources)
+        or any(tgt in dead_tuples for tgt in deriv.targets)
+    }
+    return dead_tuples, dead_derivations
+
+
 def provenance_polynomial(
     graph: ProvenanceGraph,
     node: TupleNode,

@@ -241,6 +241,43 @@ class ProvenanceGraph:
             out.add_derivation(deriv)
         return out
 
+    def remove_nodes(
+        self,
+        tuples: Iterable[TupleNode],
+        derivations: Iterable[DerivationNode],
+    ) -> None:
+        """Remove the given nodes in place (deletion propagation).
+
+        The caller must pass a derivation-closed cut — every derivation
+        touching a removed tuple must itself be removed (which
+        :func:`repro.provenance.annotate.derivability_partition`
+        guarantees) — so the survivors keep the Section 3.1 invariant
+        that a derivation's sources and targets are all present.
+        Unlike :meth:`subgraph`, this does not rebuild the adjacency
+        indexes, so collecting a few dead nodes costs the cut, not the
+        whole graph.
+        """
+        for deriv in derivations:
+            if deriv not in self._derivations:
+                continue
+            self._derivations.discard(deriv)
+            for tup in deriv.targets:
+                bucket = self._of.get(tup)
+                if bucket is not None:
+                    bucket.discard(deriv)
+                    if not bucket:
+                        del self._of[tup]
+            for tup in deriv.sources:
+                bucket = self._using.get(tup)
+                if bucket is not None:
+                    bucket.discard(deriv)
+                    if not bucket:
+                        del self._using[tup]
+        for tup in tuples:
+            self._tuples.discard(tup)
+            self._of.pop(tup, None)
+            self._using.pop(tup, None)
+
     def merge(self, other: "ProvenanceGraph") -> None:
         """Union *other* into this graph in place."""
         for node in other.tuples:

@@ -52,6 +52,14 @@ class ExperimentResult:
     rows_mirrored: int = 0
     #: relations that sync had to touch.
     relations_synced: int = 0
+    #: tuples killed by the most recent deletion propagation
+    #: (:attr:`CDSS.last_deletion`; 0 when none ran).
+    rows_deleted: int = 0
+    #: P_m firing-history rows garbage-collected alongside it.
+    pm_rows_collected: int = 0
+    #: substrate that ran that propagation ("memory" graph test or
+    #: "sqlite" relational fixpoint; "" when none ran).
+    deletion_engine: str = ""
 
     @property
     def unfolded_rules(self) -> int:
@@ -114,6 +122,7 @@ def run_target_query(
     )
     stats, _ = engine.run_target(target_relation(), collect_graph=collect_graph)
     exchange = cdss.last_exchange
+    deletion = cdss.last_deletion
     result = ExperimentResult(
         stats=stats,
         instance_tuples=instance_tuple_count(cdss),
@@ -128,6 +137,9 @@ def run_target_query(
         plan_cache_hits=cdss.plan_cache.hits,
         rows_mirrored=exchange.rows_mirrored if exchange else 0,
         relations_synced=exchange.relations_synced if exchange else 0,
+        rows_deleted=deletion.rows_deleted if deletion else 0,
+        pm_rows_collected=deletion.pm_rows_collected if deletion else 0,
+        deletion_engine=deletion.engine if deletion else "",
     )
     if manager is not None:
         manager.drop_all()

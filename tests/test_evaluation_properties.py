@@ -301,3 +301,101 @@ def test_engines_agree_after_deletions_with_incremental_sync(
         assert store.relation_rows(schema) == set(
             sqlite.instance[schema.name]
         ), schema.name
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    kind=st.sampled_from(["chain", "branched"]),
+    num_peers=st.integers(2, 4),
+    base_rows=topology_rows,
+    extra_rows=topology_rows,
+    drop=st.integers(0, 7),
+)
+def test_resident_sql_deletion_matches_graph_engine(
+    kind, num_peers, base_rows, extra_rows, drop
+):
+    """Store-resident deletion propagation (the SQL derivability
+    fixpoint over P_m) and the memory engine's graph-based
+    propagate_deletions agree on the surviving instance, on the
+    surviving P_m firing history, and on the deletion statistics — and
+    a post-delete incremental exchange still ships only the changed
+    relations into the store."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.storage import provenance_rows
+
+    victims = base_rows[: drop % (len(base_rows) + 1)]
+
+    def seed(system):
+        for peer, k, v in base_rows:
+            peer %= num_peers
+            for suffix in ("R1", "R2"):
+                system.insert_local(f"P{peer}_{suffix}", (k, v))
+
+    def delete(system):
+        for peer, k, v in victims:
+            peer %= num_peers
+            for suffix in ("R1", "R2"):
+                system.delete_local(f"P{peer}_{suffix}", (k, v))
+
+    memory = _topology_cdss(kind, num_peers)
+    seed(memory)
+    memory.exchange()
+    delete(memory)
+    memory.propagate_deletions()
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        resident = _topology_cdss(kind, num_peers)
+        seed(resident)
+        resident.exchange(
+            engine="sqlite",
+            storage=str(Path(tmpdir) / "resident.db"),
+            resident=True,
+        )
+        delete(resident)
+        resident.propagate_deletions()
+
+        assert (
+            resident.last_deletion.rows_deleted
+            == memory.last_deletion.rows_deleted
+        )
+        assert (
+            resident.last_deletion.pm_rows_collected
+            == memory.last_deletion.pm_rows_collected
+        )
+        store = resident.exchange_store
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                memory.instance[schema.name]
+            ), schema.name
+        from test_exchange_sql import stored_pm_rows
+
+        for name, mapping in resident.mappings.items():
+            if mapping.is_superfluous or not mapping.provenance_columns:
+                continue
+            assert stored_pm_rows(store, mapping) == set(
+                provenance_rows(memory.mappings[name], memory.graph)
+            ), name
+
+        # Post-delete incremental exchange: rows_mirrored counts only
+        # the appended local rows — the deletion epochs were consumed
+        # by the SQL victim marking, not by full relation reloads.
+        appended = {}
+        for peer, k, v in extra_rows:
+            peer %= num_peers
+            for suffix in ("R1", "R2"):
+                relation = local_name(f"P{peer}_{suffix}")
+                for system in (memory, resident):
+                    if system.insert_local(relation, (k, v)) and system is resident:
+                        appended.setdefault(relation, set()).add((k, v))
+        memory.exchange()
+        result = resident.exchange(engine="sqlite", resident=True)
+        assert result.rows_mirrored == sum(
+            len(rows) for rows in appended.values()
+        )
+        assert result.relations_synced == len(appended)
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                memory.instance[schema.name]
+            ), schema.name

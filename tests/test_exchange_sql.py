@@ -86,6 +86,20 @@ def assert_same_state(memory: CDSS, sqlite: CDSS) -> None:
     assert memory.graph.derivations == sqlite.graph.derivations
 
 
+def stored_pm_rows(store, mapping):
+    """Decode a store's ``P_<mapping>`` extension into value rows (the
+    shape :func:`repro.storage.provenance_rows` yields from a graph)."""
+    return {
+        tuple(
+            store.codec.decode(value, column.type)
+            for value, column in zip(row, mapping.provenance_columns)
+        )
+        for row in store.connection.execute(
+            f"SELECT * FROM {quote_identifier(f'P_{mapping.name}')}"
+        )
+    }
+
+
 class TestEngineEquivalence:
     def test_running_example_cyclic(self):
         memory, sql = example_twins()
@@ -163,16 +177,8 @@ class TestProvenanceRelations:
         for name, mapping in system.mappings.items():
             if mapping.is_superfluous or not mapping.provenance_columns:
                 continue
-            table = quote_identifier(f"P_{name}")
-            stored = {
-                tuple(
-                    store.codec.decode(value, column.type)
-                    for value, column in zip(row, mapping.provenance_columns)
-                )
-                for row in store.connection.execute(f"SELECT * FROM {table}")
-            }
             expected = set(provenance_rows(mapping, system.graph))
-            assert stored == expected, name
+            assert stored_pm_rows(store, mapping) == expected, name
 
     def test_pm_rows_accumulate_incrementally(self):
         _, system = example_twins()
@@ -184,14 +190,9 @@ class TestProvenanceRelations:
         system.exchange(engine="sqlite")
         store = system.exchange_store
         mapping = system.mappings["m1"]
-        stored = {
-            tuple(
-                store.codec.decode(value, column.type)
-                for value, column in zip(row, mapping.provenance_columns)
-            )
-            for row in store.connection.execute('SELECT * FROM "P_m1"')
-        }
-        assert stored == set(provenance_rows(mapping, system.graph))
+        assert stored_pm_rows(store, mapping) == set(
+            provenance_rows(mapping, system.graph)
+        )
 
 
 class TestExchangeStore:
@@ -466,12 +467,13 @@ class TestResidentMode:
         with pytest.raises(ExchangeError):
             plain.exchange(engine="sqlite", resident=True)
 
-    def test_deletions_rejected(self, tmp_path):
-        # delete_local itself is refused: the reconciliation it needs
-        # (propagate_deletions) is unavailable in resident mode, so
-        # accepting the mutation would leave the authoritative store
-        # permanently serving unsupported tuples.
+    def test_deletions_require_an_open_store(self, tmp_path):
+        # Deletions are supported in resident mode, but the victim
+        # marking and the SQL derivability fixpoint both need the
+        # authoritative store — with it closed they must fail loudly
+        # instead of silently diverging from the on-disk instance.
         resident, _ = self.build_pair(tmp_path)
+        resident.exchange_store.close()
         with pytest.raises(ExchangeError):
             resident.delete_local("A", (2, "sn1", 5))
         with pytest.raises(ExchangeError):
@@ -730,6 +732,11 @@ class TestResidentMode:
         with pytest.raises(ExchangeError):
             resident.instance_size()
 
+    def test_graph_query_rejection_names_the_operation(self, tmp_path):
+        resident, _ = self.build_pair(tmp_path)
+        with pytest.raises(ExchangeError, match="lineage"):
+            resident.lineage(None)
+
     def test_resident_exchange_never_rescans_relation_tables(
         self, tmp_path, monkeypatch
     ):
@@ -752,3 +759,308 @@ class TestResidentMode:
         r = resident.exchange(engine="sqlite", resident=True)
         plain.exchange(engine="sqlite")
         assert r.inserted == plain.last_exchange.inserted
+
+
+def _mini_topology(kind: str, num_peers: int) -> CDSS:
+    """A miniature chain/branched CDSS (2-ary SWISS-PROT-style
+    partitions, the benchmark mapping shape)."""
+    from repro.workloads.topologies import branched_edges, chain_edges
+
+    edge_fn = chain_edges if kind == "chain" else branched_edges
+    cdss = CDSS(
+        Peer.of(
+            f"P{i}",
+            [
+                RelationSchema.of(f"P{i}_R1", ["k", "a"]),
+                RelationSchema.of(f"P{i}_R2", ["k", "b"]),
+            ],
+        )
+        for i in range(num_peers)
+    )
+    for number, (src, dst) in enumerate(edge_fn(num_peers), start=1):
+        cdss.add_mapping(
+            f"P{dst}_R1(k, a), P{dst}_R2(k, b) :- "
+            f"P{src}_R1(k, a), P{src}_R2(k, b)",
+            name=f"m{number}",
+        )
+    return cdss
+
+
+def _seed_topology(system: CDSS, num_peers: int, rows) -> None:
+    for peer, k, v in rows:
+        for suffix in ("R1", "R2"):
+            system.insert_local(f"P{peer % num_peers}_{suffix}", (k, v))
+
+
+class TestResidentDeletion:
+    """Relational deletion propagation: ``delete_local`` +
+    ``propagate_deletions`` under ``resident=True`` must match the
+    memory engine's graph-based propagation tuple for tuple, garbage-
+    collect the dead P_m firing-history rows, and leave the store ready
+    for further incremental exchanges."""
+
+    ROWS = [(4, 0, 10), (4, 1, 11), (3, 0, 12), (2, 5, 13)]
+    VICTIMS = [(4, 0, 10), (3, 0, 12)]
+
+    def build_twins(self, kind, num_peers, tmp_path):
+        memory = _mini_topology(kind, num_peers)
+        resident = _mini_topology(kind, num_peers)
+        _seed_topology(memory, num_peers, self.ROWS)
+        _seed_topology(resident, num_peers, self.ROWS)
+        memory.exchange()
+        resident.exchange(
+            engine="sqlite",
+            storage=str(tmp_path / f"{kind}.db"),
+            resident=True,
+        )
+        return memory, resident
+
+    def delete_victims(self, system, num_peers):
+        for peer, k, v in self.VICTIMS:
+            for suffix in ("R1", "R2"):
+                system.delete_local(f"P{peer % num_peers}_{suffix}", (k, v))
+
+    @pytest.mark.parametrize("kind", ["chain", "branched"])
+    def test_matches_memory_engine(self, tmp_path, kind):
+        num_peers = 5
+        memory, resident = self.build_twins(kind, num_peers, tmp_path)
+        size_before = resident.instance_size()
+        self.delete_victims(memory, num_peers)
+        self.delete_victims(resident, num_peers)
+        removed_memory = memory.propagate_deletions()
+        removed_resident = resident.propagate_deletions()
+        assert removed_resident == removed_memory > 0
+        stats = resident.last_deletion
+        assert stats.engine == "sqlite"
+        assert stats.rows_deleted == removed_resident
+        assert stats.pm_rows_collected > 0
+        assert (
+            stats.pm_rows_collected
+            == memory.last_deletion.pm_rows_collected
+        )
+        # Store rows shrink accordingly, relation by relation, and the
+        # maintained count cache stays truthful (no COUNT(*) drift).
+        store = resident.exchange_store
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                memory.instance[schema.name]
+            ), schema.name
+            assert store.cached_count(schema.name) == store.count(
+                schema.name
+            ), schema.name
+        assert resident.instance_size() < size_before
+        assert resident.instance_size() == memory.instance_size()
+
+    @pytest.mark.parametrize("kind", ["chain", "branched"])
+    def test_post_delete_incremental_exchange(self, tmp_path, kind):
+        num_peers = 4
+        memory, resident = self.build_twins(kind, num_peers, tmp_path)
+        self.delete_victims(memory, num_peers)
+        self.delete_victims(resident, num_peers)
+        memory.propagate_deletions()
+        resident.propagate_deletions()
+        extra = [(num_peers - 1, 9, 99)]
+        _seed_topology(memory, num_peers, extra)
+        _seed_topology(resident, num_peers, extra)
+        memory.exchange()
+        result = resident.exchange(engine="sqlite", resident=True)
+        # The victim marking fast-forwarded the sync marks, so the
+        # incremental exchange ships only the two appended local rows —
+        # deletions must not force full reloads of their relations.
+        assert result.rows_mirrored == 2
+        assert result.relations_synced == 2
+        store = resident.exchange_store
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                memory.instance[schema.name]
+            ), schema.name
+
+    def test_cyclic_program_uses_least_fixpoint(self, tmp_path):
+        # m1/m3 of the running example form a cycle (C -> N -> C):
+        # after the local C contribution dies, the pair supports only
+        # itself, and the least fixpoint (like the graph engine's
+        # Kleene iteration from all-false) must kill both — a
+        # greatest-fixpoint "kill only when every firing has a killed
+        # antecedent" sweep would wrongly keep them alive.
+        memory, resident = example_twins()
+        insert_example_data(memory)
+        insert_example_data(resident)
+        memory.exchange()
+        resident.exchange(
+            engine="sqlite", storage=str(tmp_path / "cyc.db"), resident=True
+        )
+        for system in (memory, resident):
+            assert system.delete_local("C", (2, "cn2"))
+        assert resident.propagate_deletions() == memory.propagate_deletions()
+        store = resident.exchange_store
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                memory.instance[schema.name]
+            ), schema.name
+        # The cyclic pair died: neither C(2,cn2) nor its m3-companion
+        # N(2,cn2,false) survives on its self-support.
+        assert (2, "cn2") not in store.relation_rows(resident.catalog["C"])
+        assert (2, "cn2", False) not in store.relation_rows(
+            resident.catalog["N"]
+        )
+
+    def test_pm_gc_matches_graph_projection(self, tmp_path):
+        from repro.storage import provenance_rows
+
+        num_peers = 4
+        memory, resident = self.build_twins("chain", num_peers, tmp_path)
+        self.delete_victims(memory, num_peers)
+        self.delete_victims(resident, num_peers)
+        memory.propagate_deletions()
+        resident.propagate_deletions()
+        store = resident.exchange_store
+        for name, mapping in resident.mappings.items():
+            if mapping.is_superfluous or not mapping.provenance_columns:
+                continue
+            assert stored_pm_rows(store, mapping) == set(
+                provenance_rows(memory.mappings[name], memory.graph)
+            ), name
+
+    def test_propagate_without_deletions_is_a_noop(self, tmp_path):
+        _, resident = self.build_twins("chain", 4, tmp_path)
+        size = resident.instance_size()
+        assert resident.propagate_deletions() == 0
+        assert resident.last_deletion.rows_deleted == 0
+        assert resident.last_deletion.pm_rows_collected == 0
+        assert resident.instance_size() == size
+
+    def test_delete_of_absent_row_returns_false(self, tmp_path):
+        _, resident = self.build_twins("chain", 4, tmp_path)
+        assert not resident.delete_local("P2_R1", (123, 456))
+
+
+class TestDeletionStats:
+    """Satellite: both engines surface deletion statistics."""
+
+    def test_memory_engine_reports_rows_deleted(self):
+        memory, _ = example_twins()
+        populate_example(memory)
+        assert memory.last_deletion is None
+        memory.delete_local("A", (2, "sn1", 5))
+        removed = memory.propagate_deletions()
+        stats = memory.last_deletion
+        assert stats is not None
+        assert stats.engine == "memory"
+        assert stats.rows_deleted == removed > 0
+        assert stats.pm_rows_collected > 0
+
+    def test_nonresident_sqlite_store_pm_is_garbage_collected(self):
+        from repro.storage import provenance_rows
+
+        memory, system = example_twins()
+        populate_example(memory)
+        insert_example_data(system)
+        system.exchange(engine="sqlite")
+        for target in (memory, system):
+            target.delete_local("A", (2, "sn1", 5))
+            target.propagate_deletions()
+        # The graph-path propagation reconciled the mirror's firing
+        # history: P_m holds exactly the surviving derivations.
+        store = system.exchange_store
+        for name, mapping in system.mappings.items():
+            if mapping.is_superfluous or not mapping.provenance_columns:
+                continue
+            assert stored_pm_rows(store, mapping) == set(
+                provenance_rows(mapping, system.graph)
+            ), name
+        assert system.last_deletion.pm_rows_collected > 0
+
+    def test_experiment_result_threads_deletion_stats(self, tmp_path):
+        from repro.workloads import chain, run_target_query
+        from repro.workloads.swissprot import generate_entries
+
+        system = chain(3, base_size=5)
+        peer = 2
+        victim = generate_entries(5, seed=peer, key_offset=peer * 10_000_000)[0]
+        system.delete_local(f"P{peer}_R1", victim.first_row())
+        system.delete_local(f"P{peer}_R2", victim.second_row())
+        system.propagate_deletions()
+        result = run_target_query(system)
+        assert result.rows_deleted == system.last_deletion.rows_deleted > 0
+        assert result.pm_rows_collected > 0
+        assert result.deletion_engine == "memory"
+
+    def test_deletion_through_labeled_nulls(self, tmp_path):
+        # Derivations through Skolem heads: deleting A(2) must kill
+        # B(2, sk) and D(2, sk) — the liveness fixpoint rebuilds the
+        # labeled nulls inside SQL (repro_skolem) so the candidate rows
+        # compare equal to the stored ones.
+        def build():
+            system = CDSS(
+                [
+                    Peer.of(
+                        "P",
+                        [
+                            RelationSchema.of("A", ["x"]),
+                            RelationSchema.of("B", ["x", "y"]),
+                            RelationSchema.of("D", ["x", "y"]),
+                        ],
+                    )
+                ]
+            )
+            system.add_mapping("m1: B(x, y) :- A(x)", name="m1")
+            system.add_mapping("m2: D(x, y) :- B(x, y), A(x)", name="m2")
+            system.insert_local_many("A", [(1,), (2,)])
+            return system
+
+        memory, resident = build(), build()
+        memory.exchange()
+        resident.exchange(
+            engine="sqlite", storage=str(tmp_path / "sk.db"), resident=True
+        )
+        for system in (memory, resident):
+            assert system.delete_local("A", (2,))
+        assert resident.propagate_deletions() == memory.propagate_deletions()
+        store = resident.exchange_store
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                memory.instance[schema.name]
+            ), schema.name
+        assert len(store.relation_rows(resident.catalog["D"])) == 1
+
+    def test_aborted_propagate_clears_work_tables(self, tmp_path):
+        # An error mid-fixpoint must not leave the instance-sized
+        # __live_* work tables populated on disk (resident stores exist
+        # precisely for working sets that dwarf memory).
+        from repro.errors import EvaluationError
+        from repro.exchange.sql_plans import live_table
+
+        memory, resident = build_resident_deletion_pair(tmp_path)
+        for system in (memory, resident):
+            system.delete_local("A", (2, "sn1", 5))
+        store = resident.exchange_store
+        program, _ = resident.plan_cache.fetch(resident.program())
+        engine = SQLiteExchangeEngine(store)
+        with pytest.raises(EvaluationError):
+            engine.propagate_deletions(
+                program,
+                resident.catalog,
+                resident.mappings,
+                resident.instance,
+                max_iterations=0,
+            )
+        for relation in program.derivability.relations:
+            assert store.count(live_table(relation)) == 0, relation
+        # The store is undamaged: a retry converges to the memory twin.
+        assert resident.propagate_deletions() == memory.propagate_deletions()
+        for schema in resident.catalog:
+            assert store.relation_rows(schema) == set(
+                memory.instance[schema.name]
+            ), schema.name
+
+
+def build_resident_deletion_pair(tmp_path):
+    """Memory twin + resident twin of the running example, exchanged."""
+    memory, resident = example_twins()
+    insert_example_data(memory)
+    insert_example_data(resident)
+    memory.exchange()
+    resident.exchange(
+        engine="sqlite", storage=str(tmp_path / "pair.db"), resident=True
+    )
+    return memory, resident
