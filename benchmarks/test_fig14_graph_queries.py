@@ -1,0 +1,123 @@
+"""Figure 14 (extension): graph-query latency vs. base size.
+
+The two query engines answer the paper's graph use cases from opposite
+substrates: the memory engine annotates the in-memory provenance graph
+(Section 2.1's annotation passes) while the store-resident engine runs
+recursive joins over the stored ``P_m`` firing history
+(:mod:`repro.exchange.graph_queries`) — lineage as a backward
+transitive-closure walk, derivability and trust as liveness fixpoints.
+This series measures all three queries on both engines over a chain
+topology at growing base sizes, asserts the engines agree
+**node-for-node** at every point, and records the relational engine's
+``iterations`` / ``pm_rows_scanned`` columns (threaded through
+``EvaluationResult`` → ``ExperimentResult``).
+"""
+
+import time
+
+import pytest
+
+from repro.cdss.trust import TrustPolicy
+from repro.provenance.graph import TupleNode
+from repro.workloads import chain
+from repro.workloads.swissprot import generate_entries
+from repro.workloads.topologies import target_relation, upstream_data_peers
+
+from conftest import scaled
+
+FIGURE = "fig14"
+
+PEERS = 8
+BASE_SIZES = tuple(scaled(size) for size in (50, 100, 200))
+
+
+def build_pair(tmp_path, base):
+    """Memory twin + store-resident twin of the same chain workload."""
+    memory = chain(PEERS, base_size=base, engine="memory")
+    resident = chain(
+        PEERS,
+        base_size=base,
+        engine="sqlite",
+        exchange_path=str(tmp_path / f"graphq-{base}.db"),
+        resident=True,
+    )
+    return memory, resident
+
+
+def query_node(base: int) -> TupleNode:
+    """A target-peer tuple derived from the most-upstream base data
+    (its lineage spans the whole chain)."""
+    peer = upstream_data_peers(PEERS, 1)[0]
+    entry = generate_entries(1, seed=peer, key_offset=peer * 10_000_000)[0]
+    return TupleNode(target_relation(), entry.first_row())
+
+
+def trust_policy() -> TrustPolicy:
+    policy = TrustPolicy()
+    policy.trust_if(
+        f"P{PEERS - 1}_R1", lambda values: values[1] % 2 == 0
+    )
+    policy.distrust_mapping("m1")
+    return policy
+
+
+def timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, (time.perf_counter() - started) * 1e3
+
+
+@pytest.mark.parametrize("base", BASE_SIZES)
+def test_fig14_point(benchmark, recorder, tmp_path, base):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    memory, resident = build_pair(tmp_path, base)
+    node = query_node(base)
+    policy = trust_policy()
+    answers = {}
+    for label, system in (("memory", memory), ("sqlite", resident)):
+        lineage, lineage_ms = timed(lambda: system.lineage(node))
+        lineage_stats = system.last_graph_query
+        derivability, derivability_ms = timed(system.derivability)
+        trusted, trusted_ms = timed(lambda: system.trusted(policy))
+        answers[label] = (lineage, derivability, trusted)
+        recorder.record(
+            f"chain base={base} engine={label}",
+            lineage_ms=round(lineage_ms, 1),
+            derivability_ms=round(derivability_ms, 1),
+            trusted_ms=round(trusted_ms, 1),
+            nodes=len(derivability),
+            walk_iters=lineage_stats.iterations,
+            pm_scanned=lineage_stats.pm_rows_scanned,
+        )
+    # Node-for-node agreement on every answer at every point.
+    assert answers["memory"][0] == answers["sqlite"][0]
+    assert answers["memory"][1] == answers["sqlite"][1]
+    assert answers["memory"][2] == answers["sqlite"][2]
+    # The resident side answered without ever building a graph.
+    assert resident.graph.size() == (0, 0)
+
+
+def test_fig14_stats_thread_into_experiment_result(
+    benchmark, recorder, tmp_path
+):
+    """The per-query counters surface through the harness row schema
+    (the same path the fig08-10 exchange/deletion columns take)."""
+    from repro.workloads import run_target_query
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    base = BASE_SIZES[0]
+    memory, resident = build_pair(tmp_path, base)
+    resident.lineage(query_node(base))
+    memory.lineage(query_node(base))
+    result = run_target_query(memory)
+    assert result.graph_query_engine == "memory"
+    resident_stats = resident.last_graph_query
+    assert resident_stats.engine == "sqlite"
+    assert resident_stats.iterations > 0
+    assert resident_stats.pm_rows_scanned > 0
+    recorder.record(
+        f"threading base={base}",
+        harness_engine=result.graph_query_engine,
+        resident_iters=resident_stats.iterations,
+        resident_pm_scanned=resident_stats.pm_rows_scanned,
+    )

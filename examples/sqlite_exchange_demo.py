@@ -20,10 +20,14 @@ same:
 * deletions work store-resident too: `delete_local` marks victims in
   SQL and `propagate_deletions` re-runs the paper's DERIVABILITY test
   as an iterative SQL fixpoint over the `P_m` firing history, killing
-  unsupported tuples and garbage-collecting dead `P_m` rows — no graph
-  is ever materialized (graph *queries* like `lineage` remain the one
-  thing resident mode cannot answer);
-* both engines produce identical instances and provenance graphs.
+  unsupported tuples and garbage-collecting dead `P_m` rows;
+* graph *queries* work store-resident as well: `lineage` runs as a
+  backward transitive-closure walk over the stored firing history's
+  join columns, and `trusted`/`derivability` re-use the deletion
+  fixpoint with the trust policy pushed into the firing joins — so no
+  provenance graph is ever materialized for any lifecycle step;
+* both engines produce identical instances, provenance graphs, and
+  graph-query answers.
 
 Run:  python examples/sqlite_exchange_demo.py [workdir]
 """
@@ -32,6 +36,8 @@ import sys
 import tempfile
 from pathlib import Path
 
+from repro.cdss.trust import TrustPolicy
+from repro.provenance.graph import TupleNode
 from repro.relational.schema import is_local_name
 from repro.workloads import chain
 from repro.workloads.swissprot import generate_entries
@@ -148,6 +154,41 @@ def main() -> None:
         f"post-delete incremental exchange: {after_delete.inserted} tuples "
         f"re-derived, {after_delete.rows_mirrored} rows mirrored"
     )
+
+    # Store-resident graph queries: the provenance graph is never
+    # built, yet lineage/derivability/trusted answer relationally.
+    # lineage(node) walks the firing history backwards from the query
+    # row (a transitive closure over the P_m join columns); the entry
+    # just inserted at the most upstream peer reaches the target peer
+    # through the whole chain, so its target-side tuple's lineage is
+    # the pair of upstream local contributions.
+    node = TupleNode("P0_R1", entry)
+    leaves = resident.lineage(node)
+    stats = resident.last_graph_query
+    print(
+        f"resident lineage of {node.relation}{node.values[:2]}...: "
+        f"{len(leaves)} leaf tuples in {stats.iterations} walk rounds "
+        f"({stats.pm_rows_scanned} firing rows scanned, engine={stats.engine})"
+    )
+    assert leaves == frozenset(
+        {TupleNode("P5_R1_l", entry), TupleNode("P5_R2_l", entry2)}
+    )
+    assert resident.graph.size() == (0, 0)  # still no graph in Python
+
+    # trusted() pushes the policy INTO the SQL fixpoint: distrusting
+    # the most upstream mapping cuts everything derived through it,
+    # and leaf conditions filter which local rows seed the live set.
+    policy = TrustPolicy()
+    policy.distrust_mapping("m5")  # the edge out of peer 5
+    verdicts = resident.trusted(policy)
+    trusted_count = sum(1 for trusted in verdicts.values() if trusted)
+    print(
+        f"resident trust under distrust(m5): {trusted_count} of "
+        f"{len(verdicts)} stored tuples trusted "
+        f"(fixpoint rounds: {resident.last_graph_query.iterations})"
+    )
+    assert not verdicts[node]  # entry only reaches P0 through m5
+    assert trusted_count < len(verdicts)
 
     # The P_m provenance relations were maintained inside SQLite,
     # round by round, alongside the instance tables.

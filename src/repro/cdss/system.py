@@ -35,6 +35,7 @@ from repro.relational.schema import RelationSchema, is_local_name, local_name
 from repro.semirings.registry import get_semiring
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exchange.graph_queries import StoreGraphQueries
     from repro.exchange.sql_executor import ExchangeStore
 
 
@@ -60,6 +61,11 @@ class CDSS:
         #: statistics of the most recent :meth:`propagate_deletions`
         #: (``rows_deleted`` / ``pm_rows_collected`` / ``engine``).
         self.last_deletion: EvaluationResult | None = None
+        #: statistics of the most recent graph query (:meth:`lineage`,
+        #: :meth:`derivability`, :meth:`trusted`): which engine
+        #: answered it, and — for the store engine — ``iterations`` and
+        #: ``pm_rows_scanned`` of the relational walk.
+        self.last_graph_query: EvaluationResult | None = None
         #: cumulative wall-clock seconds spent in update exchange.
         self.exchange_seconds = 0.0
         #: compiled-program cache shared by both exchange engines;
@@ -77,6 +83,13 @@ class CDSS:
     # -- construction ------------------------------------------------------------
 
     def add_peer(self, peer: Peer) -> Peer:
+        """Register a peer and its relations (plus their
+        local-contribution twins and ``L_R`` rules).
+
+        Engine-independent: works identically in store-resident mode —
+        the new relations' tables are created in the store by the next
+        exchange.  Invalidates the compiled-program cache.
+        """
         if peer.name in self.peers:
             raise SchemaError(f"duplicate peer {peer.name}")
         self.peers[peer.name] = peer
@@ -98,7 +111,12 @@ class CDSS:
         self.instance.catalog = self.catalog
 
     def add_mapping(self, text_or_mapping: str | SchemaMapping, name: str | None = None) -> SchemaMapping:
-        """Register a mapping given as rule text or a SchemaMapping."""
+        """Register a mapping given as rule text or a SchemaMapping.
+
+        Engine-independent (works identically in store-resident mode);
+        the mapping's ``P_m`` provenance relation is created by the
+        next exchange.  Invalidates the compiled-program cache.
+        """
         if isinstance(text_or_mapping, SchemaMapping):
             mapping = text_or_mapping
         else:
@@ -122,21 +140,34 @@ class CDSS:
         return mapping
 
     def add_mappings(self, texts: Iterable[str]) -> list[SchemaMapping]:
+        """Register several mappings (see :meth:`add_mapping`;
+        engine-independent, resident mode included)."""
         return [self.add_mapping(text) for text in texts]
 
     # -- programs ------------------------------------------------------------
 
     def local_rules(self) -> list[Rule]:
+        """The auto-generated local-contribution rules ``L_R``
+        (engine-independent metadata; safe in any mode)."""
         return list(self._local_rules.values())
 
     def program(self) -> Program:
-        """Local-contribution rules + all schema mappings."""
+        """Local-contribution rules + all schema mappings
+        (engine-independent metadata; safe in any mode)."""
         return Program(self.local_rules() + [m.rule for m in self.mappings.values()])
 
     # -- data ------------------------------------------------------------
 
     def insert_local(self, relation: str, row: Sequence[object]) -> bool:
-        """Queue a local insertion into *relation*'s contribution table."""
+        """Queue a local insertion into *relation*'s contribution table.
+
+        Works in every mode.  In store-resident mode the row lives in
+        the Python instance (local contributions are the one thing the
+        instance keeps) until the next exchange ships it to the
+        authoritative store; until then it is invisible to graph
+        queries, exactly as it would be absent from a non-resident
+        system's graph.
+        """
         if relation not in self.catalog:
             raise SchemaError(f"unknown relation {relation}")
         target = relation if is_local_name(relation) else local_name(relation)
@@ -149,6 +180,8 @@ class CDSS:
     def insert_local_many(
         self, relation: str, rows: Iterable[Sequence[object]]
     ) -> int:
+        """Queue a batch of local insertions (see :meth:`insert_local`;
+        works in every mode, resident included)."""
         return sum(self.insert_local(relation, row) for row in rows)
 
     def exchange(
@@ -191,13 +224,15 @@ class CDSS:
         and provenance derivations are never materialized in Python —
         the instance holds only local contributions, so working sets
         may exceed memory.  The mode is sticky: once a system has
-        exchanged residently it must keep doing so, graph-*query*
-        operations (:meth:`lineage`, :meth:`derivability`,
-        :meth:`trusted`, ...) are unavailable, and
-        :meth:`instance_size` counts store rows.  Deletions are fully
-        supported: :meth:`delete_local` marks victims in SQL and
-        :meth:`propagate_deletions` runs the DERIVABILITY test as an
-        iterative SQL fixpoint over the stored firing history.
+        exchanged residently it must keep doing so, and
+        :meth:`instance_size` counts store rows.  The full paper
+        lifecycle stays available relationally: :meth:`delete_local`
+        marks victims in SQL, :meth:`propagate_deletions` runs the
+        DERIVABILITY test as an iterative SQL fixpoint over the stored
+        firing history, and the graph queries (:meth:`lineage`,
+        :meth:`derivability`, :meth:`trusted`) are answered by
+        recursive joins over that same history
+        (:mod:`repro.exchange.graph_queries`).
         """
         started = time.perf_counter()
         if resident and engine != "sqlite":
@@ -394,6 +429,10 @@ class CDSS:
     def delete_local_many(
         self, relation: str, rows: Iterable[Sequence[object]]
     ) -> int:
+        """Delete a batch of local contributions (see
+        :meth:`delete_local`; in store-resident mode each victim is
+        marked in SQL, and the call raises if the resident store is
+        closed)."""
         return sum(self.delete_local(relation, row) for row in rows)
 
     def propagate_deletions(self) -> int:
@@ -515,38 +554,80 @@ class CDSS:
 
     # -- queries over the graph ---------------------------------------------------
 
-    def _require_graph(self, operation: str) -> None:
-        """Graph-based operations need the in-memory provenance graph,
-        which store-resident exchange deliberately never builds — fail
-        loudly instead of answering from an empty graph."""
-        if self._resident:
-            raise ExchangeError(
-                f"{operation} needs the in-memory provenance graph, "
-                "which store-resident exchange does not build; run "
-                "exchange without resident=True"
-            )
+    def _store_graph_queries(self, operation: str) -> "StoreGraphQueries":
+        """The relational query engine over the pinned resident store
+        (every graph query dispatches here under ``resident=True``)."""
+        from repro.exchange.graph_queries import StoreGraphQueries
+
+        store = self._open_resident_store(operation)
+        program, _ = self.plan_cache.fetch(self.program())
+        return StoreGraphQueries(store, program, self.catalog, self.mappings)
 
     def derivability(self) -> dict[TupleNode, bool]:
-        """Derivability annotation of every tuple (Q5)."""
-        self._require_graph("derivability annotation")
+        """Derivability annotation of every tuple (Q5).
+
+        **Resident mode**: answered relationally — the stored firing
+        history is annotated by the same SQL liveness fixpoint that
+        drives :meth:`propagate_deletions`, with every stored tuple's
+        verdict read off its membership in the live set; no
+        :class:`ProvenanceGraph` is materialized.  Non-resident systems
+        annotate the in-memory graph.  Both engines answer over the
+        state of the last exchange/propagation.
+        """
+        if self._resident:
+            values, stats = self._store_graph_queries(
+                "derivability annotation"
+            ).derivability()
+            self.last_graph_query = stats
+            return values
+        self.last_graph_query = EvaluationResult(
+            self.instance, self.graph, engine="memory"
+        )
         return annotate(self.graph, get_semiring("DERIVABILITY"))
 
     def lineage(self, node: TupleNode) -> frozenset:
-        """Set of local base tuples *node* derives from (Q6)."""
-        self._require_graph("lineage")
-        values = annotate(
-            self.graph,
-            get_semiring("LINEAGE"),
-            leaf_assignment=lambda leaf: frozenset([leaf]),
-        )
-        result = values[node]
-        from repro.semirings.events import BOTTOM
+        """Set of local base tuples *node* derives from (Q6).
 
-        return frozenset() if result is BOTTOM else result
+        **Resident mode**: answered relationally — an iterative
+        backward transitive-closure walk over the stored firing
+        history's join columns
+        (:meth:`repro.exchange.graph_queries.StoreGraphQueries.lineage`);
+        no :class:`ProvenanceGraph` is materialized.  Non-resident
+        systems annotate *node*'s ancestor closure of the in-memory
+        graph in the LINEAGE semiring.  Both raise :class:`KeyError`
+        for a node the last exchange never derived.
+        """
+        if self._resident:
+            leaves, stats = self._store_graph_queries("lineage").lineage(node)
+            self.last_graph_query = stats
+            return leaves
+        from repro.provenance.annotate import lineage_of
+
+        self.last_graph_query = EvaluationResult(
+            self.instance, self.graph, engine="memory"
+        )
+        return lineage_of(self.graph, node)
 
     def trusted(self, policy: TrustPolicy) -> dict[TupleNode, bool]:
-        """Trust annotation of every tuple under *policy* (Q7)."""
-        self._require_graph("trust annotation")
+        """Trust annotation of every tuple under *policy* (Q7).
+
+        **Resident mode**: answered relationally — the policy is
+        pushed into the liveness fixpoint semiring-style (leaf
+        conditions select which local rows seed the live set,
+        distrusted mappings are excluded from the firing joins), so
+        trust never materializes a :class:`ProvenanceGraph` either.
+        Non-resident systems annotate the in-memory graph in the TRUST
+        semiring.
+        """
+        if self._resident:
+            values, stats = self._store_graph_queries(
+                "trust annotation"
+            ).trusted(policy)
+            self.last_graph_query = stats
+            return values
+        self.last_graph_query = EvaluationResult(
+            self.instance, self.graph, engine="memory"
+        )
         return annotate(
             self.graph,
             get_semiring("TRUST"),

@@ -54,13 +54,22 @@ class TrustPolicy:
 
     # -- compilation ---------------------------------------------------------
 
+    def condition_for(self, relation: str) -> TupleCondition | None:
+        """The leaf condition governing *relation*'s tuples: the public
+        name's condition wins, then the relation's own, else ``None``
+        (meaning :attr:`default_trust` applies).  The single lookup
+        rule both query engines share — the graph engine through
+        :meth:`leaf_assignment`, the relational engine when choosing
+        which stored rows seed its trust fixpoint."""
+        return self.leaf_conditions.get(
+            public_name(relation)
+        ) or self.leaf_conditions.get(relation)
+
     def leaf_assignment(self) -> Callable[[TupleNode], bool]:
         """Leaf-node trust assignment for the TRUST semiring."""
 
         def assign(node: TupleNode) -> bool:
-            condition = self.leaf_conditions.get(
-                public_name(node.relation)
-            ) or self.leaf_conditions.get(node.relation)
+            condition = self.condition_for(node.relation)
             if condition is None:
                 return self.default_trust
             return bool(condition(node.values))

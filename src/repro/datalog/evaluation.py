@@ -157,6 +157,11 @@ class EvaluationResult:
     #: propagation (store rows for the sqlite engine, their graph-side
     #: projections for the memory engine — comparable counts).
     pm_rows_collected: int = 0
+    #: firing-history rows a relational graph query (or the deletion
+    #: propagation's liveness fixpoint) enumerated while traversing the
+    #: stored ``P_m`` join columns; 0 on the memory engine, whose graph
+    #: walks count nothing relational.
+    pm_rows_scanned: int = 0
 
     def derived_size(self) -> int:
         return self.instance.size()

@@ -25,6 +25,13 @@ component          role (paper anchor)
                    plan per round over delta tables, transactional
                    instance + ``P_m`` maintenance, lazy write-back of the
                    provenance graph (Figure 1) after convergence.
+``graph_queries``  Relational graph queries over the stored firing
+                   history: ``lineage``/``derivability``/``trusted``
+                   answered by recursive joins over ``P_m`` (backward
+                   transitive-closure walk + the deletion propagation's
+                   liveness fixpoint), so store-resident mode covers
+                   the full paper lifecycle without ever materializing
+                   a provenance graph in Python.
 ================  ==========================================================
 
 Engine selection happens at the API surface:
@@ -57,6 +64,7 @@ __all__ = [
     "ExchangeStore",
     "ProgramCache",
     "SQLiteExchangeEngine",
+    "StoreGraphQueries",
     "compile_exchange_program",
     "lower_program",
     "program_fingerprint",
@@ -68,6 +76,10 @@ def __getattr__(name: str):
         from repro.exchange import sql_executor
 
         return getattr(sql_executor, name)
+    if name == "StoreGraphQueries":
+        from repro.exchange.graph_queries import StoreGraphQueries
+
+        return StoreGraphQueries
     if name == "lower_program":
         from repro.exchange.sql_plans import lower_program
 

@@ -36,6 +36,7 @@ from repro.datalog.planner import CompiledRule, compile_program
 from repro.datalog.rules import Program, Rule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exchange.graph_queries import LineageSQL
     from repro.exchange.sql_plans import DerivabilitySQL, ProgramSQL
 
 
@@ -70,8 +71,12 @@ class CompiledExchangeProgram:
     #: memory-only workload never pays for it.
     sql: "ProgramSQL | None" = field(default=None, repr=False)
     #: SQL lowering of the relational DERIVABILITY test, attached
-    #: lazily by the first store-resident deletion propagation.
+    #: lazily by the first store-resident deletion propagation (or
+    #: ``derivability``/``trusted`` graph query).
     derivability: "DerivabilitySQL | None" = field(default=None, repr=False)
+    #: SQL lowering of the backward lineage walk, attached lazily by
+    #: the first store-resident ``lineage`` query.
+    lineage: "LineageSQL | None" = field(default=None, repr=False)
 
     @property
     def plan_count(self) -> int:

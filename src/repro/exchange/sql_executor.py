@@ -42,9 +42,14 @@ from repro.datalog.planner import ground_extractors
 from repro.datalog.terms import SkolemValue
 from repro.errors import EvaluationError, ExchangeError
 from repro.exchange.cache import CompiledExchangeProgram
+from repro.exchange.graph_queries import LineageSQL, run_liveness_fixpoint
 from repro.exchange.sql_plans import (
     DerivabilitySQL,
     ProgramSQL,
+    anc_cand_table,
+    anc_delta_table,
+    anc_new_table,
+    anc_table,
     cand_table,
     delta_table,
     kill_sql,
@@ -57,7 +62,6 @@ from repro.exchange.sql_plans import (
     new_table,
     pm_gc_sql,
     slot_column,
-    stage_live_sql,
     stage_new_sql,
 )
 from repro.provenance.graph import DerivationNode, ProvenanceGraph, TupleNode
@@ -300,6 +304,57 @@ class ExchangeStore:
                 f"ON {_q(live_pm)} ({cols})"
             )
         self.connection.commit()
+
+    def ensure_graph_query_schema(
+        self, catalog: Catalog, lsql: LineageSQL
+    ) -> None:
+        """Create (idempotently) the lineage walk's closure-staging
+        tables: per-relation ancestor/delta/candidate/new stages (the
+        ancestor table indexed on all columns — the round-end stage
+        probes it once per candidate) and per-rule visited-firing
+        tables (indexed on all slots for the walk's dedup probe)."""
+        for relation in lsql.relations:
+            schema = catalog[relation]
+            for name in (
+                anc_table(relation),
+                anc_delta_table(relation),
+                anc_cand_table(relation),
+                anc_new_table(relation),
+            ):
+                self._create_table(name, schema.attribute_names)
+            cols = ", ".join(_q(c) for c in schema.attribute_names)
+            self.connection.execute(
+                f"CREATE INDEX IF NOT EXISTS "
+                f"{_q('__ix_' + anc_table(relation))} "
+                f"ON {_q(anc_table(relation))} ({cols})"
+            )
+        for rule in lsql.rules:
+            columns = tuple(slot_column(s) for s in range(rule.num_slots))
+            self._create_table(rule.firing_table, columns)
+            if columns:
+                cols = ", ".join(_q(c) for c in columns)
+                self.connection.execute(
+                    f"CREATE INDEX IF NOT EXISTS "
+                    f"{_q('__ix_' + rule.firing_table)} "
+                    f"ON {_q(rule.firing_table)} ({cols})"
+                )
+        self.connection.commit()
+
+    def reset_graph_query(self, lsql: LineageSQL) -> None:
+        """Clear every lineage-walk work table (before a query, and
+        again after it so closures — potentially as large as the
+        query node's full ancestry — do not linger on disk)."""
+        with self.connection:
+            for relation in lsql.relations:
+                for name in (
+                    anc_table(relation),
+                    anc_delta_table(relation),
+                    anc_cand_table(relation),
+                    anc_new_table(relation),
+                ):
+                    self.connection.execute(f"DELETE FROM {_q(name)}")
+            for rule in lsql.rules:
+                self.connection.execute(f"DELETE FROM {_q(rule.firing_table)}")
 
     def reset_derivability(self, dsql: DerivabilitySQL) -> None:
         """Clear every deletion-propagation work table (before a run,
@@ -809,79 +864,11 @@ class SQLiteExchangeEngine:
                 count = self.store.cached_count(relation)
                 if count:
                     delta_counts[relation] = count
-        stage_sql = {
-            relation: stage_live_sql(catalog, relation)
-            for relation in dsql.derived_relations
-        }
-
-        iteration = 0
-        while any(
-            delta_counts.get(plan.seed_relation)
-            for rule in dsql.rules
-            for plan in rule.plans
-        ):
-            iteration += 1
-            if max_iterations is not None and iteration > max_iterations:
-                raise EvaluationError(
-                    f"derivability fixpoint did not converge within "
-                    f"{max_iterations} iterations"
-                )
-            with conn:
-                watermarks = {
-                    rule.rule_name: self.store.max_rowid(rule.firing_table)
-                    for rule in dsql.rules
-                }
-                for rule in dsql.rules:
-                    for plan in rule.plans:
-                        if delta_counts.get(plan.seed_relation):
-                            conn.execute(
-                                plan.statement.sql,
-                                dict(plan.statement.params),
-                            )
-                for rule in dsql.rules:
-                    watermark = watermarks[rule.rule_name]
-                    fired = (
-                        self.store.max_rowid(rule.firing_table) - watermark
-                    )
-                    if fired <= 0:
-                        continue
-                    runtime = {"wm": watermark}
-                    for statement in rule.head_inserts:
-                        conn.execute(
-                            statement.sql, {**statement.params, **runtime}
-                        )
-                    if rule.pm_insert is not None:
-                        conn.execute(
-                            rule.pm_insert.sql,
-                            {**rule.pm_insert.params, **runtime},
-                        )
-                for relation in dsql.derived_relations:
-                    conn.execute(stage_sql[relation])
-                for relation in dsql.relations:
-                    conn.execute(
-                        f"DELETE FROM {_q(live_delta_table(relation))}"
-                    )
-                new_counts: dict[str, int] = {}
-                for relation in dsql.derived_relations:
-                    fresh = self.store.count(live_new_table(relation))
-                    if fresh:
-                        conn.execute(
-                            f"INSERT INTO {_q(live_table(relation))} "
-                            f"SELECT * FROM {_q(live_new_table(relation))}"
-                        )
-                        conn.execute(
-                            f"INSERT INTO {_q(live_delta_table(relation))} "
-                            f"SELECT * FROM {_q(live_new_table(relation))}"
-                        )
-                        conn.execute(
-                            f"DELETE FROM {_q(live_new_table(relation))}"
-                        )
-                        new_counts[relation] = fresh
-                    conn.execute(
-                        f"DELETE FROM {_q(live_cand_table(relation))}"
-                    )
-                delta_counts = new_counts
-        result.iterations = iteration
+        # The loop itself is shared with the derivability/trusted graph
+        # queries (they seed differently but grow the same live sets).
+        result.iterations, result.pm_rows_scanned = run_liveness_fixpoint(
+            self.store, dsql, catalog, delta_counts, max_iterations
+        )
 
         # Kill phase, one transaction: unsupported rows die, dead P_m
         # firing-history rows are garbage-collected alongside.

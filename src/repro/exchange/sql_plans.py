@@ -43,6 +43,15 @@ fixpoint, re-joining *live* rows through the rule bodies enumerates
 exactly the historical firings whose antecedents all survive — the
 relational mirror of annotating the provenance graph with the
 DERIVABILITY semiring.
+
+**Graph queries** (:mod:`repro.exchange.graph_queries`) reuse both
+shapes: ``derivability``/``trusted`` re-run the same liveness fixpoint
+with query-specific seeds and rule sets, while ``lineage`` walks the
+firing history *backwards* — :class:`HeadProbe` restricts each plan's
+firing enumeration to firings producing a row already known to be an
+ancestor (``__adelta_*``), and ``dedup`` keeps the per-rule
+``__qfired_*`` log exact across rounds.  This module only provides the
+lowerings; the walk itself lives with the other query machinery.
 """
 
 from __future__ import annotations
@@ -80,6 +89,15 @@ LIVE_CAND_PREFIX = "__lcand_"
 LIVE_NEW_PREFIX = "__lnew_"
 LIVE_FIRED_PREFIX = "__lfired_"
 LIVE_PM_PREFIX = "__lpm_"
+#: table-name prefixes of the lineage (graph-query) working tables:
+#: the per-relation ancestor closure being grown by the backward walk,
+#: its delta/candidate/new stages, and the per-rule table of firings
+#: the walk has visited (the scanned slice of the firing history).
+ANC_PREFIX = "__anc_"
+ANC_DELTA_PREFIX = "__adelta_"
+ANC_CAND_PREFIX = "__acand_"
+ANC_NEW_PREFIX = "__anew_"
+QUERY_FIRED_PREFIX = "__qfired_"
 
 #: pseudo attribute type for Skolem-argument decoding: "decode by tag
 #: only" (ints/floats/strings pass through, labeled nulls re-intern).
@@ -124,6 +142,26 @@ def live_fired_table(rule_name: str) -> str:
 
 def live_pm_table(mapping_name: str) -> str:
     return LIVE_PM_PREFIX + mapping_name
+
+
+def anc_table(relation: str) -> str:
+    return ANC_PREFIX + relation
+
+
+def anc_delta_table(relation: str) -> str:
+    return ANC_DELTA_PREFIX + relation
+
+
+def anc_cand_table(relation: str) -> str:
+    return ANC_CAND_PREFIX + relation
+
+
+def anc_new_table(relation: str) -> str:
+    return ANC_NEW_PREFIX + relation
+
+
+def query_fired_table(rule_name: str) -> str:
+    return QUERY_FIRED_PREFIX + rule_name
 
 
 def slot_column(slot: int) -> str:
@@ -236,6 +274,25 @@ def _term_variables(term):
             yield from _term_variables(arg)
 
 
+@dataclass(frozen=True)
+class HeadProbe:
+    """Restriction of a firing enumeration to wanted head rows.
+
+    Lineage walks the firing history *backwards*: a firing is relevant
+    only when one of its head atoms produces a row already known to be
+    an ancestor of the query node.  The probe joins the enumeration
+    against that head relation's ``__adelta_*`` table, equating each of
+    the head atom's extractor expressions (Skolems included — they are
+    reconstructed in SQL, so equal labeled nulls compare equal) with
+    the corresponding ancestor column.
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    extractors: tuple[tuple[int, object], ...]
+    slot_types: tuple[str, ...]
+
+
 def _plan_firing_sql(
     crule: CompiledRule,
     plan: RulePlan,
@@ -245,6 +302,8 @@ def _plan_firing_sql(
     join_of,
     guards: bool,
     target: str,
+    probe: HeadProbe | None = None,
+    dedup: bool = False,
 ) -> str:
     """The ``INSERT ... SELECT DISTINCT`` enumerating one plan's firings.
 
@@ -253,7 +312,12 @@ def _plan_firing_sql(
     frozen mirror for exchange, the ``__live_*`` tables for the
     derivability fixpoint), and ``guards`` controls whether guard steps
     emit their ``NOT EXISTS`` once-per-firing probes (liveness is a set
-    computation, so the derivability lowering skips them).
+    computation, so the derivability lowering skips them).  ``probe``
+    adds a join against a wanted-head table (the lineage walk's
+    backward restriction), and ``dedup`` skips firings already recorded
+    in *target* — required when the same statement runs once per round
+    of an iterative walk and firing rows drive watermark-delimited
+    downstream inserts.
     """
     seed = plan.seed
     seed_cols = _columns(catalog, seed.relation)
@@ -306,6 +370,29 @@ def _plan_firing_sql(
         raise ExchangeError(
             f"rule {crule.rule.name}: slots {missing} unbound after lowering"
         )
+    if probe is not None:
+        exprs = _extractor_sql(
+            probe.extractors,
+            alloc,
+            probe.slot_types,
+            slot_ref=slot_src.__getitem__,
+        )
+        on_parts = [
+            f'q.{_q(column)} IS {expr}'
+            for column, expr in zip(probe.columns, exprs)
+        ]
+        joins.append(
+            f'JOIN {_q(probe.table)} AS q '
+            f"ON {' AND '.join(on_parts) if on_parts else '1'}"
+        )
+    if dedup:
+        match = " AND ".join(
+            f'z.{_q(slot_column(s))} IS {slot_src[s]}'
+            for s in range(crule.num_slots)
+        ) or "1"
+        conditions.append(
+            f"NOT EXISTS (SELECT 1 FROM {_q(target)} AS z WHERE {match})"
+        )
     select_list = ", ".join(slot_src[s] for s in range(crule.num_slots))
     target_cols = ", ".join(
         _q(slot_column(s)) for s in range(crule.num_slots)
@@ -342,10 +429,17 @@ def _lower_plan(
     )
 
 
+def _fired_slot_ref(slot: int) -> str:
+    """Default slot reference: the firing-table alias of the head and
+    provenance inserts (``f`` ranges over ``__fired_<rule>``)."""
+    return f'f.{_q(slot_column(slot))}'
+
+
 def _skolem_sql(
     payload: object,
     alloc: _ParamAllocator,
     slot_types: Sequence[str],
+    slot_ref=_fired_slot_ref,
 ) -> str:
     """Lower a compiled Skolem extractor into a ``repro_skolem`` call."""
     function, arg_extractors = payload  # type: ignore[misc]
@@ -353,7 +447,7 @@ def _skolem_sql(
     arg_types: list[str] = []
     for kind, arg_payload in arg_extractors:
         if kind == K_SLOT:
-            arg_sql.append(f'f.{_q(slot_column(arg_payload))}')
+            arg_sql.append(slot_ref(arg_payload))
             arg_types.append(slot_types[arg_payload])
         elif kind == K_CONST:
             arg_sql.append(alloc.bind(arg_payload))
@@ -361,7 +455,7 @@ def _skolem_sql(
                 "bool" if isinstance(arg_payload, bool) else ANY_TYPE
             )
         else:  # nested Skolem: decoded back by its tag
-            arg_sql.append(_skolem_sql(arg_payload, alloc, slot_types))
+            arg_sql.append(_skolem_sql(arg_payload, alloc, slot_types, slot_ref))
             arg_types.append(ANY_TYPE)
     name = alloc.bind(function)
     types = alloc.bind(",".join(arg_types))
@@ -373,15 +467,16 @@ def _extractor_sql(
     extractors: Sequence[tuple[int, object]],
     alloc: _ParamAllocator,
     slot_types: Sequence[str],
+    slot_ref=_fired_slot_ref,
 ) -> list[str]:
     out: list[str] = []
     for kind, payload in extractors:
         if kind == K_SLOT:
-            out.append(f'f.{_q(slot_column(payload))}')
+            out.append(slot_ref(payload))
         elif kind == K_CONST:
             out.append(alloc.bind(payload))
         else:
-            out.append(_skolem_sql(payload, alloc, slot_types))
+            out.append(_skolem_sql(payload, alloc, slot_types, slot_ref))
     return out
 
 
@@ -588,6 +683,22 @@ def stage_live_sql(catalog: Catalog, relation: str) -> str:
         f"WHERE EXISTS (SELECT 1 FROM {_q(relation)} AS r WHERE {stored})\n"
         f"AND NOT EXISTS "
         f"(SELECT 1 FROM {_q(live_table(relation))} AS l WHERE {live})"
+    )
+
+
+def stage_ancestor_sql(catalog: Catalog, relation: str) -> str:
+    """Round-end stage of the lineage walk: distinct ancestor
+    candidates not yet in the closure.  No stored-row filter is needed
+    — candidates are projections of firings whose body rows were
+    *joined from* the stored relations, so they are stored by
+    construction."""
+    cols = _columns(catalog, relation)
+    known = " AND ".join(f'a.{_q(c)} IS c.{_q(c)}' for c in cols)
+    return (
+        f"INSERT INTO {_q(anc_new_table(relation))}\n"
+        f"SELECT DISTINCT * FROM {_q(anc_cand_table(relation))} AS c\n"
+        f"WHERE NOT EXISTS "
+        f"(SELECT 1 FROM {_q(anc_table(relation))} AS a WHERE {known})"
     )
 
 

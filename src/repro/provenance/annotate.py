@@ -219,6 +219,40 @@ def derivability_partition(
     return dead_tuples, dead_derivations
 
 
+def lineage_of(graph: ProvenanceGraph, node: TupleNode) -> frozenset:
+    """Lineage of one tuple node (the paper's Q6): the set of leaf
+    (local base) tuples *node* derives from.
+
+    Annotates in the LINEAGE semiring with each leaf assigned its own
+    singleton — but only over *node*'s ancestor closure, not the whole
+    graph: a tuple's annotation depends solely on its ancestors, so
+    restricting first makes a single-node query cost the ancestry, not
+    the instance.  (Co-target tuples the closed subgraph drags along
+    are annotated too, but nothing of theirs flows into *node* — a
+    co-target that fed an ancestor would itself be an ancestor.)
+
+    Raises :class:`KeyError` when *node* is not in the graph, and is
+    the single definition of lineage both engines implement: the
+    SQLite engine's backward walk
+    (:meth:`repro.exchange.graph_queries.StoreGraphQueries.lineage`)
+    computes the same leaf set over the stored firing history.
+    """
+    from repro.semirings.events import BOTTOM
+    from repro.semirings.registry import get_semiring
+
+    if node not in graph:
+        raise KeyError(node)
+    tuples, derivations = graph.ancestors(node)
+    closure = graph.subgraph(tuples, derivations)
+    values = annotate(
+        closure,
+        get_semiring("LINEAGE"),
+        leaf_assignment=lambda leaf: frozenset([leaf]),
+    )
+    result = values[node]
+    return frozenset() if result is BOTTOM else result
+
+
 def provenance_polynomial(
     graph: ProvenanceGraph,
     node: TupleNode,

@@ -15,6 +15,14 @@ The paper's ``+`` leaf markers (local/base contributions) are modeled
 as derivations through local-contribution rules (``L1``–``L4`` of
 Example 2.1), so graph leaves are exactly the tuples of ``R_l``
 relations.
+
+This in-memory graph has a relational twin (Section 4.1): a tuple node
+is a stored row of its relation's table, and a derivation node is a
+row of its mapping's ``P_m`` provenance relation (equivalently, a
+satisfied body join over the stored instance — the store holds an
+exchange fixpoint, so the two coincide).  Store-resident systems never
+build this object at all; the graph queries of
+:mod:`repro.exchange.graph_queries` traverse the twin instead.
 """
 
 from __future__ import annotations

@@ -60,6 +60,15 @@ class ExperimentResult:
     #: substrate that ran that propagation ("memory" graph test or
     #: "sqlite" relational fixpoint; "" when none ran).
     deletion_engine: str = ""
+    #: substrate that answered the most recent graph query
+    #: (:attr:`CDSS.last_graph_query`: "memory" in-memory graph or
+    #: "sqlite" relational walk; "" when none ran).
+    graph_query_engine: str = ""
+    #: fixpoint/walk rounds of that query (0 on the memory engine).
+    graph_query_iterations: int = 0
+    #: firing-history rows the relational walk enumerated (0 on the
+    #: memory engine).
+    pm_rows_scanned: int = 0
 
     @property
     def unfolded_rules(self) -> int:
@@ -123,6 +132,7 @@ def run_target_query(
     stats, _ = engine.run_target(target_relation(), collect_graph=collect_graph)
     exchange = cdss.last_exchange
     deletion = cdss.last_deletion
+    graph_query = cdss.last_graph_query
     result = ExperimentResult(
         stats=stats,
         instance_tuples=instance_tuple_count(cdss),
@@ -140,6 +150,9 @@ def run_target_query(
         rows_deleted=deletion.rows_deleted if deletion else 0,
         pm_rows_collected=deletion.pm_rows_collected if deletion else 0,
         deletion_engine=deletion.engine if deletion else "",
+        graph_query_engine=graph_query.engine if graph_query else "",
+        graph_query_iterations=graph_query.iterations if graph_query else 0,
+        pm_rows_scanned=graph_query.pm_rows_scanned if graph_query else 0,
     )
     if manager is not None:
         manager.drop_all()

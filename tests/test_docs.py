@@ -1,0 +1,49 @@
+"""The docs checker (tools/check_docs.py) runs green on the repo —
+and actually detects problems when they exist."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools import check_docs
+
+
+def test_repo_markdown_links_resolve():
+    assert check_docs.check_markdown_links(REPO_ROOT) == []
+
+
+def test_public_cdss_api_is_documented():
+    assert check_docs.check_cdss_docstrings() == []
+
+
+def test_key_docs_exist_and_are_linked():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md" in readme
+    roadmap = (REPO_ROOT / "ROADMAP.md").read_text(encoding="utf-8")
+    assert "architecture.md" in roadmap
+    assert (REPO_ROOT / "docs" / "architecture.md").exists()
+
+
+def test_checker_detects_broken_links(tmp_path):
+    (tmp_path / "doc.md").write_text(
+        "see [missing](nope/absent.md) and [ok](real.md) "
+        "and [web](https://example.com) and [anchor](#x)",
+        encoding="utf-8",
+    )
+    (tmp_path / "real.md").write_text("here", encoding="utf-8")
+    errors = check_docs.check_markdown_links(tmp_path)
+    assert len(errors) == 1 and "nope/absent.md" in errors[0]
+
+
+def test_checker_cli_entrypoint():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "docs check: ok" in result.stdout

@@ -399,3 +399,83 @@ def test_resident_sql_deletion_matches_graph_engine(
             assert store.relation_rows(schema) == set(
                 memory.instance[schema.name]
             ), schema.name
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    kind=st.sampled_from(["chain", "branched"]),
+    num_peers=st.integers(2, 4),
+    base_rows=topology_rows,
+    drop=st.integers(0, 7),
+    node_pick=st.integers(0, 9999),
+    distrust_pick=st.integers(0, 9),
+)
+def test_resident_graph_queries_match_graph_engine(
+    kind, num_peers, base_rows, drop, node_pick, distrust_pick
+):
+    """Store-resident graph queries (SQL over the P_m firing history)
+    and the graph engine agree node-for-node: same lineage set for a
+    random query node, same trusted verdicts under a random policy,
+    same derivability annotation over the same node set — on the fresh
+    store AND again after delete_local + propagate_deletions."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.cdss.trust import TrustPolicy
+
+    victims = base_rows[: drop % (len(base_rows) + 1)]
+
+    def seed(system):
+        for peer, k, v in base_rows:
+            peer %= num_peers
+            for suffix in ("R1", "R2"):
+                system.insert_local(f"P{peer}_{suffix}", (k, v))
+
+    def delete(system):
+        for peer, k, v in victims:
+            peer %= num_peers
+            for suffix in ("R1", "R2"):
+                system.delete_local(f"P{peer}_{suffix}", (k, v))
+
+    def policy_for(system):
+        policy = TrustPolicy()
+        # Condition keyed on the public relation name: applies to the
+        # local leaves of the most-upstream peer's first partition.
+        policy.trust_if(
+            f"P{num_peers - 1}_R1", lambda values: values[1] % 2 == 0
+        )
+        names = sorted(system.mappings)
+        if names:
+            policy.distrust_mapping(names[distrust_pick % len(names)])
+        return policy
+
+    def check(memory, resident):
+        assert resident.derivability() == memory.derivability()
+        assert resident.trusted(policy_for(resident)) == memory.trusted(
+            policy_for(memory)
+        )
+        nodes = sorted(memory.graph.tuples)
+        if nodes:
+            node = nodes[node_pick % len(nodes)]
+            assert resident.lineage(node) == memory.lineage(node), node
+        # The resident side answered relationally, graph still empty.
+        assert resident.graph.size() == (0, 0)
+        assert resident.last_graph_query.engine == "sqlite"
+
+    memory = _topology_cdss(kind, num_peers)
+    seed(memory)
+    memory.exchange()
+    with tempfile.TemporaryDirectory() as tmpdir:
+        resident = _topology_cdss(kind, num_peers)
+        seed(resident)
+        resident.exchange(
+            engine="sqlite",
+            storage=str(Path(tmpdir) / "resident.db"),
+            resident=True,
+        )
+        check(memory, resident)
+
+        for system in (memory, resident):
+            delete(system)
+            system.propagate_deletions()
+        check(memory, resident)

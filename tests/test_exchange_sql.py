@@ -481,11 +481,31 @@ class TestResidentMode:
         with pytest.raises(ExchangeError):
             resident.propagate_deletions()
 
-    def test_graph_queries_rejected(self, tmp_path):
-        # The graph is deliberately never built in resident mode, so
-        # graph-based queries must fail loudly, not answer from an
-        # empty graph.
+    def test_graph_queries_answered_relationally(self, tmp_path):
+        # The graph is deliberately never built in resident mode;
+        # lineage/derivability/trusted are answered by SQL over the
+        # stored firing history and must match the graph engine
+        # node-for-node — while the graph stays empty.
+        from repro.cdss.trust import TrustPolicy
+
+        resident, plain = self.build_pair(tmp_path)
+        assert resident.derivability() == plain.derivability()
+        for node in plain.graph.tuples:
+            assert resident.lineage(node) == plain.lineage(node), node
+        policy = TrustPolicy()
+        policy.trust_if("A", lambda values: values[2] < 6)
+        policy.distrust_mapping("m4")
+        assert resident.trusted(policy) == plain.trusted(policy)
+        assert resident.graph.size() == (0, 0)
+        stats = resident.last_graph_query
+        assert stats is not None and stats.engine == "sqlite"
+        assert plain.last_graph_query.engine == "memory"
+
+    def test_graph_queries_need_an_open_store(self, tmp_path):
+        # Relational queries consult the authoritative store; with it
+        # closed they must fail loudly, not answer from nothing.
         resident, _ = self.build_pair(tmp_path)
+        resident.exchange_store.close()
         with pytest.raises(ExchangeError):
             resident.derivability()
         with pytest.raises(ExchangeError):
@@ -732,8 +752,9 @@ class TestResidentMode:
         with pytest.raises(ExchangeError):
             resident.instance_size()
 
-    def test_graph_query_rejection_names_the_operation(self, tmp_path):
+    def test_closed_store_rejection_names_the_operation(self, tmp_path):
         resident, _ = self.build_pair(tmp_path)
+        resident.exchange_store.close()
         with pytest.raises(ExchangeError, match="lineage"):
             resident.lineage(None)
 
@@ -1064,3 +1085,186 @@ def build_resident_deletion_pair(tmp_path):
         engine="sqlite", storage=str(tmp_path / "pair.db"), resident=True
     )
     return memory, resident
+
+
+class TestResidentGraphQueries:
+    """Relational graph queries: ``lineage``/``derivability``/
+    ``trusted`` under ``resident=True`` must match the graph engine
+    node-for-node while never materializing a provenance graph."""
+
+    def test_lineage_through_labeled_nulls(self, tmp_path):
+        # The backward walk's head probes must rebuild Skolem head
+        # values inside SQL (repro_skolem) so an ancestor row carrying
+        # a labeled null matches the firings that produced it.
+        def build():
+            system = CDSS(
+                [
+                    Peer.of(
+                        "P",
+                        [
+                            RelationSchema.of("A", ["x"]),
+                            RelationSchema.of("B", ["x", "y"]),
+                            RelationSchema.of("D", ["x", "y"]),
+                        ],
+                    )
+                ]
+            )
+            system.add_mapping("m1: B(x, y) :- A(x)", name="m1")
+            system.add_mapping("m2: D(x, y) :- B(x, y), A(x)", name="m2")
+            system.insert_local_many("A", [(1,), (2,)])
+            return system
+
+        memory, resident = build(), build()
+        memory.exchange()
+        resident.exchange(
+            engine="sqlite", storage=str(tmp_path / "sk.db"), resident=True
+        )
+        for node in memory.graph.tuples:
+            assert resident.lineage(node) == memory.lineage(node), node
+
+    def test_trust_kills_cyclic_self_support(self, tmp_path):
+        # m1/m3 of the running example form a cycle (C -> N -> C).
+        # With the local C contribution distrusted, the cyclic pair has
+        # no trusted base left and must annotate untrusted — the trust
+        # fixpoint is a least fixpoint, exactly like derivability.
+        from repro.cdss.trust import TrustPolicy
+
+        memory, resident = build_resident_deletion_pair(tmp_path)
+        policy = TrustPolicy()
+        policy.distrust_relation("C")
+        memory_verdicts = memory.trusted(policy)
+        resident_verdicts = resident.trusted(policy)
+        assert resident_verdicts == memory_verdicts
+        from repro.provenance.graph import TupleNode
+
+        assert not resident_verdicts[TupleNode("C", (2, "cn2"))]
+        assert not resident_verdicts[TupleNode("N", (2, "cn2", False))]
+
+    def test_distrusted_local_rule_and_default_distrust(self, tmp_path):
+        from repro.cdss.trust import TrustPolicy
+
+        memory, resident = build_resident_deletion_pair(tmp_path)
+        # Distrusting a local-contribution rule unplugs that relation's
+        # leaves from everything derived through them.
+        policy = TrustPolicy()
+        policy.distrust_mapping("L_A")
+        assert resident.trusted(policy) == memory.trusted(policy)
+        # default_trust=False with no conditions trusts nothing at all.
+        nothing = TrustPolicy(default_trust=False)
+        memory_verdicts = memory.trusted(nothing)
+        resident_verdicts = resident.trusted(nothing)
+        assert resident_verdicts == memory_verdicts
+        assert not any(resident_verdicts.values())
+
+    def test_queries_work_after_reopen_by_path(self, tmp_path):
+        # A store reopened by its path serves queries with a fresh
+        # codec: stored rows (labeled nulls included) decode back to
+        # nodes equal to the graph engine's.
+        path = str(tmp_path / "pair.db")
+        memory, resident = build_resident_deletion_pair(tmp_path)
+        resident.exchange_store.close()
+        resident.exchange(engine="sqlite", storage=path, resident=True)
+        assert resident.derivability() == memory.derivability()
+        node = sorted(memory.graph.tuples)[0]
+        assert resident.lineage(node) == memory.lineage(node)
+
+    def test_pending_inserts_invisible_until_exchange(self, tmp_path):
+        # Both engines answer over the last exchange: a queued local
+        # insertion has no node yet — the graph raises KeyError and so
+        # does the store path (the row is not stored).
+        from repro.provenance.graph import TupleNode
+
+        memory, resident = build_resident_deletion_pair(tmp_path)
+        row = (7, "sn7", 1)
+        node = TupleNode("A_l", row)
+        for system in (memory, resident):
+            system.insert_local("A", row)
+            with pytest.raises(KeyError):
+                system.lineage(node)
+        for system, kwargs in (
+            (memory, {}),
+            (resident, {"engine": "sqlite", "resident": True}),
+        ):
+            system.exchange(**kwargs)
+        assert resident.lineage(node) == memory.lineage(node) == frozenset(
+            [node]
+        )
+
+    def test_query_stats_are_recorded(self, tmp_path):
+        memory, resident = build_resident_deletion_pair(tmp_path)
+        resident.derivability()
+        stats = resident.last_graph_query
+        assert stats.engine == "sqlite"
+        assert stats.iterations > 0
+        assert stats.pm_rows_scanned > 0
+        node = sorted(memory.graph.tuples_in("O"))[0]
+        resident.lineage(node)
+        lineage_stats = resident.last_graph_query
+        assert lineage_stats.iterations > 0
+        assert lineage_stats.pm_rows_scanned > 0
+        memory.derivability()
+        assert memory.last_graph_query.engine == "memory"
+
+    def test_queries_clear_work_tables(self, tmp_path):
+        # Ancestor closures and live sets can rival the instance in
+        # size; they must not linger on disk after the answer is read.
+        from repro.exchange.sql_plans import anc_table, live_table
+
+        memory, resident = build_resident_deletion_pair(tmp_path)
+        node = sorted(memory.graph.tuples_in("O"))[0]
+        resident.lineage(node)
+        resident.derivability()
+        store = resident.exchange_store
+        program, _ = resident.plan_cache.fetch(resident.program())
+        for relation in program.lineage.relations:
+            assert store.count(anc_table(relation)) == 0, relation
+        for relation in program.derivability.relations:
+            assert store.count(live_table(relation)) == 0, relation
+
+    def test_lowerings_are_cached_on_the_program(self, tmp_path):
+        # Repeated queries over an unchanged program lower nothing new:
+        # the LineageSQL/DerivabilitySQL attach to the cache entry.
+        memory, resident = build_resident_deletion_pair(tmp_path)
+        node = sorted(memory.graph.tuples_in("O"))[0]
+        resident.lineage(node)
+        resident.derivability()
+        program, hit = resident.plan_cache.fetch(resident.program())
+        assert hit
+        lineage_sql = program.lineage
+        derivability_sql = program.derivability
+        resident.lineage(node)
+        resident.derivability()
+        program, _ = resident.plan_cache.fetch(resident.program())
+        assert program.lineage is lineage_sql
+        assert program.derivability is derivability_sql
+
+    def test_queries_survive_catalog_growth(self, tmp_path):
+        # add_peer/add_mapping after a resident exchange must not break
+        # queries: the new (empty) tables are created idempotently, and
+        # un-exchanged additions contribute no nodes — matching the
+        # graph engine, whose graph also only grows at exchange time.
+        memory, resident = build_resident_deletion_pair(tmp_path)
+        for system in (memory, resident):
+            system.add_peer(Peer.of("P4", [RelationSchema.of("Z", ["x"])]))
+            system.add_mapping("m9: Z(i) :- C(i, n)", name="m9")
+        assert resident.derivability() == memory.derivability()
+        node = sorted(memory.graph.tuples_in("C"))[0]
+        assert resident.lineage(node) == memory.lineage(node)
+        from repro.cdss.trust import TrustPolicy
+
+        assert resident.trusted(TrustPolicy()) == memory.trusted(
+            TrustPolicy()
+        )
+
+    def test_trust_seeding_streams_in_batches(self, tmp_path, monkeypatch):
+        # Leaf-conditioned relations seed the trust fixpoint without
+        # materializing their extension: force a tiny batch size and
+        # the verdicts must still match the graph engine.
+        from repro.cdss.trust import TrustPolicy
+        from repro.exchange.graph_queries import StoreGraphQueries
+
+        memory, resident = build_resident_deletion_pair(tmp_path)
+        monkeypatch.setattr(StoreGraphQueries, "SEED_BATCH", 1)
+        policy = TrustPolicy()
+        policy.trust_if("A", lambda values: values[2] < 6)
+        assert resident.trusted(policy) == memory.trusted(policy)

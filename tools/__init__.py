@@ -1,0 +1,1 @@
+"""Repo maintenance tools (not part of the ``repro`` package)."""

@@ -1,0 +1,96 @@
+"""Docs health checker (the CI docs job, also runnable locally).
+
+Two checks, both cheap enough for every push:
+
+* **Markdown links** — every relative link in the repo's tracked
+  ``*.md`` files must resolve to an existing file or directory
+  (external ``http(s)``/``mailto`` targets and pure ``#fragment``
+  anchors are skipped);
+* **CDSS docstrings** — every public method of the public
+  :class:`repro.cdss.system.CDSS` API must carry a docstring (the
+  class is the system's front door; an undocumented method there is a
+  regression, because each one states its store-resident behavior).
+
+Run:  python tools/check_docs.py   (or  python -m tools.check_docs)
+Exits non-zero with one line per violation.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: inline markdown links: [text](target).  Reference-style links and
+#: autolinks are not used in this repo's docs.
+_LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)\)")
+
+#: directories never scanned for markdown.
+_SKIPPED_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+def iter_markdown_files(root: Path) -> list[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIPPED_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def check_markdown_links(root: Path) -> list[str]:
+    """One error string per broken relative link."""
+    errors = []
+    for path in iter_markdown_files(root):
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(root)}: broken link -> {target}"
+                )
+    return errors
+
+
+def public_cdss_methods() -> list[tuple[str, object]]:
+    from repro.cdss.system import CDSS
+
+    methods = []
+    for name, member in inspect.getmembers(CDSS):
+        if name.startswith("_"):
+            continue
+        if inspect.isfunction(member) or inspect.ismethod(member):
+            methods.append((name, member))
+    return methods
+
+
+def check_cdss_docstrings() -> list[str]:
+    """One error string per public CDSS method without a docstring."""
+    errors = []
+    for name, member in public_cdss_methods():
+        doc = inspect.getdoc(member)
+        if not doc or not doc.strip():
+            errors.append(f"CDSS.{name}: public method has no docstring")
+    return errors
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    errors = check_markdown_links(REPO_ROOT) + check_cdss_docstrings()
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"docs check: {len(errors)} problem(s)")
+        return 1
+    print("docs check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
