@@ -1,0 +1,87 @@
+"""Static analysis of a broken CDSS (``repro.analysis``).
+
+Builds a three-peer system with three deliberate defects:
+
+* an **unsafe rule** — ``m_null`` invents both head values out of thin
+  air, so every firing would produce the *same* labeled null (RA101);
+* a **non-weakly-acyclic mapping cycle** — ``m_fwd``/``m_back`` feed
+  the labeled nulls they create back into their own creation, so the
+  exchange may not terminate (RA201);
+* a **dangling trust policy** — a condition on a relation that does
+  not exist and a distrusted mapping nobody defined (RA301, RA302).
+
+The analyzer flags all three without touching any data, and the
+``validate="error"`` pre-flight refuses to run the (potentially
+diverging) exchange.
+
+Run:  python examples/analysis_demo.py
+"""
+
+from repro.analysis import analyze
+from repro.cdss import CDSS, Peer, TrustPolicy
+from repro.errors import AnalysisError
+from repro.relational import RelationSchema
+
+
+def build_cdss() -> CDSS:
+    """The deliberately broken system (structure only, no data)."""
+    system = CDSS(
+        Peer.of(name, [RelationSchema.of(f"{name}_R", ["k", "v"], key=["k"])])
+        for name in ("P0", "P1", "P2")
+    )
+    system.add_mappings(
+        [
+            # RA201: w is existential; each mapping feeds the other's
+            # labeled-null position, so nulls grow without bound.
+            "m_fwd: P1_R(v, w) :- P0_R(k, v)",
+            "m_back: P0_R(v, w) :- P1_R(k, v)",
+            # RA101: x and y share no variable with the body — both
+            # Skolemize to nullary (constant) labeled nulls.
+            "m_null: P2_R(x, y) :- P0_R(_, _)",
+        ]
+    )
+    return system
+
+
+def trust_policies() -> list[TrustPolicy]:
+    """A policy whose references dangle (RA301 + RA302)."""
+    policy = TrustPolicy()
+    policy.distrust_relation("P9_R")        # no such relation
+    policy.distrust_mapping("m_ghost")      # no such mapping
+    return [policy]
+
+
+def main() -> None:
+    system = build_cdss()
+    (policy,) = trust_policies()
+
+    print("== static analysis report (no data was touched) ==")
+    report = analyze(system, policies=[policy])
+    print(report)
+    print(f"\nstats: {report.stats}")
+
+    print('\n== exchange(validate="error") pre-flight ==')
+    system.insert_local("P0_R", (1, 2))
+    try:
+        system.exchange(validate="error")
+    except AnalysisError as error:
+        print(f"refused, as it should be:\n{error}")
+    print(f"\nmaterialized tuples after the refusal: {system.instance_size()}")
+
+    print("\n== the same pre-flight accepts a clean program ==")
+    clean = CDSS(
+        Peer.of(name, [RelationSchema.of(f"{name}_R", ["k", "v"], key=["k"])])
+        for name in ("P0", "P1")
+    )
+    clean.add_mapping("m1: P0_R(k, v) :- P1_R(k, v)")
+    clean.insert_local("P1_R", (1, 2))
+    result = clean.exchange(validate="error")
+    print(
+        f"clean exchange ran: {clean.instance_size()} tuples, "
+        f"validation errors: {len(clean.last_validation.errors)}"
+    )
+    assert result is not None
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,10 @@ from repro.proql import GraphEngine
 from repro.relational import RelationSchema
 
 
-def main() -> None:
+def build_cdss() -> CDSS:
+    """The full running example WITH m3 — structure only (no data), so
+    ``python -m repro.analysis`` can verify the cyclic program is still
+    weakly acyclic (the C <-> N cycle copies values, never nulls)."""
     system = CDSS(
         [
             Peer.of(
@@ -53,6 +56,11 @@ def main() -> None:
             "m5: O(n, h, true) :- A(i, _, h), C(i, n)",
         ]
     )
+    return system
+
+
+def main() -> None:
+    system = build_cdss()
     system.insert_local("A", (1, "sn1", 7))
     system.insert_local("A", (2, "sn1", 5))
     system.insert_local("N", (1, "cn1", False))

@@ -16,7 +16,13 @@ import random
 from repro.provenance import annotate
 from repro.semirings import ProbabilitySemiring, get_semiring
 from repro.workloads import branched, leaf_peers
-from repro.workloads.topologies import target_relation
+from repro.workloads.topologies import TopologySpec, build_system, target_relation
+
+
+def build_cdss():
+    """Structure-only twin of main()'s CDSS (no data), for
+    ``python -m repro.analysis examples/probabilistic_ranking.py``."""
+    return build_system(TopologySpec("branched", 9, (), base_size=0))
 
 
 def main() -> None:

@@ -16,7 +16,13 @@ from repro.proql import SQLEngine
 from repro.provenance import annotate, to_dot, to_json
 from repro.semirings import get_semiring
 from repro.workloads import branched, leaf_peers, prepare_storage
-from repro.workloads.topologies import target_relation
+from repro.workloads.topologies import TopologySpec, build_system, target_relation
+
+
+def build_cdss():
+    """Structure-only twin of main()'s CDSS (no data), for
+    ``python -m repro.analysis examples/provenance_browser.py``."""
+    return build_system(TopologySpec("branched", 9, (), base_size=0))
 
 
 def main() -> None:

@@ -41,6 +41,13 @@ from repro.provenance.graph import TupleNode
 from repro.relational.schema import is_local_name
 from repro.workloads import chain
 from repro.workloads.swissprot import generate_entries
+from repro.workloads.topologies import TopologySpec, build_system
+
+
+def build_cdss():
+    """Structure-only twin of main()'s CDSS (no data), for
+    ``python -m repro.analysis examples/sqlite_exchange_demo.py``."""
+    return build_system(TopologySpec("chain", 6, (), base_size=0))
 
 
 def main() -> None:

@@ -14,7 +14,23 @@ from repro.cdss import TrustPolicy, attribute_condition
 from repro.provenance import annotate
 from repro.semirings import TrustSemiring, get_semiring
 from repro.workloads import chain, upstream_data_peers
-from repro.workloads.topologies import target_relation
+from repro.workloads.topologies import TopologySpec, build_system, target_relation
+
+
+def build_cdss():
+    """Structure-only twin of main()'s CDSS (peers and mappings, no
+    data), for ``python -m repro.analysis examples/trust_assessment.py``."""
+    return build_system(TopologySpec("chain", 5, (), base_size=0))
+
+
+def trust_policies():
+    """The example's reference-checkable policies, for the trust lint."""
+    policy1 = TrustPolicy()
+    policy1.distrust_relation("P4_R1")
+    policy1.distrust_relation("P4_R2")
+    policy2 = TrustPolicy()
+    policy2.distrust_mapping("m3")
+    return [policy1, policy2]
 
 
 def main() -> None:

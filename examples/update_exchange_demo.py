@@ -16,7 +16,13 @@ Run:  python examples/update_exchange_demo.py
 
 from repro.provenance import TupleNode
 from repro.workloads import chain, upstream_data_peers
-from repro.workloads.topologies import target_relation
+from repro.workloads.topologies import TopologySpec, build_system, target_relation
+
+
+def build_cdss():
+    """Structure-only twin of main()'s CDSS (no data), for
+    ``python -m repro.analysis examples/update_exchange_demo.py``."""
+    return build_system(TopologySpec("chain", 4, (), base_size=0))
 
 
 def main() -> None:

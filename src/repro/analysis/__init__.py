@@ -1,0 +1,128 @@
+"""Static analysis of CDSS mapping programs — no data required.
+
+The analyzer inspects a :class:`~repro.cdss.system.CDSS`'s *program*
+(peers, mappings, local rules, trust policies) and reports defects
+before the first delta fires:
+
+* **safety / range restriction** (RA1xx) — degenerate labeled nulls,
+  unbound Skolem arguments, singleton variables, duplicate mappings,
+  catalog mismatches;
+* **termination** (RA2xx) — weak acyclicity of the position dependency
+  graph (the standard chase-termination criterion), isolated peers,
+  no-op mappings;
+* **trust lint** (RA3xx) — policies referencing unknown relations or
+  mappings, shadowed conditions;
+* **lowering lint** (RA4xx) — every SQL lowering of the program
+  (exchange, derivability, graph-query) EXPLAIN-prepared against a
+  schema-only store, catching engine drift statically.
+
+Entry points:
+
+* :func:`analyze` — full report over a built CDSS;
+* :func:`analyze_program` — safety + termination over raw rules (no
+  CDSS needed);
+* ``CDSS.exchange(validate="error"|"warn")`` — the pre-flight hook;
+* ``python -m repro.analysis`` — the CLI (see :mod:`repro.analysis.cli`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.analysis.diagnostics import (
+    CODES,
+    ERROR,
+    WARNING,
+    Diagnostic,
+    Report,
+    make_report,
+    severity_of,
+)
+from repro.analysis.safety import safety_pass
+from repro.analysis.termination import (
+    build_position_graph,
+    topology_pass,
+    weak_acyclicity_pass,
+)
+from repro.analysis.trustlint import trust_pass
+from repro.datalog.rules import Program, Rule
+from repro.relational.instance import Catalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cdss.system import CDSS
+    from repro.cdss.trust import TrustPolicy
+    from repro.exchange.sql_executor import ExchangeStore
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "Report",
+    "analyze",
+    "analyze_program",
+    "build_position_graph",
+    "make_report",
+    "severity_of",
+]
+
+
+def analyze_program(
+    rules: Program | Sequence[Rule],
+    catalog: Catalog | None = None,
+) -> Report:
+    """Safety + termination analysis of raw rules (no CDSS needed).
+
+    Used by tests and by callers holding a bare
+    :class:`~repro.datalog.rules.Program`; the trust and lowering
+    passes need a full CDSS and run only from :func:`analyze`.
+    """
+    rule_list = list(rules)
+    diagnostics = safety_pass(rule_list, catalog)
+    diagnostics.extend(weak_acyclicity_pass(rule_list, catalog))
+    return make_report(diagnostics, {"rules_analyzed": len(rule_list)})
+
+
+def analyze(
+    cdss: "CDSS",
+    policies: "Iterable[TrustPolicy]" = (),
+    lowering: bool = True,
+    store: "ExchangeStore | None" = None,
+) -> Report:
+    """Full static analysis of *cdss* — without touching any data.
+
+    ``policies`` adds the trust lint over each given policy (labeled
+    ``#0``, ``#1``, ... in diagnostics).  ``lowering=False`` skips the
+    SQL dry-run (the only pass that needs a SQLite connection);
+    ``store`` lets the lowering lint run against an existing — e.g.
+    reopened on-disk — store instead of a throwaway in-memory one.
+    Only ``EXPLAIN`` and idempotent ``CREATE TABLE`` statements ever
+    reach the store.
+    """
+    from repro.analysis.lowering import lowering_pass
+
+    program = cdss.program()
+    mapping_rules = [m.rule for m in cdss.mappings.values()]
+    diagnostics = safety_pass(
+        program.rules, cdss.catalog, duplicate_candidates=mapping_rules
+    )
+    diagnostics.extend(weak_acyclicity_pass(program.rules, cdss.catalog))
+    diagnostics.extend(topology_pass(cdss.peers, cdss.mappings))
+    known_mappings = set(cdss.mappings) | {r.name for r in cdss.local_rules()}
+    for index, policy in enumerate(policies):
+        diagnostics.extend(
+            trust_pass(policy, cdss.catalog, known_mappings, label=f"#{index}")
+        )
+    stats = {
+        "rules_analyzed": len(program.rules),
+        "mappings": len(cdss.mappings),
+        "peers": len(cdss.peers),
+    }
+    if lowering:
+        entry, _hit = cdss.plan_cache.fetch(program)
+        lowering_diagnostics, lowering_stats = lowering_pass(
+            entry, cdss.catalog, cdss.mappings, store
+        )
+        diagnostics.extend(lowering_diagnostics)
+        stats.update(lowering_stats)
+    return make_report(diagnostics, stats)

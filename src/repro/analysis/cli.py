@@ -1,0 +1,147 @@
+"""``python -m repro.analysis`` — lint CDSS programs from the shell.
+
+Targets are either workload specs or Python files:
+
+* ``chain:N`` / ``branched:N`` — the workload topologies of
+  :mod:`repro.workloads.topologies`, built *structure-only* (peers and
+  mappings, no data, no exchange);
+* ``path/to/file.py`` — imported by path; the file must expose a
+  zero-argument ``build_cdss()`` (or ``build_system()``) returning the
+  :class:`~repro.cdss.system.CDSS` to analyze, and may expose
+  ``trust_policies()`` returning policies for the trust lint.
+
+Exit status is non-zero iff any target reports an *error* diagnostic
+(warnings never fail the lint).  ``--json`` prints one machine-readable
+object over all targets, which is what CI consumes.
+
+Examples::
+
+    python -m repro.analysis chain:8 branched:9
+    python -m repro.analysis examples/quickstart.py --json
+    python tools/repro_lint.py examples/*.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.analysis import Diagnostic, Report, analyze, make_report
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cdss.system import CDSS
+
+#: builder names probed, in order, in a target file's namespace.
+_BUILDER_NAMES = ("build_cdss", "build_system")
+
+
+def _failure(target: str, message: str) -> Report:
+    return make_report(
+        [Diagnostic("RA001", f"{target}: {message}", subject=target)]
+    )
+
+
+def _build_spec_target(target: str) -> "CDSS":
+    """``chain:N`` / ``branched:N`` — structure-only workload build."""
+    from repro.workloads.topologies import TopologySpec, build_system
+
+    kind, _, count = target.partition(":")
+    num_peers = int(count)
+    if num_peers < 1:
+        raise ValueError(f"need at least 1 peer, got {num_peers}")
+    return build_system(TopologySpec(kind, num_peers, (), base_size=0))
+
+
+def _load_file_target(path: Path) -> tuple["CDSS", list]:
+    """Import *path* and call its builder; returns (cdss, policies)."""
+    spec = importlib.util.spec_from_file_location(
+        f"repro_lint_target_{path.stem}", path
+    )
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    builder: Callable[[], "CDSS"] | None = None
+    for name in _BUILDER_NAMES:
+        candidate = getattr(module, name, None)
+        if callable(candidate):
+            builder = candidate
+            break
+    if builder is None:
+        raise AttributeError(
+            f"defines none of {'/'.join(_BUILDER_NAMES)}; add a "
+            "zero-argument builder returning the CDSS to analyze"
+        )
+    cdss = builder()
+    policies = []
+    policy_builder = getattr(module, "trust_policies", None)
+    if callable(policy_builder):
+        policies = list(policy_builder())
+    return cdss, policies
+
+
+def analyze_target(target: str, lowering: bool = True) -> Report:
+    """Analyze one CLI target, mapping build failures to RA001."""
+    try:
+        if target.startswith(("chain:", "branched:")):
+            cdss = _build_spec_target(target)
+            policies: list = []
+        else:
+            cdss, policies = _load_file_target(Path(target))
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        return _failure(target, f"{type(exc).__name__}: {exc}")
+    return analyze(cdss, policies=policies, lowering=lowering)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analyzer for CDSS mapping programs "
+        "(runs without touching any data).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="chain:N, branched:N, or a .py file exposing build_cdss()",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON object mapping each target to its report",
+    )
+    parser.add_argument(
+        "--no-lowering",
+        action="store_true",
+        help="skip the SQL EXPLAIN dry-run (the only pass that opens "
+        "a SQLite connection)",
+    )
+    args = parser.parse_args(argv)
+    reports = {
+        target: analyze_target(target, lowering=not args.no_lowering)
+        for target in args.targets
+    }
+    failed = [target for target, report in reports.items() if not report.ok]
+    if args.json:
+        payload = {
+            target: report.to_dict() for target, report in reports.items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for target, report in reports.items():
+            print(f"== {target}")
+            print(report)
+            print()
+        verdict = "FAIL" if failed else "ok"
+        print(
+            f"repro lint: {verdict} — {len(reports) - len(failed)}/"
+            f"{len(reports)} target(s) clean"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a script
+    sys.exit(main())

@@ -1,0 +1,243 @@
+"""Safety / range-restriction pass (codes RA101–RA106, RA203).
+
+Checks each rule *as written* — before and after Skolemization — so the
+pass catches mistakes :meth:`repro.datalog.rules.Rule.skolemize` would
+silently paper over:
+
+* ``skolemize()`` folds *every* unbound head variable into a labeled
+  null, so a post-skolemization rule always passes ``check_safe()``.
+  The real defect it can hide is a head variable with an **empty
+  frontier** (no body variable shared with the head): the resulting
+  Skolem term is nullary, i.e. the *same* labeled null for every rule
+  firing — almost never what the author meant.  That is RA101.
+* An explicit :class:`~repro.datalog.terms.SkolemTerm` whose argument
+  is not bound by the body (RA102) would likewise be re-skolemized
+  into something well-defined but meaningless.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule
+from repro.datalog.terms import SkolemTerm, Variable, is_wildcard, variables_of
+from repro.relational.instance import Catalog
+
+#: strips the rule-specific part of generated Skolem function names
+#: (``f_<rule>_<var>`` -> ``f__<var>``) so RA104 can compare mappings
+#: that differ only in their (auto-assigned) names.
+_SKOLEM_PREFIX = re.compile(r"\bf_[A-Za-z0-9_]+?_(?=[A-Za-z0-9]+\()")
+
+
+def _nullary_skolems(atoms: Iterable[Atom]) -> list[SkolemTerm]:
+    """Skolem terms with zero arguments, at any nesting depth."""
+    found: list[SkolemTerm] = []
+
+    def walk(term: object) -> None:
+        if isinstance(term, SkolemTerm):
+            if not term.args:
+                found.append(term)
+            for arg in term.args:
+                walk(arg)
+
+    for atom in atoms:
+        for term in atom.terms:
+            walk(term)
+    return found
+
+
+def _check_unsafe(rule: Rule) -> list[Diagnostic]:
+    """RA101: a head position that degenerates to an unparameterized
+    labeled null (same null for every firing)."""
+    diagnostics: list[Diagnostic] = []
+    body_vars = rule.body_variables()
+    existential = sorted(
+        v.name for v in rule.head_variables() - body_vars
+    )
+    frontier = rule.head_variables() & body_vars
+    if existential and not frontier:
+        diagnostics.append(
+            Diagnostic(
+                "RA101",
+                f"rule {rule.name}: head variables {existential} have an "
+                "empty frontier (no body variable is shared with the "
+                "head), so each would Skolemize to the same labeled "
+                "null for every firing; bind them in the body or share "
+                "a frontier variable",
+                subject=rule.name,
+            )
+        )
+        return diagnostics
+    for skolem in _nullary_skolems(rule.skolemize().head):
+        diagnostics.append(
+            Diagnostic(
+                "RA101",
+                f"rule {rule.name}: labeled null {skolem.function}() "
+                "takes no arguments, so every firing produces the same "
+                "null; parameterize it with a body variable",
+                subject=rule.name,
+            )
+        )
+    return diagnostics
+
+
+def _check_skolem_args(rule: Rule) -> list[Diagnostic]:
+    """RA102: explicit Skolem terms with arguments the body never
+    binds (checked on the rule as given, pre-skolemization)."""
+    diagnostics: list[Diagnostic] = []
+    body_vars = rule.body_variables()
+    for atom in rule.head:
+        for term in atom.terms:
+            if not isinstance(term, SkolemTerm):
+                continue
+            unbound = sorted(
+                {
+                    v.name
+                    for arg in term.args
+                    for v in variables_of(arg)
+                    if v not in body_vars
+                }
+            )
+            if unbound:
+                diagnostics.append(
+                    Diagnostic(
+                        "RA102",
+                        f"rule {rule.name}: Skolem term {term} uses "
+                        f"argument variables {unbound} that no body atom "
+                        "binds",
+                        subject=rule.name,
+                    )
+                )
+    return diagnostics
+
+
+def _check_singletons(rule: Rule) -> list[Diagnostic]:
+    """RA103: a body variable with exactly one occurrence in the whole
+    rule — legal (it is just an unnamed projection), but in practice
+    usually a typo for a join variable.  Wildcards (``_``) are the
+    idiomatic way to say "intentionally unused" and are exempt."""
+    counts: dict[Variable, int] = {}
+    for atom in rule.body + rule.head:
+        for term in atom.terms:
+            for var in variables_of(term):
+                counts[var] = counts.get(var, 0) + 1
+    body_vars = rule.body_variables()
+    singles = sorted(
+        v.name
+        for v, n in counts.items()
+        if n == 1 and v in body_vars and not is_wildcard(v)
+    )
+    if not singles:
+        return []
+    return [
+        Diagnostic(
+            "RA103",
+            f"rule {rule.name}: body variables {singles} occur exactly "
+            "once; if unused on purpose, write the wildcard _ instead",
+            subject=rule.name,
+        )
+    ]
+
+
+def _check_noop(rule: Rule) -> list[Diagnostic]:
+    """RA203: every head atom already appears verbatim in the body —
+    the mapping derives nothing new."""
+    body_texts = {str(atom) for atom in rule.body}
+    if rule.head and all(str(atom) in body_texts for atom in rule.head):
+        return [
+            Diagnostic(
+                "RA203",
+                f"rule {rule.name}: every head atom appears verbatim in "
+                "the body, so the mapping derives nothing new",
+                subject=rule.name,
+            )
+        ]
+    return []
+
+
+def _check_catalog(rule: Rule, catalog: Catalog) -> list[Diagnostic]:
+    """RA105/RA106: every atom must name a cataloged relation with the
+    right arity."""
+    diagnostics: list[Diagnostic] = []
+    for atom in rule.body + rule.head:
+        if atom.relation not in catalog:
+            diagnostics.append(
+                Diagnostic(
+                    "RA106",
+                    f"rule {rule.name}: unknown relation {atom.relation}",
+                    subject=rule.name,
+                )
+            )
+            continue
+        expected = catalog[atom.relation].arity
+        if atom.arity != expected:
+            diagnostics.append(
+                Diagnostic(
+                    "RA105",
+                    f"rule {rule.name}: atom {atom} has arity "
+                    f"{atom.arity}, but relation {atom.relation} has "
+                    f"arity {expected}",
+                    subject=rule.name,
+                )
+            )
+    return diagnostics
+
+
+def _canonical_text(rule: Rule) -> tuple[str, str]:
+    """Mapping text with rule-specific Skolem prefixes erased and atom
+    order normalized, for duplicate detection."""
+    head = ", ".join(
+        sorted(_SKOLEM_PREFIX.sub("f__", str(atom)) for atom in rule.head)
+    )
+    body = ", ".join(sorted(str(atom) for atom in rule.body))
+    return head, body
+
+
+def _check_duplicates(rules: Sequence[Rule]) -> list[Diagnostic]:
+    """RA104: two mappings with identical head and body (up to Skolem
+    naming and atom order) — the second fires redundant derivations."""
+    diagnostics: list[Diagnostic] = []
+    seen: dict[tuple[str, str], str] = {}
+    for rule in rules:
+        key = _canonical_text(rule.skolemize())
+        first = seen.get(key)
+        if first is None:
+            seen[key] = rule.name
+        else:
+            diagnostics.append(
+                Diagnostic(
+                    "RA104",
+                    f"rule {rule.name} duplicates mapping {first} "
+                    "(identical head and body); its derivations are "
+                    "redundant",
+                    subject=rule.name,
+                )
+            )
+    return diagnostics
+
+
+def safety_pass(
+    rules: Sequence[Rule],
+    catalog: Catalog | None = None,
+    duplicate_candidates: Sequence[Rule] | None = None,
+) -> list[Diagnostic]:
+    """Run every safety check over *rules*.
+
+    ``duplicate_candidates`` restricts RA104 to user-authored mappings
+    (auto-generated ``L_R`` rules are all pairwise distinct by
+    construction and would only add noise).  Defaults to all rules.
+    """
+    diagnostics: list[Diagnostic] = []
+    for rule in rules:
+        diagnostics.extend(_check_unsafe(rule))
+        diagnostics.extend(_check_skolem_args(rule))
+        diagnostics.extend(_check_singletons(rule))
+        diagnostics.extend(_check_noop(rule))
+        if catalog is not None:
+            diagnostics.extend(_check_catalog(rule, catalog))
+    candidates = rules if duplicate_candidates is None else duplicate_candidates
+    diagnostics.extend(_check_duplicates(candidates))
+    return diagnostics

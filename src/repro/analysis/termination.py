@@ -1,0 +1,228 @@
+"""Termination pass: weak acyclicity and topology reachability.
+
+The chase (update exchange) over a set of TGDs terminates on every
+instance if the program is **weakly acyclic** (Fagin et al., the
+standard data-exchange criterion): build the *position dependency
+graph* whose nodes are (relation, position) pairs, with
+
+* a **normal edge** ``(R, i) -> (S, j)`` when some rule copies a body
+  variable at position ``i`` of ``R`` into position ``j`` of a head
+  atom ``S``, and
+* a **special edge** ``(R, i) ~> (S, j)`` when that body variable
+  instead feeds a *Skolem argument* at ``(S, j)`` — a fresh labeled
+  null parameterized by the value.
+
+The program is weakly acyclic iff no cycle goes through a special
+edge.  A special edge inside a strongly connected component means a
+labeled null can be fed back into the position that creates it,
+minting ever-larger nulls — the exchange may not terminate (RA201).
+
+A second, cheaper graph check: a peer none of whose relations is read
+or written by any mapping is disconnected from the exchange entirely
+(RA202) — usually a topology wiring mistake, not a latent bug.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.cdss.mapping import SchemaMapping
+from repro.cdss.peer import Peer
+from repro.datalog.rules import Rule
+from repro.datalog.terms import SkolemTerm, Variable, variables_of
+from repro.relational.instance import Catalog
+from repro.relational.schema import public_name
+
+#: a position node: (relation name, 0-based column index).
+Position = tuple[str, int]
+
+
+def _position_label(position: Position, catalog: Catalog | None) -> str:
+    relation, index = position
+    if catalog is not None and relation in catalog:
+        names = catalog[relation].attribute_names
+        if 0 <= index < len(names):
+            return f"{relation}.{names[index]}"
+    return f"{relation}[{index}]"
+
+
+def build_position_graph(
+    rules: Iterable[Rule],
+) -> tuple[
+    dict[Position, set[Position]],
+    dict[tuple[Position, Position], set[str]],
+    set[tuple[Position, Position]],
+]:
+    """The position dependency graph of the (skolemized) *rules*.
+
+    Returns ``(adjacency, edge_rules, special_edges)`` where
+    ``edge_rules`` maps each edge to the names of the rules that
+    contribute it.
+    """
+    adjacency: dict[Position, set[Position]] = {}
+    edge_rules: dict[tuple[Position, Position], set[str]] = {}
+    special: set[tuple[Position, Position]] = set()
+
+    def add_edge(src: Position, dst: Position, rule: Rule, is_special: bool) -> None:
+        adjacency.setdefault(src, set()).add(dst)
+        adjacency.setdefault(dst, set())
+        edge_rules.setdefault((src, dst), set()).add(rule.name)
+        if is_special:
+            special.add((src, dst))
+
+    for rule in rules:
+        prepared = rule.skolemize()
+        occurrences: dict[Variable, set[Position]] = {}
+        for atom in prepared.body:
+            for index, term in enumerate(atom.terms):
+                for var in variables_of(term):
+                    occurrences.setdefault(var, set()).add(
+                        (atom.relation, index)
+                    )
+        for atom in prepared.head:
+            for index, term in enumerate(atom.terms):
+                target = (atom.relation, index)
+                if isinstance(term, Variable):
+                    for src in occurrences.get(term, ()):
+                        add_edge(src, target, prepared, is_special=False)
+                elif isinstance(term, SkolemTerm):
+                    for var in variables_of(term):
+                        for src in occurrences.get(var, ()):
+                            add_edge(src, target, prepared, is_special=True)
+    return adjacency, edge_rules, special
+
+
+def _strongly_connected_components(
+    adjacency: Mapping[Position, set[Position]],
+) -> list[set[Position]]:
+    """Tarjan's algorithm, iterative (position graphs of big topologies
+    can be thousands of nodes deep)."""
+    index_of: dict[Position, int] = {}
+    lowlink: dict[Position, int] = {}
+    on_stack: set[Position] = set()
+    stack: list[Position] = []
+    components: list[set[Position]] = []
+    counter = 0
+
+    for root in adjacency:
+        if root in index_of:
+            continue
+        work: list[tuple[Position, Iterable[Position]]] = [
+            (root, iter(adjacency[root]))
+        ]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: set[Position] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def weak_acyclicity_pass(
+    rules: Sequence[Rule], catalog: Catalog | None = None
+) -> list[Diagnostic]:
+    """RA201: one diagnostic per cycle class (SCC) that a special edge
+    makes non-weakly-acyclic, naming the offending mappings and the
+    labeled-null position."""
+    adjacency, edge_rules, special = build_position_graph(rules)
+    diagnostics: list[Diagnostic] = []
+    for component in _strongly_connected_components(adjacency):
+        internal_special = [
+            (src, dst)
+            for (src, dst) in special
+            if src in component and dst in component
+        ]
+        if not internal_special:
+            continue
+        # Self-loop-free singleton SCCs can't carry a cycle.
+        if len(component) == 1:
+            node = next(iter(component))
+            if node not in adjacency.get(node, set()):
+                continue
+        culprits = sorted(
+            {
+                name
+                for edge in internal_special
+                for name in edge_rules.get(edge, set())
+            }
+        )
+        cycle_rules = sorted(
+            {
+                name
+                for (src, dst), names in edge_rules.items()
+                if src in component and dst in component
+                for name in names
+            }
+        )
+        null_positions = sorted(
+            {_position_label(dst, catalog) for _, dst in internal_special}
+        )
+        diagnostics.append(
+            Diagnostic(
+                "RA201",
+                "not weakly acyclic: mapping cycle "
+                f"{cycle_rules} feeds labeled nulls created at "
+                f"{null_positions} back into their own creation "
+                f"(special edges from {culprits}); the exchange may "
+                "not terminate",
+                subject=",".join(culprits),
+            )
+        )
+    return diagnostics
+
+
+def topology_pass(
+    peers: Mapping[str, Peer],
+    mappings: Mapping[str, SchemaMapping],
+) -> list[Diagnostic]:
+    """RA202: peers no mapping reads or writes (isolated from the
+    exchange).  Only meaningful once the system has both multiple
+    peers and at least one mapping."""
+    if len(peers) < 2 or not mappings:
+        return []
+    touched: set[str] = set()
+    for mapping in mappings.values():
+        for atom in mapping.body + mapping.head:
+            touched.add(public_name(atom.relation))
+    diagnostics: list[Diagnostic] = []
+    for peer in peers.values():
+        if not any(name in touched for name in peer.relation_names()):
+            diagnostics.append(
+                Diagnostic(
+                    "RA202",
+                    f"peer {peer.name}: no mapping reads or writes any "
+                    "of its relations; it is isolated from the update "
+                    "exchange",
+                    subject=peer.name,
+                )
+            )
+    return diagnostics

@@ -1,0 +1,71 @@
+"""Trust-policy lint (codes RA301–RA303).
+
+A :class:`~repro.cdss.trust.TrustPolicy` is plain data — nothing stops
+a condition from naming a relation that does not exist, or distrusting
+a mapping nobody defined.  At annotation time such entries are simply
+*ignored* (the condition never matches a leaf; the distrusted name
+never matches a derivation), which silently yields the default-trust
+verdict — the worst failure mode for a trust policy.  This pass makes
+the dangling references loud.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.cdss.trust import TrustPolicy
+from repro.relational.instance import Catalog
+from repro.relational.schema import is_local_name, public_name
+
+
+def trust_pass(
+    policy: TrustPolicy,
+    catalog: Catalog,
+    known_mappings: Collection[str],
+    label: str = "policy",
+) -> list[Diagnostic]:
+    """Lint one trust policy against the system's catalog and mapping
+    names.  ``known_mappings`` must include the auto-generated local
+    rules (``L_R``), which are legal distrust targets (distrusting
+    ``L_R`` distrusts every local contribution to ``R``)."""
+    diagnostics: list[Diagnostic] = []
+    for relation in sorted(policy.leaf_conditions):
+        if relation not in catalog:
+            diagnostics.append(
+                Diagnostic(
+                    "RA301",
+                    f"trust policy {label}: leaf condition references "
+                    f"unknown relation {relation}; it can never match a "
+                    "tuple, so the default trust verdict applies "
+                    "silently",
+                    subject=relation,
+                )
+            )
+        elif (
+            is_local_name(relation)
+            and public_name(relation) in policy.leaf_conditions
+        ):
+            diagnostics.append(
+                Diagnostic(
+                    "RA303",
+                    f"trust policy {label}: condition on {relation} is "
+                    "shadowed by the condition on "
+                    f"{public_name(relation)} (the public name wins for "
+                    "every leaf); drop one of the two",
+                    subject=relation,
+                )
+            )
+    known = set(known_mappings)
+    for mapping in sorted(policy.distrusted_mappings):
+        if mapping not in known:
+            diagnostics.append(
+                Diagnostic(
+                    "RA302",
+                    f"trust policy {label}: distrusts unknown mapping "
+                    f"{mapping}; no derivation carries that name, so "
+                    "the distrust has no effect",
+                    subject=mapping,
+                )
+            )
+    return diagnostics

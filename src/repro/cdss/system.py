@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.cdss.mapping import SchemaMapping
@@ -35,6 +36,7 @@ from repro.relational.schema import RelationSchema, is_local_name, local_name
 from repro.semirings.registry import get_semiring
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis import Report
     from repro.exchange.graph_queries import StoreGraphQueries
     from repro.exchange.sql_executor import ExchangeStore
 
@@ -66,6 +68,9 @@ class CDSS:
         #: answered it, and — for the store engine — ``iterations`` and
         #: ``pm_rows_scanned`` of the relational walk.
         self.last_graph_query: EvaluationResult | None = None
+        #: report of the most recent ``exchange(validate=...)``
+        #: pre-flight (None until one runs).
+        self.last_validation: "Report | None" = None
         #: cumulative wall-clock seconds spent in update exchange.
         self.exchange_seconds = 0.0
         #: compiled-program cache shared by both exchange engines;
@@ -127,7 +132,7 @@ class CDSS:
         for atom in mapping.body + mapping.head:
             if atom.relation not in self.catalog:
                 raise SchemaError(
-                    f"mapping {mapping.name} references unknown relation "
+                    f"mapping {mapping.name}: unknown relation "
                     f"{atom.relation}"
                 )
             if atom.arity != self.catalog[atom.relation].arity:
@@ -189,6 +194,7 @@ class CDSS:
         engine: str = "memory",
         storage: "ExchangeStore | str | os.PathLike | None" = None,
         resident: bool = False,
+        validate: str = "off",
     ) -> EvaluationResult:
         """Run (incremental) update exchange.
 
@@ -233,7 +239,15 @@ class CDSS:
         :meth:`derivability`, :meth:`trusted`) are answered by
         recursive joins over that same history
         (:mod:`repro.exchange.graph_queries`).
+
+        **Pre-flight** (``validate=``): ``"warn"`` or ``"error"`` runs
+        the static analyzer (:func:`repro.analysis.analyze`) over the
+        mapping program before any engine work — reporting the result
+        in :attr:`last_validation`, warning or raising
+        :class:`~repro.errors.AnalysisError` on error diagnostics.
+        The default ``"off"`` adds zero overhead.
         """
+        self._validate_program(validate)
         started = time.perf_counter()
         if resident and engine != "sqlite":
             raise ExchangeError(
@@ -302,6 +316,27 @@ class CDSS:
         self._exchanged_once = True
         self._resident = resident
         return result
+
+    def _validate_program(self, mode: str) -> None:
+        """The ``validate=`` pre-flight: run the static analyzer over
+        the mapping program before the exchange fires anything."""
+        if mode == "off":
+            return
+        if mode not in ("warn", "error"):
+            raise ExchangeError(
+                f"unknown validate mode {mode!r}; "
+                'expected "off", "warn", or "error"'
+            )
+        from repro.analysis import analyze
+
+        report = analyze(self)
+        self.last_validation = report
+        if mode == "error":
+            report.raise_for_errors()
+        elif report.diagnostics:
+            warnings.warn(
+                f"exchange pre-flight:\n{report}", stacklevel=3
+            )
 
     def _check_resident_store(
         self, storage: "ExchangeStore | str | os.PathLike | None"
@@ -608,6 +643,22 @@ class CDSS:
         )
         return lineage_of(self.graph, node)
 
+    def _validate_trust_policy(self, policy: TrustPolicy) -> None:
+        """Reference check shared with the static analyzer's trust
+        lint: a policy naming an unknown relation or mapping would be
+        silently ignored at annotation time — fail loudly instead, with
+        the same :class:`SchemaError` message shape as
+        :meth:`insert_local`/:meth:`add_mapping`."""
+        for relation in policy.leaf_conditions:
+            if relation not in self.catalog:
+                raise SchemaError(
+                    f"trust policy: unknown relation {relation}"
+                )
+        known = set(self.mappings) | {r.name for r in self.local_rules()}
+        for mapping in policy.distrusted_mappings:
+            if mapping not in known:
+                raise SchemaError(f"trust policy: unknown mapping {mapping}")
+
     def trusted(self, policy: TrustPolicy) -> dict[TupleNode, bool]:
         """Trust annotation of every tuple under *policy* (Q7).
 
@@ -619,6 +670,8 @@ class CDSS:
         Non-resident systems annotate the in-memory graph in the TRUST
         semiring.
         """
+        if isinstance(policy, TrustPolicy):
+            self._validate_trust_policy(policy)
         if self._resident:
             values, stats = self._store_graph_queries(
                 "trust annotation"

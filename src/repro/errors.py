@@ -68,3 +68,8 @@ class ExchangeError(ReproError):
 
 class IndexingError(ReproError):
     """Invalid ASR definition (e.g. overlapping ASRs) or rewrite failure."""
+
+
+class AnalysisError(ReproError):
+    """Static analysis rejected a mapping program (``validate="error"``
+    pre-flight or :meth:`repro.analysis.Report.raise_for_errors`)."""

@@ -92,7 +92,7 @@ class Catalog:
         try:
             return self._schemas[name]
         except KeyError:
-            raise SchemaError(f"unknown relation {name!r}") from None
+            raise SchemaError(f"unknown relation {name}") from None
 
     def get(self, name: str) -> RelationSchema | None:
         return self._schemas.get(name)

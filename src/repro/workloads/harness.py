@@ -69,6 +69,11 @@ class ExperimentResult:
     #: firing-history rows the relational walk enumerated (0 on the
     #: memory engine).
     pm_rows_scanned: int = 0
+    #: diagnostics of the most recent ``exchange(validate=...)``
+    #: pre-flight (:attr:`CDSS.last_validation`; both 0 when no
+    #: pre-flight ran or the program was clean).
+    analysis_errors: int = 0
+    analysis_warnings: int = 0
 
     @property
     def unfolded_rules(self) -> int:
@@ -133,6 +138,7 @@ def run_target_query(
     exchange = cdss.last_exchange
     deletion = cdss.last_deletion
     graph_query = cdss.last_graph_query
+    validation = cdss.last_validation
     result = ExperimentResult(
         stats=stats,
         instance_tuples=instance_tuple_count(cdss),
@@ -153,6 +159,8 @@ def run_target_query(
         graph_query_engine=graph_query.engine if graph_query else "",
         graph_query_iterations=graph_query.iterations if graph_query else 0,
         pm_rows_scanned=graph_query.pm_rows_scanned if graph_query else 0,
+        analysis_errors=len(validation.errors) if validation else 0,
+        analysis_warnings=len(validation.warnings) if validation else 0,
     )
     if manager is not None:
         manager.drop_all()

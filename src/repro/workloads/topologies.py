@@ -54,6 +54,9 @@ class TopologySpec:
     #: store-resident exchange: the store is the authoritative
     #: instance; derived tuples are never materialized in Python
     resident: bool = False
+    #: static-analysis pre-flight mode passed to ``CDSS.exchange``
+    #: ("off" | "warn" | "error")
+    validate: str = "off"
 
 
 def chain_edges(num_peers: int) -> list[tuple[int, int]]:
@@ -100,8 +103,14 @@ def _mapping_text(source: int, target: int) -> str:
     )
 
 
-def build_topology(spec: TopologySpec) -> CDSS:
-    """Construct, populate, and exchange one workload CDSS."""
+def build_system(spec: TopologySpec) -> CDSS:
+    """Construct the peers and mappings of one workload CDSS —
+    *structure only*, no data and no exchange.
+
+    This is what the static analyzer (``python -m repro.analysis
+    chain:N``) builds: the full mapping program is available for
+    analysis without a single tuple existing.
+    """
     if spec.kind == "chain":
         edges = chain_edges(spec.num_peers)
     elif spec.kind == "branched":
@@ -115,11 +124,18 @@ def build_topology(spec: TopologySpec) -> CDSS:
     )
     for number, (source, target) in enumerate(edges, start=1):
         cdss.add_mapping(_mapping_text(source, target), name=f"m{number}")
+    return cdss
+
+
+def build_topology(spec: TopologySpec) -> CDSS:
+    """Construct, populate, and exchange one workload CDSS."""
+    cdss = build_system(spec)
     _populate(cdss, spec)
     cdss.exchange(
         engine=spec.engine,
         storage=spec.exchange_path,
         resident=spec.resident,
+        validate=spec.validate,
     )
     return cdss
 
@@ -146,6 +162,7 @@ def chain(
     engine: str = "memory",
     exchange_path: str | None = None,
     resident: bool = False,
+    validate: str = "off",
 ) -> CDSS:
     """A chain CDSS (Figure 5).  ``data_peers`` defaults to the two
     most-upstream peers, matching Section 6.3's setting of "data at a
@@ -162,6 +179,7 @@ def chain(
             engine=engine,
             exchange_path=exchange_path,
             resident=resident,
+            validate=validate,
         )
     )
 
@@ -174,6 +192,7 @@ def branched(
     engine: str = "memory",
     exchange_path: str | None = None,
     resident: bool = False,
+    validate: str = "off",
 ) -> CDSS:
     """A branched CDSS (Figure 6) with data at the leaves by default."""
     if data_peers is None:
@@ -188,6 +207,7 @@ def branched(
             engine=engine,
             exchange_path=exchange_path,
             resident=resident,
+            validate=validate,
         )
     )
 

@@ -1,0 +1,33 @@
+"""A deliberately broken CDSS for the analyzer's CLI tests and the CI
+smoke job: ``python -m repro.analysis tests/fixtures/broken_topology.py``
+must exit non-zero with machine-readable diagnostics.
+
+Defects: a non-weakly-acyclic mapping cycle (RA201), an unsafe rule
+whose labeled nulls are unparameterized (RA101), and a trust policy
+with dangling references (RA301/RA302).
+"""
+
+from repro.cdss import CDSS, Peer, TrustPolicy
+from repro.relational import RelationSchema
+
+
+def build_cdss() -> CDSS:
+    system = CDSS(
+        Peer.of(name, [RelationSchema.of(f"{name}_R", ["k", "v"], key=["k"])])
+        for name in ("P0", "P1", "P2")
+    )
+    system.add_mappings(
+        [
+            "m_fwd: P1_R(v, w) :- P0_R(_, v)",
+            "m_back: P0_R(v, w) :- P1_R(_, v)",
+            "m_null: P2_R(x, y) :- P0_R(_, _)",
+        ]
+    )
+    return system
+
+
+def trust_policies() -> list[TrustPolicy]:
+    policy = TrustPolicy()
+    policy.distrust_relation("P9_R")
+    policy.distrust_mapping("m_ghost")
+    return [policy]

@@ -1,0 +1,530 @@
+"""Unit tests for the static analyzer (repro.analysis).
+
+One test (at least) per diagnostic code, plus the CDSS
+``validate=`` pre-flight, the reference-check parity sweep, the CLI,
+and the EXPLAIN lowering lint on fresh and reopened stores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import CODES, Diagnostic, analyze, analyze_program, make_report
+from repro.analysis.diagnostics import ERROR, WARNING, Report, severity_of
+from repro.analysis.lowering import lowering_pass
+from repro.analysis.termination import build_position_graph
+from repro.cdss import CDSS, Peer, TrustPolicy
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_rule
+from repro.datalog.planner import CompiledRule
+from repro.datalog.rules import Rule
+from repro.datalog.terms import SkolemTerm, Variable
+from repro.errors import AnalysisError, ExchangeError, SchemaError
+from repro.exchange.cache import CompiledExchangeProgram
+from repro.exchange.sql_executor import ExchangeStore
+from repro.relational import RelationSchema
+from repro.relational.instance import Catalog
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BROKEN_FIXTURE = REPO_ROOT / "tests" / "fixtures" / "broken_topology.py"
+
+
+def small_cdss() -> CDSS:
+    system = CDSS(
+        Peer.of(name, [RelationSchema.of(f"{name}_R", ["k", "v"], key=["k"])])
+        for name in ("P0", "P1")
+    )
+    system.add_mapping("m1: P0_R(k, v) :- P1_R(k, v)")
+    return system
+
+
+def broken_cdss() -> CDSS:
+    system = CDSS(
+        Peer.of(name, [RelationSchema.of(f"{name}_R", ["k", "v"], key=["k"])])
+        for name in ("P0", "P1")
+    )
+    system.add_mappings(
+        [
+            "m_fwd: P1_R(v, w) :- P0_R(_, v)",
+            "m_back: P0_R(v, w) :- P1_R(_, v)",
+        ]
+    )
+    return system
+
+
+# -- diagnostics plumbing ---------------------------------------------------
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(AnalysisError):
+        Diagnostic("RA999", "nope")
+
+
+def test_severity_catalog_is_closed():
+    assert all(sev in (ERROR, WARNING) for sev, _ in CODES.values())
+    assert severity_of("RA101") == ERROR
+    assert severity_of("RA103") == WARNING
+
+
+def test_report_ordering_errors_first():
+    report = make_report(
+        [
+            Diagnostic("RA103", "warn", subject="b"),
+            Diagnostic("RA201", "err", subject="a"),
+        ]
+    )
+    assert [d.code for d in report.diagnostics] == ["RA201", "RA103"]
+    assert not report.ok
+    assert report.by_code("RA201")
+    payload = json.loads(report.to_json())
+    assert payload["errors"] == 1 and payload["warnings"] == 1
+
+
+def test_report_raise_for_errors():
+    report = make_report([Diagnostic("RA106", "boom", subject="m")])
+    with pytest.raises(AnalysisError, match="RA106"):
+        report.raise_for_errors()
+    make_report([]).raise_for_errors()  # clean: no raise
+
+
+# -- RA1xx: safety ----------------------------------------------------------
+
+
+def test_ra101_empty_frontier():
+    report = analyze_program([parse_rule("m: T(y) :- S(x)")])
+    assert "RA101" in {d.code for d in report.errors}
+
+
+def test_ra101_nullary_skolem_in_prepared_rule():
+    rule = parse_rule("m: T(y) :- S(x)").skolemize()
+    report = analyze_program([rule])
+    assert "RA101" in report.codes()
+
+
+def test_ra102_unbound_skolem_argument():
+    rule = Rule(
+        "m",
+        (Atom("T", (SkolemTerm("f_m_v", (Variable("z"),)),)),),
+        (Atom("S", (Variable("x"),)),),
+    )
+    report = analyze_program([rule])
+    assert "RA102" in report.codes()
+
+
+def test_ra103_singleton_variable():
+    report = analyze_program([parse_rule("m: T(x) :- S(x, y)")])
+    assert report.by_code("RA103")
+    assert report.ok  # warning only
+
+
+def test_ra103_wildcards_exempt():
+    report = analyze_program([parse_rule("m: T(x) :- S(x, _)")])
+    assert "RA103" not in report.codes()
+
+
+def test_ra104_duplicate_mapping():
+    rules = [
+        parse_rule("m1: T(k, v) :- S(k, v)"),
+        parse_rule("m2: T(k, v) :- S(k, v)"),
+    ]
+    report = analyze_program(rules)
+    (dup,) = report.by_code("RA104")
+    assert dup.subject == "m2" and "m1" in dup.message
+
+
+def test_ra104_existentials_compare_up_to_skolem_naming():
+    rules = [
+        parse_rule("m1: T(k, w) :- S(k, v)").skolemize(),
+        parse_rule("m2: T(k, w) :- S(k, v)").skolemize(),
+    ]
+    report = analyze_program(rules)
+    assert report.by_code("RA104")
+
+
+def test_ra105_arity_mismatch():
+    catalog = Catalog()
+    catalog.add(RelationSchema.of("S", ["k", "v"], key=["k"]))
+    catalog.add(RelationSchema.of("T", ["k"], key=["k"]))
+    report = analyze_program([parse_rule("m: T(k, k) :- S(k, v)")], catalog)
+    assert "RA105" in report.codes()
+
+
+def test_ra106_unknown_relation():
+    catalog = Catalog()
+    catalog.add(RelationSchema.of("S", ["k", "v"], key=["k"]))
+    report = analyze_program([parse_rule("m: T(k) :- S(k, v)")], catalog)
+    assert "RA106" in report.codes()
+
+
+# -- RA2xx: termination -----------------------------------------------------
+
+
+def test_ra201_special_edge_cycle():
+    report = analyze_program(
+        [
+            parse_rule("ma: B(x, y) :- A(x, _)"),
+            parse_rule("mb: A(z, y) :- B(_, z)"),
+        ]
+    )
+    (diag,) = report.by_code("RA201")
+    assert "ma" in diag.message and "mb" in diag.message
+    assert "may not terminate" in diag.message
+
+
+def test_ra201_self_loop():
+    report = analyze_program([parse_rule("m: A(x, y) :- A(_, x)")])
+    assert report.by_code("RA201")
+
+
+def test_value_cycle_is_weakly_acyclic():
+    """cyclic_provenance's C <-> N cycle copies values, never nulls."""
+    report = analyze_program(
+        [
+            parse_rule("m1: C(i, n) :- N(i, n)"),
+            parse_rule("m3: N(i, n) :- C(i, n)"),
+        ]
+    )
+    assert "RA201" not in report.codes()
+
+
+def test_existentials_off_cycle_are_weakly_acyclic():
+    report = analyze_program(
+        [
+            parse_rule("ma: B(x, y) :- A(x, _)"),
+            parse_rule("mb: A(x, y) :- B(x, _)"),
+        ]
+    )
+    assert "RA201" not in report.codes()
+
+
+def test_position_graph_shape():
+    adjacency, edge_rules, special = build_position_graph(
+        [parse_rule("m: B(x, y) :- A(x, z)")]
+    )
+    assert (("A", 0), ("B", 0)) in edge_rules
+    assert any(dst == ("B", 1) for (_, dst) in special)
+
+
+def test_ra202_isolated_peer():
+    system = CDSS(
+        Peer.of(name, [RelationSchema.of(f"{name}_R", ["k", "v"], key=["k"])])
+        for name in ("P0", "P1", "P2")
+    )
+    system.add_mapping("m1: P0_R(k, v) :- P1_R(k, v)")
+    report = analyze(system, lowering=False)
+    (diag,) = report.by_code("RA202")
+    assert diag.subject == "P2"
+    assert report.ok  # warning only
+
+
+def test_ra203_noop_mapping():
+    report = analyze_program([parse_rule("m: T(x) :- T(x), S(x)")])
+    assert report.by_code("RA203")
+
+
+# -- RA3xx: trust lint ------------------------------------------------------
+
+
+def test_ra301_unknown_condition_relation():
+    system = small_cdss()
+    policy = TrustPolicy()
+    policy.trust_relation("NOPE")
+    report = analyze(system, policies=[policy], lowering=False)
+    (diag,) = report.by_code("RA301")
+    assert diag.subject == "NOPE"
+
+
+def test_ra302_unknown_distrusted_mapping():
+    system = small_cdss()
+    policy = TrustPolicy()
+    policy.distrust_mapping("m_ghost")
+    report = analyze(system, policies=[policy], lowering=False)
+    assert report.by_code("RA302")
+
+
+def test_ra302_local_rules_are_legal_targets():
+    system = small_cdss()
+    policy = TrustPolicy()
+    policy.distrust_mapping("L_P1_R")
+    report = analyze(system, policies=[policy], lowering=False)
+    assert "RA302" not in report.codes()
+
+
+def test_ra303_shadowed_local_condition():
+    system = small_cdss()
+    policy = TrustPolicy()
+    policy.trust_relation("P1_R")
+    policy.distrust_relation("P1_R_l")
+    report = analyze(system, policies=[policy], lowering=False)
+    (diag,) = report.by_code("RA303")
+    assert diag.subject == "P1_R_l"
+
+
+# -- RA4xx: lowering lint ---------------------------------------------------
+
+
+def test_lowering_clean_on_small_system():
+    report = analyze(small_cdss())
+    assert report.ok
+    assert report.stats["explained_statements"] > 0
+
+
+def test_ra401_explain_failure_reported():
+    """Simulated drift: a statement naming a missing table."""
+    from repro.analysis.lowering import _explain
+
+    store = ExchangeStore()
+    diagnostics: list[Diagnostic] = []
+    prepared = _explain(
+        store, "SELECT * FROM __no_such_table", {}, (), "RA401", "m1", diagnostics
+    )
+    store.close()
+    assert prepared == 0
+    (diag,) = diagnostics
+    assert diag.code == "RA401" and "m1" in diag.subject
+
+
+def test_ra402_derives_into_local():
+    system = small_cdss()
+    system.add_mapping("m_loc: P0_R_l(k, v) :- P1_R(k, v)")
+    report = analyze(system)
+    assert "RA402" in report.codes()
+
+
+def test_ra403_explain_failure_reported():
+    from repro.analysis.lowering import _explain
+
+    store = ExchangeStore()
+    diagnostics: list[Diagnostic] = []
+    prepared = _explain(
+        store, "SELECT missing_col FROM P0_R", {}, (), "RA403", "lineage", diagnostics
+    )
+    store.close()
+    assert prepared == 0
+    (diag,) = diagnostics
+    assert diag.code == "RA403"
+
+
+def test_ra404_uncompilable_rule():
+    rule = parse_rule("m: T(x) :- S(x)")
+    crule = CompiledRule(rule, 1, ("S",), (("T", ()),), plans=())
+    program = CompiledExchangeProgram("fp", (rule,), (crule,))
+    diagnostics, stats = lowering_pass(program, Catalog(), {})
+    assert any(d.code == "RA404" for d in diagnostics)
+    assert stats["sql_rules"] == 0
+
+
+def test_lowering_zero_rows_written():
+    system = small_cdss()
+    system.insert_local("P1_R", (1, 2))
+    analyze(system)
+    # the analyzer never exchanged: only pending local rows exist
+    assert system.instance_size(public_only=False) == 1
+    assert system.last_exchange is None
+
+
+def test_lowering_fresh_and_reopened_store(tmp_path):
+    path = str(tmp_path / "lint.db")
+    system = small_cdss()
+    store = ExchangeStore(path)
+    report = analyze(system, store=store)
+    assert report.ok
+    store.close()
+    reopened = ExchangeStore(path)
+    report2 = analyze(system, store=reopened)
+    assert report2.ok
+    # schema-only: the store holds tables but no rows
+    cursor = reopened.connection.execute("SELECT count(*) FROM P0_R")
+    assert cursor.fetchone()[0] == 0
+    reopened.close()
+
+
+# -- validate= pre-flight ---------------------------------------------------
+
+
+def test_validate_error_refuses_exchange():
+    system = broken_cdss()
+    system.insert_local("P0_R", (1, 2))
+    with pytest.raises(AnalysisError, match="RA201"):
+        system.exchange(validate="error")
+    assert system.instance_size() == 0
+    assert system.last_validation is not None
+    assert not system.last_validation.ok
+
+
+def test_validate_warn_runs_and_warns():
+    system = broken_cdss()
+    with pytest.warns(UserWarning, match="RA201"):
+        result = system.exchange(validate="warn")
+    assert result is not None
+    assert system.last_validation is not None
+
+
+def test_validate_clean_program_passes():
+    system = small_cdss()
+    system.insert_local("P1_R", (1, 2))
+    system.exchange(validate="error")
+    assert system.last_validation is not None
+    assert system.last_validation.ok
+    assert system.instance_size() == 2  # P1_R + copied P0_R
+
+
+def test_validate_off_is_default_and_free():
+    system = small_cdss()
+    system.exchange()
+    assert system.last_validation is None
+
+
+def test_validate_unknown_mode_rejected():
+    system = small_cdss()
+    with pytest.raises(ExchangeError, match="validate"):
+        system.exchange(validate="maybe")
+
+
+# -- parity sweep: reference errors share one shape -------------------------
+
+
+def test_unknown_relation_message_parity():
+    system = small_cdss()
+    with pytest.raises(SchemaError, match="unknown relation NOPE"):
+        system.insert_local("NOPE", (1,))
+    with pytest.raises(SchemaError, match="unknown relation NOPE"):
+        system.delete_local("NOPE", (1,))
+    with pytest.raises(SchemaError, match="unknown relation NOPE"):
+        system.add_mapping("m9: P0_R(k, v) :- NOPE(k, v)")
+    policy = TrustPolicy()
+    policy.trust_relation("NOPE")
+    with pytest.raises(SchemaError, match="unknown relation NOPE"):
+        system.trusted(policy)
+
+
+def test_unknown_mapping_trust_parity():
+    system = small_cdss()
+    policy = TrustPolicy()
+    policy.distrust_mapping("m_ghost")
+    with pytest.raises(SchemaError, match="unknown mapping m_ghost"):
+        system.trusted(policy)
+
+
+def test_trusted_accepts_local_rule_names():
+    system = small_cdss()
+    system.insert_local("P1_R", (1, 2))
+    system.exchange()
+    policy = TrustPolicy()
+    policy.distrust_mapping("L_P1_R")
+    trusted = system.trusted(policy)
+    assert trusted  # annotated without raising
+
+
+# -- workloads threading ----------------------------------------------------
+
+
+def test_build_system_is_structure_only():
+    from repro.workloads.topologies import TopologySpec, build_system
+
+    system = build_system(TopologySpec("chain", 3, (), base_size=0))
+    assert len(system.peers) == 3 and len(system.mappings) == 2
+    assert system.instance_size(public_only=False) == 0
+    assert system.last_exchange is None
+
+
+def test_build_topology_validates():
+    from repro.workloads.topologies import chain
+
+    system = chain(3, base_size=2, validate="error")
+    assert system.last_validation is not None
+    assert system.last_validation.ok
+
+
+def test_harness_reports_analysis_counts():
+    from repro.workloads.harness import run_target_query
+    from repro.workloads.topologies import chain
+
+    system = chain(3, base_size=2, validate="error")
+    result = run_target_query(system)
+    assert result.analysis_errors == 0
+    assert result.analysis_warnings == 0
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+def test_cli_clean_spec_targets():
+    result = run_cli("chain:4", "branched:5")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "clean" in result.stdout
+
+
+def test_cli_broken_fixture_json():
+    result = run_cli(str(BROKEN_FIXTURE), "--json")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    (report,) = payload.values()
+    assert report["ok"] is False
+    codes = {d["code"] for d in report["diagnostics"]}
+    assert {"RA101", "RA201", "RA301", "RA302"} <= codes
+    assert all(d["severity"] in ("error", "warning") for d in report["diagnostics"])
+
+
+def test_cli_missing_builder_is_ra001(tmp_path):
+    target = tmp_path / "empty.py"
+    target.write_text("x = 1\n")
+    result = run_cli(str(target), "--json")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    (report,) = payload.values()
+    assert {d["code"] for d in report["diagnostics"]} == {"RA001"}
+
+
+def test_cli_no_lowering_flag():
+    result = run_cli("chain:3", "--no-lowering", "--json")
+    assert result.returncode == 0
+    payload = json.loads(result.stdout)
+    (report,) = payload.values()
+    assert "explained_statements" not in report["stats"]
+
+
+def test_repro_lint_wrapper():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "repro_lint.py"), "chain:3"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+# -- the running example stays clean ----------------------------------------
+
+
+def test_running_example_analyzes_clean(example_cdss):
+    report = analyze(example_cdss)
+    assert report.ok
+    assert "RA201" not in report.codes()  # cyclic but weakly acyclic
+
+
+def test_report_is_frozen_value():
+    report = analyze_program([parse_rule("m: T(x) :- S(x)")])
+    assert isinstance(report, Report)
+    with pytest.raises(AttributeError):
+        report.diagnostics = ()

@@ -27,6 +27,26 @@ def test_key_docs_exist_and_are_linked():
     assert (REPO_ROOT / "docs" / "architecture.md").exists()
 
 
+def test_analysis_code_catalog_matches_docs():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    assert check_docs.check_analysis_catalog(REPO_ROOT) == []
+
+
+def test_catalog_checker_detects_drift(tmp_path):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    # one missing code, one unknown code, one wrong severity
+    (docs / "analysis.md").write_text(
+        "| RA101 | warning | ... |\n| RA999 | error | ... |\n",
+        encoding="utf-8",
+    )
+    errors = check_docs.check_analysis_catalog(tmp_path)
+    assert any("RA201 is undocumented" in e for e in errors)
+    assert any("unknown code RA999" in e for e in errors)
+    assert any("RA101 documented as warning" in e for e in errors)
+
+
 def test_checker_detects_broken_links(tmp_path):
     (tmp_path / "doc.md").write_text(
         "see [missing](nope/absent.md) and [ok](real.md) "

@@ -1,6 +1,6 @@
 """Docs health checker (the CI docs job, also runnable locally).
 
-Two checks, both cheap enough for every push:
+Three checks, all cheap enough for every push:
 
 * **Markdown links** — every relative link in the repo's tracked
   ``*.md`` files must resolve to an existing file or directory
@@ -9,7 +9,11 @@ Two checks, both cheap enough for every push:
 * **CDSS docstrings** — every public method of the public
   :class:`repro.cdss.system.CDSS` API must carry a docstring (the
   class is the system's front door; an undocumented method there is a
-  regression, because each one states its store-resident behavior).
+  regression, because each one states its store-resident behavior);
+* **analyzer code catalog** — ``docs/analysis.md`` must document every
+  diagnostic code in ``repro.analysis.diagnostics.CODES`` (in a table
+  row, with the matching severity) and must not document codes that no
+  longer exist.
 
 Run:  python tools/check_docs.py   (or  python -m tools.check_docs)
 Exits non-zero with one line per violation.
@@ -80,9 +84,45 @@ def check_cdss_docstrings() -> list[str]:
     return errors
 
 
+#: documented codes: a table row like `| RA101 | error | ... |`.
+_CODE_ROW = re.compile(r"^\|\s*(RA\d{3})\s*\|\s*(error|warning)\s*\|", re.M)
+
+
+def check_analysis_catalog(root: Path) -> list[str]:
+    """Cross-check docs/analysis.md against the analyzer's CODES."""
+    from repro.analysis.diagnostics import CODES
+
+    page = root / "docs" / "analysis.md"
+    if not page.exists():
+        return [f"{page.relative_to(root)}: missing (code catalog page)"]
+    documented = {
+        code: severity
+        for code, severity in _CODE_ROW.findall(page.read_text("utf-8"))
+    }
+    errors = []
+    for code, (severity, _title) in sorted(CODES.items()):
+        if code not in documented:
+            errors.append(f"docs/analysis.md: code {code} is undocumented")
+        elif documented[code] != severity:
+            errors.append(
+                f"docs/analysis.md: {code} documented as "
+                f"{documented[code]}, but its severity is {severity}"
+            )
+    for code in sorted(set(documented) - set(CODES)):
+        errors.append(
+            f"docs/analysis.md: documents unknown code {code} "
+            "(removed from repro.analysis.diagnostics?)"
+        )
+    return errors
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    errors = check_markdown_links(REPO_ROOT) + check_cdss_docstrings()
+    errors = (
+        check_markdown_links(REPO_ROOT)
+        + check_cdss_docstrings()
+        + check_analysis_catalog(REPO_ROOT)
+    )
     for error in errors:
         print(error)
     if errors:

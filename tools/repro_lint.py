@@ -1,0 +1,22 @@
+"""Standalone launcher for the CDSS static analyzer.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis ...`` but
+importable from a fresh checkout without environment setup:
+
+    python tools/repro_lint.py chain:8 examples/quickstart.py --json
+
+See :mod:`repro.analysis.cli` for targets and flags.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis.cli import main
+
+    raise SystemExit(main())
