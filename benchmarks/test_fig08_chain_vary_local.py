@@ -13,10 +13,20 @@ compiled-program cache and the incremental instance mirror: ``plans=0``
 with a non-zero ``cache_hits`` column means the incremental exchange
 recompiled nothing, and ``mirrored=0`` means it re-shipped no rows into
 the SQLite store (the sync protocol found every relation unchanged).
+
+The phase columns are **span-derived**: every system is built with a
+``repro.obs`` tracer, and ``unfold_ms``/``plan_ms``/``eval_ms``/
+``mirror_ms`` come from one traced measurement run's
+:func:`~repro.obs.report.phase_totals` — the same numbers
+``python -m repro.obs report`` shows — rather than hand-threaded
+counters.  ``exchange_ms`` is that run's single incremental exchange
+(:attr:`EvaluationResult.wall_seconds`), not the cumulative total.
 """
 
 import pytest
 
+from repro.obs import MemorySink, Tracer
+from repro.obs.report import phase_totals
 from repro.workloads import chain, prepare_storage, run_target_query, upstream_data_peers
 
 from conftest import scaled
@@ -33,35 +43,46 @@ def systems():
     built = {}
     for engine in ENGINES:
         for count in DATA_PEER_COUNTS:
+            sink = MemorySink()
             system = chain(
                 CHAIN_LENGTH,
                 data_peers=upstream_data_peers(CHAIN_LENGTH, count),
                 base_size=scaled(20),
                 engine=engine,
+                trace=Tracer(sink),
             )
             # Incremental no-op exchange: hits the program cache.
             system.exchange(engine=engine)
-            built[engine, count] = (system, prepare_storage(system))
+            built[engine, count] = (system, prepare_storage(system), sink)
     yield built
-    for _, storage in built.values():
+    for _, storage, _ in built.values():
         storage.close()
 
 
 @pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("data_peers", DATA_PEER_COUNTS)
 def test_fig08_point(benchmark, systems, recorder, engine, data_peers):
-    system, storage = systems[engine, data_peers]
+    system, storage, sink = systems[engine, data_peers]
 
     def run():
         return run_target_query(system, storage=storage)
 
-    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+    # One traced measurement run: an incremental exchange plus the
+    # target query, with the phase breakdown read back from the spans.
+    sink.clear()
+    system.exchange(engine=engine)
+    result = run_target_query(system, storage=storage)
+    phases = phase_totals(sink.records())
     recorder.record(
         f"engine={engine} data_peers={data_peers}",
         rules=result.unfolded_rules,
-        unfold_ms=round(result.unfold_seconds * 1e3, 1),
-        eval_ms=round(result.evaluation_seconds * 1e3, 1),
-        exchange_ms=round(result.exchange_seconds * 1e3, 1),
+        unfold_ms=round(phases.get("query.unfold", 0.0), 1),
+        plan_ms=round(phases.get("query.compile", 0.0), 1),
+        eval_ms=round(phases.get("query.sql", 0.0), 1),
+        mirror_ms=round(phases.get("exchange.mirror", 0.0), 1),
+        exchange_ms=round(result.last_exchange_seconds * 1e3, 1),
         engine=result.engine,
         plans=result.plans_compiled,
         cache_hits=result.plan_cache_hits,
@@ -75,7 +96,9 @@ def test_fig08_point(benchmark, systems, recorder, engine, data_peers):
 def test_fig08_shape(benchmark, systems, recorder):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     counts = [
-        run_target_query(*systems["memory", count]).unfolded_rules
+        run_target_query(
+            systems["memory", count][0], storage=systems["memory", count][1]
+        ).unfolded_rules
         for count in DATA_PEER_COUNTS
     ]
     recorder.record("shape", rule_counts=counts)

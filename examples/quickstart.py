@@ -7,7 +7,13 @@ runs the paper's example queries Q1-Q7 through the SQL-backed ProQL
 engine.
 
 Run:  python examples/quickstart.py
+
+Set ``REPRO_TRACE=/path/to/trace.jsonl`` to record a hierarchical
+span trace of the whole lifecycle; inspect it afterwards with
+``python -m repro.obs report trace.jsonl`` (see docs/observability.md).
 """
+
+import os
 
 from repro.cdss import CDSS, Peer
 from repro.proql import SQLEngine
@@ -24,7 +30,8 @@ def build_cdss() -> CDSS:
     examples/cyclic_provenance.py for the cyclic variant.)
     """
     system = CDSS(
-        [
+        trace=os.environ.get("REPRO_TRACE") or None,
+        peers=[
             Peer.of(
                 "P1",
                 [

@@ -29,6 +29,8 @@ from repro.datalog.parser import parse_rule
 from repro.datalog.rules import Program, Rule
 from repro.errors import ExchangeError, SchemaError
 from repro.exchange.cache import ProgramCache
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import as_tracer
 from repro.provenance.annotate import annotate, derivability_partition
 from repro.provenance.graph import ProvenanceGraph, TupleNode
 from repro.relational.instance import Catalog, Instance, Row
@@ -36,9 +38,29 @@ from repro.relational.schema import RelationSchema, is_local_name, local_name
 from repro.semirings.registry import get_semiring
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Callable
+
     from repro.analysis import Report
     from repro.exchange.graph_queries import StoreGraphQueries
     from repro.exchange.sql_executor import ExchangeStore
+    from repro.obs.trace import NullTracer, Tracer
+
+#: EvaluationResult fields mirrored into the metrics registry after
+#: every lifecycle call (prefixed with the call kind: ``exchange.*``,
+#: ``deletion.*``, ``graph_query.*``).
+_METRIC_FIELDS = (
+    "iterations",
+    "firings",
+    "inserted",
+    "plans_compiled",
+    "index_hits",
+    "dedup_skipped",
+    "rows_mirrored",
+    "relations_synced",
+    "rows_deleted",
+    "pm_rows_collected",
+    "pm_rows_scanned",
+)
 
 
 def local_rule_name(relation: str) -> str:
@@ -49,7 +71,19 @@ def local_rule_name(relation: str) -> str:
 class CDSS:
     """A collaborative data sharing system instance."""
 
-    def __init__(self, peers: Iterable[Peer] = ()):
+    def __init__(
+        self,
+        peers: Iterable[Peer] = (),
+        trace: "Tracer | NullTracer | str | os.PathLike | None" = None,
+    ):
+        #: lifecycle tracer (:mod:`repro.obs`): ``None`` disables
+        #: tracing (the zero-overhead default); pass a
+        #: :class:`~repro.obs.trace.Tracer` or a JSONL path to opt in.
+        self.tracer = as_tracer(trace)
+        #: cumulative counters every lifecycle call reports into — the
+        #: single source behind :attr:`exchange_seconds` and friends
+        #: (``cdss.metrics.snapshot()`` for the full picture).
+        self.metrics = MetricsRegistry()
         self.peers: dict[str, Peer] = {}
         self.mappings: dict[str, SchemaMapping] = {}
         self.catalog = Catalog()
@@ -71,8 +105,6 @@ class CDSS:
         #: report of the most recent ``exchange(validate=...)``
         #: pre-flight (None until one runs).
         self.last_validation: "Report | None" = None
-        #: cumulative wall-clock seconds spent in update exchange.
-        self.exchange_seconds = 0.0
         #: compiled-program cache shared by both exchange engines;
         #: invalidated whenever the mapping program can change.
         self.plan_cache = ProgramCache()
@@ -84,6 +116,31 @@ class CDSS:
         self._resident = False
         for peer in peers:
             self.add_peer(peer)
+
+    @property
+    def exchange_seconds(self) -> float:
+        """Cumulative wall-clock seconds spent in update exchange.
+
+        Reads the ``exchange.seconds`` metrics counter — the per-call
+        complement is ``last_exchange.wall_seconds``.
+        """
+        return self.metrics.value("exchange.seconds")
+
+    def _record_result(self, kind: str, result: EvaluationResult) -> None:
+        """Mirror one lifecycle result into the metrics registry.
+
+        Every non-zero stat field lands as a ``<kind>.<field>``
+        counter, plus ``<kind>.calls`` and ``<kind>.seconds`` — the
+        cumulative views (:attr:`exchange_seconds` included) all read
+        from here.
+        """
+        metrics = self.metrics
+        metrics.add(f"{kind}.calls")
+        metrics.add(f"{kind}.seconds", result.wall_seconds)
+        for field in _METRIC_FIELDS:
+            value = getattr(result, field)
+            if value:
+                metrics.add(f"{kind}.{field}", value)
 
     # -- construction ------------------------------------------------------------
 
@@ -246,71 +303,89 @@ class CDSS:
         in :attr:`last_validation`, warning or raising
         :class:`~repro.errors.AnalysisError` on error diagnostics.
         The default ``"off"`` adds zero overhead.
-        """
-        self._validate_program(validate)
-        started = time.perf_counter()
-        if resident and engine != "sqlite":
-            raise ExchangeError(
-                'resident=True requires engine="sqlite"; only the store '
-                "can hold the authoritative instance"
-            )
-        if self._exchanged_once and resident != self._resident:
-            raise ExchangeError(
-                "cannot switch store-resident mode mid-life: the "
-                f"{'store' if self._resident else 'Python instance'} "
-                "already holds the derived tuples; build a fresh CDSS"
-            )
-        if self._resident and self._exchanged_once:
-            self._check_resident_store(storage)
-        rules = self.program()
-        program, cache_hit = self.plan_cache.fetch(rules)
-        initial_delta: Mapping[str, set[Row]] | None
-        if self._exchanged_once:
-            initial_delta = dict(self._pending)
-        else:
-            initial_delta = None
-        if engine == "memory":
-            if storage is not None:
-                raise ExchangeError(
-                    'storage= applies only to engine="sqlite"; the memory '
-                    "engine has no store"
-                )
-            result = evaluate(
-                rules,
-                self.instance,
-                graph=self.graph,
-                initial_delta=initial_delta,
-                compiled_program=program,
-            )
-        elif engine == "sqlite":
-            from repro.exchange.sql_executor import SQLiteExchangeEngine
 
-            store = self._resolve_store(storage)
-            if resident and store.path == ":memory:":
+        **Observability**: with a tracer installed (``CDSS(trace=...)``)
+        the call emits an ``exchange`` span with validate/compile/round
+        children (see ``docs/observability.md``).  The call's own
+        duration lands on ``result.wall_seconds``; the cumulative
+        :attr:`exchange_seconds` and the other ``exchange.*`` counters
+        accumulate in :attr:`metrics`.
+        """
+        started = time.perf_counter()
+        with self.tracer.span("exchange") as span:
+            span.set("engine", engine).set("resident", resident)
+            if validate != "off":
+                with self.tracer.span("exchange.validate") as vspan:
+                    vspan.set("mode", validate)
+                    self._validate_program(validate)
+            if resident and engine != "sqlite":
                 raise ExchangeError(
-                    "store-resident exchange requires an on-disk store "
-                    "(pass storage=<path>): an in-memory store would be "
-                    "the only copy of the derived instance with neither "
-                    "durability nor out-of-core capacity"
+                    'resident=True requires engine="sqlite"; only the store '
+                    "can hold the authoritative instance"
                 )
-            result = SQLiteExchangeEngine(store).run(
-                program,
-                self.catalog,
-                self.mappings,
-                self.instance,
-                graph=self.graph,
-                initial_delta=initial_delta,
-                resident=resident,
-            )
-        else:
-            raise ExchangeError(
-                f"unknown exchange engine {engine!r}; "
-                'expected "memory" or "sqlite"'
-            )
-        result.engine = engine
-        result.plan_cache_hit = cache_hit
-        result.plans_compiled = 0 if cache_hit else program.plan_count
-        self.exchange_seconds += time.perf_counter() - started
+            if self._exchanged_once and resident != self._resident:
+                raise ExchangeError(
+                    "cannot switch store-resident mode mid-life: the "
+                    f"{'store' if self._resident else 'Python instance'} "
+                    "already holds the derived tuples; build a fresh CDSS"
+                )
+            if self._resident and self._exchanged_once:
+                self._check_resident_store(storage)
+            with self.tracer.span("exchange.compile") as cspan:
+                rules = self.program()
+                program, cache_hit = self.plan_cache.fetch(rules)
+                cspan.set("cache_hit", cache_hit)
+            initial_delta: Mapping[str, set[Row]] | None
+            if self._exchanged_once:
+                initial_delta = dict(self._pending)
+            else:
+                initial_delta = None
+            span.set("incremental", initial_delta is not None)
+            if engine == "memory":
+                if storage is not None:
+                    raise ExchangeError(
+                        'storage= applies only to engine="sqlite"; the '
+                        "memory engine has no store"
+                    )
+                result = evaluate(
+                    rules,
+                    self.instance,
+                    graph=self.graph,
+                    initial_delta=initial_delta,
+                    compiled_program=program,
+                    tracer=self.tracer,
+                )
+            elif engine == "sqlite":
+                from repro.exchange.sql_executor import SQLiteExchangeEngine
+
+                store = self._resolve_store(storage)
+                if resident and store.path == ":memory:":
+                    raise ExchangeError(
+                        "store-resident exchange requires an on-disk store "
+                        "(pass storage=<path>): an in-memory store would be "
+                        "the only copy of the derived instance with neither "
+                        "durability nor out-of-core capacity"
+                    )
+                result = SQLiteExchangeEngine(store, tracer=self.tracer).run(
+                    program,
+                    self.catalog,
+                    self.mappings,
+                    self.instance,
+                    graph=self.graph,
+                    initial_delta=initial_delta,
+                    resident=resident,
+                )
+            else:
+                raise ExchangeError(
+                    f"unknown exchange engine {engine!r}; "
+                    'expected "memory" or "sqlite"'
+                )
+            result.engine = engine
+            result.plan_cache_hit = cache_hit
+            result.plans_compiled = 0 if cache_hit else program.plan_count
+            span.set("rounds", result.iterations).set("firings", result.firings)
+        result.wall_seconds = time.perf_counter() - started
+        self._record_result("exchange", result)
         self.last_exchange = result
         self._pending.clear()
         self._exchanged_once = True
@@ -488,23 +563,33 @@ class CDSS:
 
         Returns the number of removed tuples; the full statistics
         (``rows_deleted``, ``pm_rows_collected``, ``iterations``,
-        ``engine``) land in :attr:`last_deletion`.
+        ``engine``) land in :attr:`last_deletion`.  With a tracer
+        installed the call emits a ``deletion`` span (annotate children
+        on the graph path, fixpoint/kill children on the store path).
         """
-        if self._resident:
-            result = self._propagate_deletions_resident()
-        else:
-            result = self._propagate_deletions_graph()
+        started = time.perf_counter()
+        with self.tracer.span("deletion") as span:
+            if self._resident:
+                result = self._propagate_deletions_resident()
+            else:
+                result = self._propagate_deletions_graph()
+            span.set("engine", result.engine).set(
+                "rows_deleted", result.rows_deleted
+            )
+        result.wall_seconds = time.perf_counter() - started
+        self._record_result("deletion", result)
         self.last_deletion = result
         return result.rows_deleted
 
     def _propagate_deletions_graph(self) -> EvaluationResult:
         """Graph-path propagation (non-resident systems)."""
-        dead_tuples, dead_derivations = derivability_partition(
-            self.graph,
-            leaf_assignment=lambda node: self.instance.contains(
-                node.relation, node.values
-            ),
-        )
+        with self.tracer.span("deletion.annotate"):
+            dead_tuples, dead_derivations = derivability_partition(
+                self.graph,
+                leaf_assignment=lambda node: self.instance.contains(
+                    node.relation, node.values
+                ),
+            )
         result = EvaluationResult(self.instance, self.graph, engine="memory")
         if not dead_tuples:
             return result
@@ -570,7 +655,9 @@ class CDSS:
 
         store = self._open_resident_store("deletion propagation")
         program, _ = self.plan_cache.fetch(self.program())
-        return SQLiteExchangeEngine(store).propagate_deletions(
+        return SQLiteExchangeEngine(
+            store, tracer=self.tracer
+        ).propagate_deletions(
             program, self.catalog, self.mappings, self.instance
         )
 
@@ -596,7 +683,46 @@ class CDSS:
 
         store = self._open_resident_store(operation)
         program, _ = self.plan_cache.fetch(self.program())
-        return StoreGraphQueries(store, program, self.catalog, self.mappings)
+        return StoreGraphQueries(
+            store, program, self.catalog, self.mappings, tracer=self.tracer
+        )
+
+    def _run_graph_query(
+        self,
+        query: str,
+        operation: str,
+        resident_call: "Callable[[StoreGraphQueries], tuple[object, EvaluationResult]]",
+        memory_call: "Callable[[], object]",
+    ) -> object:
+        """One graph query, either substrate — the shared tail of
+        :meth:`derivability`/:meth:`lineage`/:meth:`trusted`.
+
+        Dispatches to the resident store engine or the in-memory graph,
+        wraps the call in a ``graph_query`` span, stamps the per-call
+        duration on the stats, records them into :attr:`metrics`, and
+        publishes :attr:`last_graph_query`.
+        """
+        started = time.perf_counter()
+        with self.tracer.span("graph_query") as span:
+            span.set("query", query)
+            if self._resident:
+                value, stats = resident_call(
+                    self._store_graph_queries(operation)
+                )
+            else:
+                stats = EvaluationResult(
+                    self.instance, self.graph, engine="memory"
+                )
+                # Published before the call so a raising query (e.g.
+                # lineage of an underived node) still reports its
+                # engine, as the pre-helper code did.
+                self.last_graph_query = stats
+                value = memory_call()
+            span.set("engine", stats.engine)
+        stats.wall_seconds = time.perf_counter() - started
+        self._record_result("graph_query", stats)
+        self.last_graph_query = stats
+        return value
 
     def derivability(self) -> dict[TupleNode, bool]:
         """Derivability annotation of every tuple (Q5).
@@ -609,16 +735,12 @@ class CDSS:
         annotate the in-memory graph.  Both engines answer over the
         state of the last exchange/propagation.
         """
-        if self._resident:
-            values, stats = self._store_graph_queries(
-                "derivability annotation"
-            ).derivability()
-            self.last_graph_query = stats
-            return values
-        self.last_graph_query = EvaluationResult(
-            self.instance, self.graph, engine="memory"
+        return self._run_graph_query(  # type: ignore[return-value]
+            "derivability",
+            "derivability annotation",
+            lambda queries: queries.derivability(),
+            lambda: annotate(self.graph, get_semiring("DERIVABILITY")),
         )
-        return annotate(self.graph, get_semiring("DERIVABILITY"))
 
     def lineage(self, node: TupleNode) -> frozenset:
         """Set of local base tuples *node* derives from (Q6).
@@ -632,16 +754,14 @@ class CDSS:
         graph in the LINEAGE semiring.  Both raise :class:`KeyError`
         for a node the last exchange never derived.
         """
-        if self._resident:
-            leaves, stats = self._store_graph_queries("lineage").lineage(node)
-            self.last_graph_query = stats
-            return leaves
         from repro.provenance.annotate import lineage_of
 
-        self.last_graph_query = EvaluationResult(
-            self.instance, self.graph, engine="memory"
+        return self._run_graph_query(  # type: ignore[return-value]
+            "lineage",
+            "lineage",
+            lambda queries: queries.lineage(node),
+            lambda: lineage_of(self.graph, node),
         )
-        return lineage_of(self.graph, node)
 
     def _validate_trust_policy(self, policy: TrustPolicy) -> None:
         """Reference check shared with the static analyzer's trust
@@ -672,20 +792,16 @@ class CDSS:
         """
         if isinstance(policy, TrustPolicy):
             self._validate_trust_policy(policy)
-        if self._resident:
-            values, stats = self._store_graph_queries(
-                "trust annotation"
-            ).trusted(policy)
-            self.last_graph_query = stats
-            return values
-        self.last_graph_query = EvaluationResult(
-            self.instance, self.graph, engine="memory"
-        )
-        return annotate(
-            self.graph,
-            get_semiring("TRUST"),
-            leaf_assignment=policy.leaf_assignment(),
-            mapping_functions=policy.mapping_functions(),
+        return self._run_graph_query(  # type: ignore[return-value]
+            "trusted",
+            "trust annotation",
+            lambda queries: queries.trusted(policy),
+            lambda: annotate(
+                self.graph,
+                get_semiring("TRUST"),
+                leaf_assignment=policy.leaf_assignment(),
+                mapping_functions=policy.mapping_functions(),
+            ),
         )
 
     # -- stats ------------------------------------------------------------

@@ -47,11 +47,13 @@ from repro.datalog.planner import (
 from repro.datalog.rules import Program, Rule
 from repro.datalog.terms import Constant, Variable
 from repro.errors import EvaluationError
+from repro.obs.trace import NULL_TRACER
 from repro.provenance.graph import DerivationNode, ProvenanceGraph, TupleNode
 from repro.relational.instance import Instance, Row
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exchange.cache import CompiledExchangeProgram
+    from repro.obs.trace import NullTracer, Tracer
 
 _EMPTY_DELTA: frozenset[Row] = frozenset()
 
@@ -162,6 +164,10 @@ class EvaluationResult:
     #: stored ``P_m`` join columns; 0 on the memory engine, whose graph
     #: walks count nothing relational.
     pm_rows_scanned: int = 0
+    #: wall-clock duration of the CDSS call that produced this result
+    #: (set by :class:`~repro.cdss.system.CDSS`, not by the engines) —
+    #: the per-call complement of the cumulative metrics counters.
+    wall_seconds: float = 0.0
 
     def derived_size(self) -> int:
         return self.instance.size()
@@ -369,6 +375,7 @@ def evaluate(
     max_iterations: int | None = None,
     initial_delta: Mapping[str, Iterable[Row]] | None = None,
     compiled_program: "CompiledExchangeProgram | None" = None,
+    tracer: "Tracer | NullTracer" = NULL_TRACER,
 ) -> EvaluationResult:
     """Semi-naive fixpoint evaluation over compiled join plans.
 
@@ -392,6 +399,12 @@ def evaluate(
     program (a :class:`~repro.exchange.cache.CompiledExchangeProgram`,
     typically from a :class:`~repro.exchange.cache.ProgramCache`); the
     run then compiles nothing and reports ``plans_compiled == 0``.
+
+    ``tracer`` emits one ``exchange.round`` span per semi-naive round
+    with one ``exchange.rule`` child per executed plan.  The default
+    :data:`~repro.obs.trace.NULL_TRACER` allocates no span objects —
+    the hot loops pay only a no-op context-manager entry per plan per
+    round, never anything per row.
     """
     if compiled_program is not None:
         rules = list(compiled_program.rules)
@@ -458,50 +471,66 @@ def evaluate(
                 f"fixpoint did not converge within {max_iterations} iterations"
             )
         new_delta: dict[str, set[Row]] = {}
-        for crule in compiled:
-            if crule.plans:
-                for plan in crule.plans:
-                    seed_rows = delta.get(plan.seed.relation)
-                    if not seed_rows or blocked(plan.guarded_relations):
-                        continue
-                    for slots, body_rows in _run_plan(
-                        crule, plan, seed_rows, delta, pool, result
-                    ):
-                        result.firings += 1
-                        for relation, row in _fire_compiled(
-                            crule, slots, body_rows, instance, graph
-                        ):
-                            new_delta.setdefault(relation, set()).add(row)
-                            result.inserted += 1
-            else:
-                rule = crule.rule
-                for index, atom in enumerate(rule.body):
-                    seed_rows = delta.get(atom.relation)
-                    if not seed_rows or blocked(
-                        {a.relation for a in rule.body[:index]}
-                    ):
-                        continue
-                    for binding, body_rows in _join_bindings(
-                        rule.body, index, seed_rows, pool
-                    ):
-                        if any(
-                            body_rows[j]
-                            in delta.get(rule.body[j].relation, _EMPTY_DELTA)
-                            for j in range(index)
-                        ):
-                            result.dedup_skipped += 1
+        with tracer.span("exchange.round") as round_span:
+            for crule in compiled:
+                if crule.plans:
+                    for plan in crule.plans:
+                        seed_rows = delta.get(plan.seed.relation)
+                        if not seed_rows or blocked(plan.guarded_relations):
                             continue
-                        result.firings += 1
-                        for relation, row in _fire(
-                            rule, binding, body_rows, instance, graph
+                        with tracer.span("exchange.rule") as rule_span:
+                            fired_before = result.firings
+                            for slots, body_rows in _run_plan(
+                                crule, plan, seed_rows, delta, pool, result
+                            ):
+                                result.firings += 1
+                                for relation, row in _fire_compiled(
+                                    crule, slots, body_rows, instance, graph
+                                ):
+                                    new_delta.setdefault(relation, set()).add(row)
+                                    result.inserted += 1
+                            rule_span.set("rule", crule.rule.name).set(
+                                "firings", result.firings - fired_before
+                            )
+                else:
+                    rule = crule.rule
+                    for index, atom in enumerate(rule.body):
+                        seed_rows = delta.get(atom.relation)
+                        if not seed_rows or blocked(
+                            {a.relation for a in rule.body[:index]}
                         ):
-                            new_delta.setdefault(relation, set()).add(row)
-                            result.inserted += 1
-        # Publish this round's insertions to the indexes only now, so
-        # every round joins against a consistent snapshot.
-        for relation, rows in new_delta.items():
-            for row in rows:
-                pool.add(relation, row)
+                            continue
+                        with tracer.span("exchange.rule") as rule_span:
+                            fired_before = result.firings
+                            for binding, body_rows in _join_bindings(
+                                rule.body, index, seed_rows, pool
+                            ):
+                                if any(
+                                    body_rows[j]
+                                    in delta.get(
+                                        rule.body[j].relation, _EMPTY_DELTA
+                                    )
+                                    for j in range(index)
+                                ):
+                                    result.dedup_skipped += 1
+                                    continue
+                                result.firings += 1
+                                for relation, row in _fire(
+                                    rule, binding, body_rows, instance, graph
+                                ):
+                                    new_delta.setdefault(relation, set()).add(row)
+                                    result.inserted += 1
+                            rule_span.set("rule", rule.name).set(
+                                "firings", result.firings - fired_before
+                            )
+            # Publish this round's insertions to the indexes only now, so
+            # every round joins against a consistent snapshot.
+            for relation, rows in new_delta.items():
+                for row in rows:
+                    pool.add(relation, row)
+            round_span.set("round", iteration).set(
+                "inserted", sum(len(rows) for rows in new_delta.values())
+            )
         delta = new_delta
     result.iterations = iteration
     result.index_hits = pool.hits

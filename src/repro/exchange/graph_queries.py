@@ -85,6 +85,7 @@ from repro.exchange.sql_plans import (
     stage_ancestor_sql,
     stage_live_sql,
 )
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.provenance.graph import ProvenanceGraph, TupleNode
 from repro.relational.instance import Catalog, Instance, Row
 from repro.storage.encoding import quote_identifier as _q
@@ -214,6 +215,7 @@ def run_liveness_fixpoint(
     max_iterations: int | None = None,
     rules: Sequence[DerivabilityRuleSQL] | None = None,
     record_pm: bool = True,
+    tracer: "Tracer | NullTracer" = NULL_TRACER,
 ) -> tuple[int, int]:
     """Grow the seeded ``__live_*`` sets to their least fixpoint.
 
@@ -232,6 +234,10 @@ def run_liveness_fixpoint(
     (:meth:`~repro.exchange.sql_executor.SQLiteExchangeEngine.propagate_deletions`)
     and the ``derivability``/``trusted`` queries, which is what keeps
     the two semantics mechanically identical.
+
+    ``tracer`` emits one ``fixpoint.round`` span per iteration (round
+    number + live firings enumerated); the default no-op tracer costs
+    one no-op context entry per round.
     """
     conn = store.connection
     if rules is None:
@@ -253,7 +259,8 @@ def run_liveness_fixpoint(
                 f"derivability fixpoint did not converge within "
                 f"{max_iterations} iterations"
             )
-        with conn:
+        with tracer.span("fixpoint.round") as round_span, conn:
+            fired_before = firing_rows
             watermarks = {
                 rule.rule_name: store.max_rowid(rule.firing_table)
                 for rule in rules
@@ -299,6 +306,9 @@ def run_liveness_fixpoint(
                     )
                     new_counts[relation] = fresh
                 conn.execute(f"DELETE FROM {_q(live_cand_table(relation))}")
+            round_span.set("round", iteration).set(
+                "firings", firing_rows - fired_before
+            )
         delta_counts.clear()
         delta_counts.update(new_counts)
     return iteration, firing_rows
@@ -319,6 +329,7 @@ class StoreGraphQueries:
         program: CompiledExchangeProgram,
         catalog: Catalog,
         mappings: TMapping[str, SchemaMapping],
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
     ):
         if store.closed:
             raise ExchangeError("exchange store is closed")
@@ -326,6 +337,9 @@ class StoreGraphQueries:
         self.program = program
         self.catalog = catalog
         self.mappings = mappings
+        #: lifecycle tracer (:mod:`repro.obs`): the fixpoint and walk
+        #: loops emit per-round spans through it.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if program.sql is None:
             program.sql = lower_program(
                 program.compiled, catalog, mappings, store.codec
@@ -457,6 +471,7 @@ class StoreGraphQueries:
                 max_iterations,
                 rules=rules,
                 record_pm=False,
+                tracer=self.tracer,
             )
             values = {
                 TupleNode(relation, row): live
@@ -586,7 +601,8 @@ class StoreGraphQueries:
                     f"lineage walk did not converge within "
                     f"{max_iterations} iterations"
                 )
-            with conn:
+            with self.tracer.span("walk.round") as round_span, conn:
+                fired_before = firing_rows
                 watermarks = {
                     rule.rule_name: store.max_rowid(rule.firing_table)
                     for rule in lsql.rules
@@ -634,6 +650,9 @@ class StoreGraphQueries:
                     conn.execute(
                         f"DELETE FROM {_q(anc_cand_table(relation))}"
                     )
+                round_span.set("round", iteration).set(
+                    "firings", firing_rows - fired_before
+                )
                 delta_counts = new_counts
         return iteration, firing_rows
 

@@ -64,6 +64,8 @@ from repro.exchange.sql_plans import (
     slot_column,
     stage_new_sql,
 )
+from repro.obs.sqlite_hook import StatementTrace, statement_fingerprint
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.provenance.graph import DerivationNode, ProvenanceGraph, TupleNode
 from repro.relational.instance import Catalog, ChangeMark, Instance, Row
 from repro.relational.schema import RelationSchema, is_local_name
@@ -596,10 +598,17 @@ class ExchangeStore:
 class SQLiteExchangeEngine:
     """Runs compiled exchange programs set-at-a-time over a store."""
 
-    def __init__(self, store: ExchangeStore):
+    def __init__(
+        self,
+        store: ExchangeStore,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+    ):
         if store.closed:
             raise ExchangeError("exchange store is closed")
         self.store = store
+        #: lifecycle tracer (:mod:`repro.obs`); the default no-op
+        #: tracer keeps every round statement-hook-free.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(
         self,
@@ -654,10 +663,13 @@ class SQLiteExchangeEngine:
             # two persisted writes.
             self.store.dirty_run = True
         try:
-            result = self._run_synced(
-                program, catalog, sql, instance, graph,
-                initial_delta, max_iterations, resident,
-            )
+            with StatementTrace(
+                self.store.connection, self.tracer
+            ) as stmt_trace:
+                result = self._run_synced(
+                    program, catalog, sql, instance, graph,
+                    initial_delta, max_iterations, resident, stmt_trace,
+                )
         except BaseException:
             # The mirror may hold rows the aborted run never wrote back
             # to the instance; force a full reload on the next sync.
@@ -678,12 +690,18 @@ class SQLiteExchangeEngine:
         initial_delta: TMapping[str, set[Row]] | None,
         max_iterations: int | None,
         resident: bool,
+        stmt_trace: StatementTrace,
     ) -> EvaluationResult:
         conn = self.store.connection
+        tracer = self.tracer
         result = EvaluationResult(instance, graph, engine="sqlite")
-        result.rows_mirrored, result.relations_synced = (
-            self.store.sync_instance(instance, resident=resident)
-        )
+        with tracer.span("exchange.mirror") as mspan:
+            result.rows_mirrored, result.relations_synced = (
+                self.store.sync_instance(instance, resident=resident)
+            )
+            mspan.set("rows", result.rows_mirrored).set(
+                "relations", result.relations_synced
+            )
         # After the sync the mirror equals the instance, so sizes come
         # from the Python side for free; only in resident mode — where
         # derived relations live in the store alone — must they come
@@ -714,7 +732,7 @@ class SQLiteExchangeEngine:
                     f"fixpoint did not converge within {max_iterations} "
                     "iterations"
                 )
-            with conn:
+            with tracer.span("exchange.round") as round_span, conn:
                 watermarks = {
                     rule.rule_name: self.store.max_rowid(rule.firing_table)
                     for rule in sql.rules
@@ -725,47 +743,67 @@ class SQLiteExchangeEngine:
                             continue
                         if self._blocked(plan, delta_counts, rel_counts):
                             continue
+                        with tracer.span("exchange.statement") as sspan:
+                            cursor = conn.execute(
+                                plan.statement.sql, dict(plan.statement.params)
+                            )
+                            if tracer.enabled:
+                                stmt_trace.add_rows(max(cursor.rowcount, 0))
+                                sspan.set("rule", rule.rule_name).set(
+                                    "phase", "firing"
+                                ).set(
+                                    "fingerprint",
+                                    statement_fingerprint(plan.statement.sql),
+                                )
+                with tracer.span("exchange.publish") as pspan:
+                    for rule in sql.rules:
+                        watermark = watermarks[rule.rule_name]
+                        fired = (
+                            self.store.max_rowid(rule.firing_table) - watermark
+                        )
+                        if fired <= 0:
+                            continue
+                        result.firings += fired
+                        runtime = {"wm": watermark}
+                        for statement in rule.head_inserts:
+                            conn.execute(
+                                statement.sql, {**statement.params, **runtime}
+                            )
+                        if rule.provenance_insert is not None:
+                            conn.execute(
+                                rule.provenance_insert.sql,
+                                {**rule.provenance_insert.params, **runtime},
+                            )
+                    new_counts: dict[str, int] = {}
+                    for relation in sql.relations:
+                        conn.execute(stage_sql[relation])
+                        fresh = self.store.count(new_table(relation))
                         conn.execute(
-                            plan.statement.sql, dict(plan.statement.params)
+                            f"DELETE FROM {_q(delta_table(relation))}"
                         )
-                for rule in sql.rules:
-                    watermark = watermarks[rule.rule_name]
-                    fired = self.store.max_rowid(rule.firing_table) - watermark
-                    if fired <= 0:
-                        continue
-                    result.firings += fired
-                    runtime = {"wm": watermark}
-                    for statement in rule.head_inserts:
-                        conn.execute(
-                            statement.sql, {**statement.params, **runtime}
-                        )
-                    if rule.provenance_insert is not None:
-                        conn.execute(
-                            rule.provenance_insert.sql,
-                            {**rule.provenance_insert.params, **runtime},
-                        )
-                new_counts: dict[str, int] = {}
-                for relation in sql.relations:
-                    conn.execute(stage_sql[relation])
-                    fresh = self.store.count(new_table(relation))
-                    conn.execute(f"DELETE FROM {_q(delta_table(relation))}")
-                    if fresh:
-                        conn.execute(
-                            f"INSERT INTO {_q(relation)} "
-                            f"SELECT * FROM {_q(new_table(relation))}"
-                        )
-                        conn.execute(
-                            f"INSERT INTO {_q(delta_table(relation))} "
-                            f"SELECT * FROM {_q(new_table(relation))}"
-                        )
-                        conn.execute(f"DELETE FROM {_q(new_table(relation))}")
-                        new_counts[relation] = fresh
-                        rel_counts[relation] = (
-                            rel_counts.get(relation, 0) + fresh
-                        )
-                        self.store.note_rows_added(relation, fresh)
-                        published += fresh
-                    conn.execute(f"DELETE FROM {_q(cand_table(relation))}")
+                        if fresh:
+                            conn.execute(
+                                f"INSERT INTO {_q(relation)} "
+                                f"SELECT * FROM {_q(new_table(relation))}"
+                            )
+                            conn.execute(
+                                f"INSERT INTO {_q(delta_table(relation))} "
+                                f"SELECT * FROM {_q(new_table(relation))}"
+                            )
+                            conn.execute(
+                                f"DELETE FROM {_q(new_table(relation))}"
+                            )
+                            new_counts[relation] = fresh
+                            rel_counts[relation] = (
+                                rel_counts.get(relation, 0) + fresh
+                            )
+                            self.store.note_rows_added(relation, fresh)
+                            published += fresh
+                        conn.execute(f"DELETE FROM {_q(cand_table(relation))}")
+                    pspan.set(
+                        "inserted", sum(new_counts.values())
+                    )
+                round_span.set("round", iteration)
                 delta_counts = new_counts
         result.iterations = iteration
         if resident:
@@ -773,7 +811,11 @@ class SQLiteExchangeEngine:
             # materialized back into Python.
             result.inserted = published
         else:
-            result.inserted = self._write_back(program, sql, instance, graph)
+            with tracer.span("exchange.writeback") as wspan:
+                result.inserted = self._write_back(
+                    program, sql, instance, graph
+                )
+                wspan.set("inserted", result.inserted)
             # Write-back journaled the derived rows as appends, but the
             # mirror already has them — fast-forward instead of
             # reshipping on the next sync.
@@ -837,6 +879,7 @@ class SQLiteExchangeEngine:
         max_iterations: int | None,
     ) -> EvaluationResult:
         conn = self.store.connection
+        tracer = self.tracer
         result = EvaluationResult(instance, ProvenanceGraph(), engine="sqlite")
         # Bring the store's EDB up to date with the Python side (victim
         # marking already shrank both).  Pending unexchanged local rows
@@ -846,35 +889,45 @@ class SQLiteExchangeEngine:
         # so, like the graph engine's unrecorded firings, they can
         # neither resurrect a dying tuple nor leak into the P_m
         # projections.
-        result.rows_mirrored, result.relations_synced = (
-            self.store.sync_instance(instance, resident=True)
-        )
+        with tracer.span("exchange.mirror") as mspan:
+            result.rows_mirrored, result.relations_synced = (
+                self.store.sync_instance(instance, resident=True)
+            )
+            mspan.set("rows", result.rows_mirrored).set(
+                "relations", result.relations_synced
+            )
 
-        delta_counts: dict[str, int] = {}
-        with conn:
-            for relation in dsql.edb_relations:
-                conn.execute(
-                    f"INSERT INTO {_q(live_table(relation))} "
-                    f"SELECT * FROM {_q(relation)}"
-                )
-                conn.execute(
-                    f"INSERT INTO {_q(live_delta_table(relation))} "
-                    f"SELECT * FROM {_q(relation)}"
-                )
-                count = self.store.cached_count(relation)
-                if count:
-                    delta_counts[relation] = count
-        # The loop itself is shared with the derivability/trusted graph
-        # queries (they seed differently but grow the same live sets).
-        result.iterations, result.pm_rows_scanned = run_liveness_fixpoint(
-            self.store, dsql, catalog, delta_counts, max_iterations
-        )
+        with tracer.span("deletion.fixpoint") as fspan:
+            delta_counts: dict[str, int] = {}
+            with conn:
+                for relation in dsql.edb_relations:
+                    conn.execute(
+                        f"INSERT INTO {_q(live_table(relation))} "
+                        f"SELECT * FROM {_q(relation)}"
+                    )
+                    conn.execute(
+                        f"INSERT INTO {_q(live_delta_table(relation))} "
+                        f"SELECT * FROM {_q(relation)}"
+                    )
+                    count = self.store.cached_count(relation)
+                    if count:
+                        delta_counts[relation] = count
+            # The loop itself is shared with the derivability/trusted
+            # graph queries (they seed differently but grow the same
+            # live sets).
+            result.iterations, result.pm_rows_scanned = run_liveness_fixpoint(
+                self.store, dsql, catalog, delta_counts, max_iterations,
+                tracer=tracer,
+            )
+            fspan.set("rounds", result.iterations).set(
+                "firings", result.pm_rows_scanned
+            )
 
         # Kill phase, one transaction: unsupported rows die, dead P_m
         # firing-history rows are garbage-collected alongside.
         pm_collected = 0
         removed_counts: dict[str, int] = {}
-        with conn:
+        with tracer.span("deletion.kill") as kspan, conn:
             for relation in dsql.derived_relations:
                 cursor = conn.execute(kill_sql(catalog, relation))
                 removed = max(cursor.rowcount, 0)
@@ -883,6 +936,9 @@ class SQLiteExchangeEngine:
             for _name, pm_table, live_pm, columns in dsql.pm_tables:
                 cursor = conn.execute(pm_gc_sql(pm_table, live_pm, columns))
                 pm_collected += max(cursor.rowcount, 0)
+            kspan.set(
+                "rows_deleted", sum(removed_counts.values())
+            ).set("pm_rows_collected", pm_collected)
         # The count cache moves only after the kill transaction commits
         # (a rollback must leave it describing the uncut tables).
         rows_deleted = 0

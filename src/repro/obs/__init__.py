@@ -1,0 +1,56 @@
+"""repro.obs — tracing, metrics, and a profiler for the CDSS lifecycle.
+
+Zero-dependency observability: hierarchical spans with pluggable sinks
+(:mod:`~repro.obs.trace`), a counter/gauge registry the stats API is
+populated from (:mod:`~repro.obs.metrics`), the closed span-name
+taxonomy (:mod:`~repro.obs.taxonomy`), and a profiler
+(:mod:`~repro.obs.report`, CLI: ``python -m repro.obs``).
+
+Opt in with ``CDSS(trace="trace.jsonl")`` (or a :class:`Tracer` /
+``TopologySpec(trace=...)``); the default is :data:`NULL_TRACER`,
+which allocates nothing on the hot paths.
+"""
+
+from .metrics import Counter, Gauge, MetricsRegistry
+from .report import (
+    build_rollup,
+    phase_totals,
+    render_report,
+    report_json,
+    rollup_rows,
+    top_spans,
+)
+from .taxonomy import SPANS
+from .trace import (
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    NullTracer,
+    Span,
+    Tracer,
+    as_tracer,
+    read_trace,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SPANS",
+    "Span",
+    "Tracer",
+    "as_tracer",
+    "build_rollup",
+    "phase_totals",
+    "read_trace",
+    "render_report",
+    "report_json",
+    "rollup_rows",
+    "top_spans",
+    "validate_trace",
+]

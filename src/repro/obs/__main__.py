@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.obs report|validate trace.jsonl``."""
+
+from .cli import main
+
+raise SystemExit(main())

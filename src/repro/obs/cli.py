@@ -1,0 +1,70 @@
+"""``python -m repro.obs`` — profiler and validator over trace files.
+
+Subcommands::
+
+    report   trace.jsonl [--top N] [--json]   render the profiler report
+    validate trace.jsonl                      schema + nesting check
+
+``report`` exits non-zero on an empty trace (the CI smoke job treats a
+span-less trace as a broken instrumentation wiring, not a success);
+``validate`` exits non-zero with one line per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .report import render_report, report_json
+from .trace import read_trace, validate_trace
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="render the profiler report")
+    report.add_argument("trace", help="JSONL trace file")
+    report.add_argument("--top", type=int, default=10, metavar="N",
+                        help="slowest spans to list (default 10)")
+    report.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+
+    validate = sub.add_parser("validate", help="schema + nesting check")
+    validate.add_argument("trace", help="JSONL trace file")
+
+    args = parser.parse_args(argv)
+    try:
+        records = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "validate":
+        errors = validate_trace(records)
+        for error in errors:
+            print(error)
+        if errors:
+            print(f"trace check: {len(errors)} problem(s)")
+            return 1
+        print(f"trace check: ok ({len(records)} spans)")
+        return 0
+
+    if not records:
+        print("trace is empty: no spans", file=sys.stderr)
+        return 1
+    try:
+        if args.json:
+            print(report_json(records, args.top))
+        else:
+            print(render_report(records, args.top))
+    except BrokenPipeError:  # report piped into head/grep that exited
+        sys.stderr.close()  # suppress the interpreter's flush complaint
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

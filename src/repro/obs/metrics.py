@@ -1,0 +1,95 @@
+"""Counter/gauge metrics registry.
+
+One :class:`MetricsRegistry` per :class:`~repro.cdss.system.CDSS`
+replaces the scattered stat fields the engines used to bump directly:
+engines call ``metrics.add("exchange.firings", n)`` and the existing
+``EvaluationResult``/``ExperimentResult`` columns are *populated from*
+the registry, keeping the public stats API unchanged while giving a
+single queryable source (``cdss.metrics.snapshot()``).
+
+Names are dotted paths (``exchange.seconds``, ``deletion.rows``); the
+registry is flat — no hierarchy is enforced, the dots are convention.
+Counters accumulate across the system's lifetime (the cumulative
+``CDSS.exchange_seconds`` is literally ``metrics.value("exchange.seconds")``);
+per-call numbers come from spans, not the registry.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically accumulating metric (floats allowed: seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-value-wins metric (e.g. current instance size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class MetricsRegistry:
+    """Named counters and gauges, created on first touch."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called *name* (created at zero if new)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name* (created at zero if new)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment the counter *name* by *amount*."""
+        self.counter(name).add(amount)
+
+    def set(self, name: str, value: float) -> None:
+        """Set the gauge *name* to *value*."""
+        self.gauge(name).set(value)
+
+    def value(self, name: str) -> float:
+        """Current value of counter or gauge *name* (0.0 if untouched)."""
+        counter = self._counters.get(name)
+        if counter is not None:
+            return counter.value
+        gauge = self._gauges.get(name)
+        if gauge is not None:
+            return gauge.value
+        return 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """All metrics as one flat name → value mapping."""
+        out = {name: c.value for name, c in self._counters.items()}
+        out.update({name: g.value for name, g in self._gauges.items()})
+        return dict(sorted(out.items()))

@@ -1,0 +1,185 @@
+"""Profiler over span traces: self-time rollup tree + top-N slowest.
+
+Input is a list of span records (the JSONL schema of
+:mod:`repro.obs.trace` — from :func:`~repro.obs.trace.read_trace` or
+``MemorySink.records()``).  The report answers two questions:
+
+* **rollup** — aggregate spans by their *name path* (root name / child
+  name / ...), summing wall time, **self** time (wall minus the wall of
+  direct children — the time a node spent in its own code) and counts.
+  Self time is what names a bottleneck: fig08's unfold-dominated
+  profile shows up as ``query.unfold`` self time towering over
+  ``query.sql``.
+* **top spans** — the N individual spans with the largest wall time.
+
+``python -m repro.obs report trace.jsonl`` renders both; ``--json``
+emits the same data machine-readably.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+
+class _Node:
+    """One rollup-tree node: spans aggregated by name path."""
+
+    __slots__ = ("name", "count", "wall_ms", "self_ms", "cpu_ms", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.wall_ms = 0.0
+        self.self_ms = 0.0
+        self.cpu_ms = 0.0
+        self.children: dict[str, _Node] = {}
+
+
+def _self_times(records: list[dict[str, Any]]) -> dict[int, float]:
+    """Per-span self time: wall minus the wall of direct children."""
+    self_ms = {r["span"]: float(r["wall_ms"]) for r in records}
+    for record in records:
+        parent = record.get("parent")
+        if parent in self_ms:
+            self_ms[parent] -= float(record["wall_ms"])
+    return self_ms
+
+
+def build_rollup(records: Iterable[dict[str, Any]]) -> _Node:
+    """Aggregate spans by name path into a rollup tree.
+
+    The returned root is synthetic (name ``""``); its children are the
+    trace's root span names.  Each node sums wall/cpu/self time and
+    occurrence count over every span sharing that name path.
+    """
+    records = [r for r in records if isinstance(r, dict) and "span" in r]
+    by_id = {r["span"]: r for r in records}
+    self_ms = _self_times(records)
+    path_cache: dict[int, tuple[str, ...]] = {}
+
+    def path_of(record: dict[str, Any]) -> tuple[str, ...]:
+        span_id = record["span"]
+        cached = path_cache.get(span_id)
+        if cached is not None:
+            return cached
+        parent = by_id.get(record.get("parent"))
+        path = (path_of(parent) if parent is not None else ()) + (record["name"],)
+        path_cache[span_id] = path
+        return path
+
+    root = _Node("")
+    for record in records:
+        node = root
+        for name in path_of(record):
+            child = node.children.get(name)
+            if child is None:
+                child = node.children[name] = _Node(name)
+            node = child
+        node.count += 1
+        node.wall_ms += float(record["wall_ms"])
+        node.cpu_ms += float(record["cpu_ms"])
+        node.self_ms += self_ms[record["span"]]
+    return root
+
+
+def rollup_rows(root: _Node) -> list[dict[str, Any]]:
+    """Flatten the rollup tree depth-first into row dicts.
+
+    Each row carries ``depth`` for indentation and ``path`` (slash
+    joined) for machine consumption; children are ordered by wall time
+    so the heaviest subtree reads first.
+    """
+    rows: list[dict[str, Any]] = []
+
+    def walk(node: _Node, depth: int, prefix: str) -> None:
+        for child in sorted(
+            node.children.values(), key=lambda n: -n.wall_ms
+        ):
+            path = f"{prefix}/{child.name}" if prefix else child.name
+            rows.append(
+                {
+                    "path": path,
+                    "name": child.name,
+                    "depth": depth,
+                    "count": child.count,
+                    "wall_ms": child.wall_ms,
+                    "self_ms": child.self_ms,
+                    "cpu_ms": child.cpu_ms,
+                }
+            )
+            walk(child, depth + 1, path)
+
+    walk(root, 0, "")
+    return rows
+
+
+def top_spans(
+    records: Iterable[dict[str, Any]], limit: int = 10
+) -> list[dict[str, Any]]:
+    """The *limit* individual spans with the largest wall time."""
+    spans = [r for r in records if isinstance(r, dict) and "span" in r]
+    spans.sort(key=lambda r: -float(r["wall_ms"]))
+    return spans[:limit]
+
+
+def phase_totals(records: Iterable[dict[str, Any]]) -> dict[str, float]:
+    """Total wall ms per span *name* (not path) — benchmark columns.
+
+    fig08 derives its ``unfold_ms``/``plan_ms``/``eval_ms``/``mirror_ms``
+    breakdown from this instead of hand-threaded counters.
+    """
+    totals: dict[str, float] = {}
+    for record in records:
+        if isinstance(record, dict) and "name" in record:
+            name = record["name"]
+            totals[name] = totals.get(name, 0.0) + float(record["wall_ms"])
+    return dict(sorted(totals.items()))
+
+
+def render_report(
+    records: list[dict[str, Any]], limit: int = 10, width: int = 46
+) -> str:
+    """The human-readable profiler report (rollup tree + top spans)."""
+    if not records:
+        return "trace is empty: no spans"
+    rows = rollup_rows(build_rollup(records))
+    total_wall = sum(r["wall_ms"] for r in rows if r["depth"] == 0)
+    lines = [
+        f"trace: {len(records)} spans, "
+        f"{total_wall:.1f} ms total root wall time",
+        "",
+        f"{'span':<{width}} {'count':>6} {'wall_ms':>10} "
+        f"{'self_ms':>10} {'cpu_ms':>10} {'self%':>6}",
+    ]
+    for row in rows:
+        label = "  " * row["depth"] + row["name"]
+        if len(label) > width:
+            label = label[: width - 1] + "…"
+        share = (row["self_ms"] / total_wall * 100.0) if total_wall else 0.0
+        lines.append(
+            f"{label:<{width}} {row['count']:>6} {row['wall_ms']:>10.2f} "
+            f"{row['self_ms']:>10.2f} {row['cpu_ms']:>10.2f} {share:>5.1f}%"
+        )
+    lines += ["", f"top {min(limit, len(records))} spans by wall time:"]
+    for record in top_spans(records, limit):
+        attrs = record.get("attrs") or {}
+        attr_text = " ".join(f"{k}={v}" for k, v in attrs.items())
+        lines.append(
+            f"  {record['wall_ms']:>9.2f} ms  {record['name']}"
+            + (f"  [{attr_text}]" if attr_text else "")
+        )
+    return "\n".join(lines)
+
+
+def report_json(records: list[dict[str, Any]], limit: int = 10) -> str:
+    """The ``--json`` report: rollup rows, phase totals, top spans."""
+    return json.dumps(
+        {
+            "spans": len(records),
+            "rollup": rollup_rows(build_rollup(records)),
+            "phase_totals": phase_totals(records),
+            "top": top_spans(records, limit),
+        },
+        indent=2,
+    )

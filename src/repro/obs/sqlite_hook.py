@@ -1,0 +1,73 @@
+"""sqlite3 statement hook: rows examined + statement fingerprints.
+
+:class:`StatementTrace` wraps one engine run.  While active it
+installs ``sqlite3.Connection.set_trace_callback`` to count every
+statement the connection executes, keyed by a short *fingerprint* of
+the normalized statement text (whitespace-collapsed, then hashed) —
+the per-statement spans of the sqlite engine carry the same
+fingerprints, so a profile can be joined back to concrete SQL.  On
+exit it restores the connection and emits one ``exchange.sqlite``
+rollup span carrying total statements, distinct fingerprints, and the
+rows-examined total (``sqlite3`` exposes no per-statement row counter,
+so rows examined are summed from the cursor counts the engine reports
+into :meth:`add_rows`).
+
+Only constructed when tracing is enabled; the disabled path never
+touches the connection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from functools import lru_cache
+from typing import Any
+
+from .trace import NullTracer, Tracer
+
+_WS = re.compile(r"\s+")
+
+
+@lru_cache(maxsize=512)
+def statement_fingerprint(sql: str) -> str:
+    """Stable 8-hex-digit id of a normalized statement text."""
+    normalized = _WS.sub(" ", sql).strip()
+    return hashlib.sha1(normalized.encode("utf-8")).hexdigest()[:8]
+
+
+class StatementTrace:
+    """Context manager: trace every statement one connection runs."""
+
+    def __init__(
+        self, connection: Any, tracer: "Tracer | NullTracer"
+    ) -> None:
+        self.connection = connection
+        self.tracer = tracer
+        self.statements = 0
+        self.rows_examined = 0
+        self._fingerprints: set[str] = set()
+
+    def _on_statement(self, sql: str) -> None:
+        self.statements += 1
+        self._fingerprints.add(statement_fingerprint(sql))
+
+    def add_rows(self, count: int) -> None:
+        """Report rows examined by the statement that just ran."""
+        self.rows_examined += count
+
+    def __enter__(self) -> "StatementTrace":
+        if self.tracer.enabled:
+            self.connection.set_trace_callback(self._on_statement)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        if self.tracer.enabled:
+            self.connection.set_trace_callback(None)
+            self.tracer.record(
+                "exchange.sqlite",
+                0.0,
+                statements=self.statements,
+                fingerprints=len(self._fingerprints),
+                rows_examined=self.rows_examined,
+            )
+        return False

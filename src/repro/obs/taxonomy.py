@@ -1,0 +1,42 @@
+"""The span taxonomy: every span name the instrumentation may emit.
+
+``docs/observability.md`` documents each of these in its taxonomy
+table, and ``tools/check_docs.py`` cross-checks the two (both ways) —
+the same contract ``docs/analysis.md`` has with the analyzer's
+diagnostic codes.  Instrumentation code must not invent names outside
+this dict; tests assert that traced lifecycles emit a subset of it.
+"""
+
+from __future__ import annotations
+
+#: span name -> one-line description (mirrors docs/observability.md).
+SPANS: dict[str, str] = {
+    # -- update exchange ---------------------------------------------------
+    "exchange": "One CDSS.exchange call (attrs: engine, resident, rounds, firings).",
+    "exchange.validate": "Pre-flight static analysis of the mapping program.",
+    "exchange.compile": "Mapping-program compilation / cache fetch (attrs: cache_hit).",
+    "exchange.mirror": "Incremental instance-to-store sync (attrs: rows, relations).",
+    "exchange.round": "One semi-naive round of either engine (attrs: round).",
+    "exchange.rule": "One compiled plan over one delta, memory engine (attrs: rule).",
+    "exchange.statement": "One SQL statement of a round, sqlite engine (attrs: rule, phase, fingerprint).",
+    "exchange.publish": "Head-insert + provenance publication of a sqlite round.",
+    "exchange.writeback": "Store-to-Python materialization after sqlite convergence.",
+    "exchange.sqlite": "sqlite statement-hook rollup for one run (attrs: statements, fingerprints).",
+    # -- deletion propagation ----------------------------------------------
+    "deletion": "One CDSS.propagate_deletions call (attrs: engine).",
+    "deletion.annotate": "Derivability annotation of the in-memory graph.",
+    "deletion.fixpoint": "SQL liveness fixpoint over the lowered program.",
+    "deletion.kill": "Kill sweep: delete unsupported rows and dead P_m rows.",
+    "fixpoint.round": "One round of the shared SQL liveness fixpoint (attrs: round, firings).",
+    # -- graph queries ------------------------------------------------------
+    "graph_query": "One CDSS.{derivability,lineage,trusted} call (attrs: query, engine).",
+    "walk.round": "One backward-walk round of the resident lineage query (attrs: round).",
+    # -- ProQL --------------------------------------------------------------
+    "query.unfold": "ProQL-to-datalog unfolding of one query (attrs: rules, mode).",
+    "query.compile": "Datalog-to-SQL translation, accumulated across unfolded rules.",
+    "query.sql": "SQL execution against the store, accumulated across unfolded rules.",
+    "query.reconstruct": "Row-to-graph reconstruction of the query answer.",
+    "unfold.expand": "Unfolding stage: mapping application / alternative expansion.",
+    "unfold.merge_specs": "Unfolding stage: merging projection specs into rewritten rules.",
+    "unfold.dedupe": "Unfolding stage: canonical-form deduplication of rewritings.",
+}

@@ -1,0 +1,452 @@
+"""Hierarchical span tracing for the exchange/deletion/query lifecycle.
+
+A :class:`Tracer` produces **spans**: named intervals with parent
+links, wall-clock and CPU time, and typed attributes.  Engines open
+spans around their phases (``with tracer.span("exchange.round") as s:``)
+and the resulting tree answers "where does the time actually go" for
+one lifecycle run — the question every optimisation item on the
+ROADMAP starts with.
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  The default tracer is
+   :data:`NULL_TRACER`; its :meth:`~NullTracer.span` returns one
+   module-level singleton whose ``__enter__``/``__exit__``/``set`` are
+   no-ops, so the exchange hot path allocates *no span objects* and
+   pays only a handful of attribute lookups per instrumented block.
+   Attribute values are attached via :meth:`Span.set` *after* entering
+   the span (never as ``span(**kwargs)``), so a disabled tracer never
+   even builds the attribute dict.
+2. **Exception-safe nesting.**  Spans close in strict LIFO order
+   through ``with`` unwinding; a span closed by an exception is marked
+   ``status="error"`` and still emitted, so no trace ends with a
+   dangling open span.
+3. **Pluggable sinks.**  :class:`MemorySink` keeps finished spans in a
+   list (tests, in-process profiling); :class:`JsonlSink` appends one
+   JSON object per span to a file (offline analysis via
+   ``python -m repro.obs report trace.jsonl``).
+
+The JSONL record schema (one object per finished span)::
+
+    {"span": int, "parent": int|null, "name": str,
+     "t0": float, "wall_ms": float, "cpu_ms": float,
+     "status": "ok"|"error", "attrs": {str: str|int|float|bool|null}}
+
+``t0`` is seconds since the tracer's epoch (its creation), so spans of
+one trace are mutually comparable; ``wall_ms``/``cpu_ms`` are the
+span's own durations.  :func:`validate_trace` checks this schema plus
+the structural invariants (unique ids, resolvable parents, child
+intervals inside their parent's).
+
+Tracers are deliberately single-threaded — one tracer per CDSS, like
+one connection per store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Iterable, TextIO
+
+#: attribute value types that serialize losslessly to JSON.
+AttrValue = "str | int | float | bool | None"
+
+#: span statuses a well-formed trace may contain.
+STATUSES = ("ok", "error")
+
+
+class Span:
+    """One named interval of a trace (also its own context manager).
+
+    Only ever constructed by an *enabled* :class:`Tracer` — disabled
+    tracing reuses the :data:`_NULL_SPAN` singleton instead, which is
+    what keeps the hot paths allocation-free by default.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "t0",
+        "_cpu0",
+        "wall_seconds",
+        "cpu_seconds",
+        "attrs",
+        "status",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: "int | None",
+        t0: float,
+        cpu0: float,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.t0 = t0
+        self._cpu0 = cpu0
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.attrs: dict[str, Any] = {}
+        self.status = "ok"
+        self._tracer = tracer
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute (chainable)."""
+        self.attrs[key] = value
+        return self
+
+    @property
+    def open(self) -> bool:
+        """True until the span has been closed (and emitted)."""
+        return self._tracer is not None
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._close(self, error=exc_type is not None)
+        return False
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSONL representation (see the module docstring)."""
+        return {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "t0": self.t0,
+            "wall_ms": self.wall_seconds * 1e3,
+            "cpu_ms": self.cpu_seconds * 1e3,
+            "status": self.status,
+            "attrs": {key: _jsonable(value) for key, value in self.attrs.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else f"{self.wall_seconds * 1e3:.2f}ms"
+        return f"<Span {self.name} #{self.span_id} {state}>"
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an attribute to the JSON-safe value domain."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)
+
+
+class _NullSpan:
+    """The shared do-nothing span of a disabled tracer."""
+
+    __slots__ = ()
+
+    open = False
+    name = ""
+    attrs: dict[str, Any] = {}
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every operation is a no-op.
+
+    :meth:`span` hands back one module-level singleton — no ``Span``
+    objects (nor attribute dicts) are ever allocated, which is the
+    contract the exchange hot path relies on.
+    """
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(
+        self, name: str, wall_seconds: float, cpu_seconds: float = 0.0, **attrs: Any
+    ) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+#: the default tracer everywhere a ``tracer=`` parameter is optional.
+NULL_TRACER = NullTracer()
+
+
+class MemorySink:
+    """Collects finished spans in memory (tests, in-process profiling)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def emit(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def records(self) -> list[dict[str, Any]]:
+        """The spans as JSONL-shaped dicts (profiler/validator input)."""
+        return [span.to_record() for span in self.spans]
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    def close(self) -> None:
+        return None
+
+
+class JsonlSink:
+    """Appends one JSON object per finished span to *path*.
+
+    The file is opened lazily (first span) and line-buffered, so a
+    trace is readable even if the process exits without an explicit
+    :meth:`close` — what the CI smoke job relies on.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]"):
+        self.path = os.fspath(path)
+        self._handle: "TextIO | None" = None
+
+    def emit(self, span: Span) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8", buffering=1)
+        self._handle.write(json.dumps(span.to_record()) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class Tracer:
+    """An enabled tracer: hierarchical spans emitted to one sink.
+
+    ``with tracer.span("exchange") as s:`` opens a child of whatever
+    span is currently innermost (the tracer keeps the stack); closing
+    emits it to the sink.  :meth:`record` emits an already-measured
+    pseudo-span — used by stages that *accumulate* time across many
+    tiny calls (e.g. the unfolding rewrite stages) where a span per
+    call would dominate the cost being measured.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: "MemorySink | JsonlSink | None" = None):
+        self.sink = sink if sink is not None else MemorySink()
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str) -> Span:
+        """Open a span as a child of the current innermost span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            self,
+            name,
+            self._next_id,
+            parent,
+            time.perf_counter() - self._epoch,
+            time.process_time(),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span, error: bool) -> None:
+        span.wall_seconds = time.perf_counter() - self._epoch - span.t0
+        span.cpu_seconds = time.process_time() - span._cpu0
+        if error:
+            span.status = "error"
+        span._tracer = None
+        # Strict LIFO: anything still above the closing span was left
+        # open (a span opened without `with`); close it as an error so
+        # the emitted trace never contains a dangling child.
+        while self._stack and self._stack[-1] is not span:
+            orphan = self._stack.pop()
+            orphan.wall_seconds = time.perf_counter() - self._epoch - orphan.t0
+            orphan.cpu_seconds = time.process_time() - orphan._cpu0
+            orphan.status = "error"
+            orphan._tracer = None
+            self.sink.emit(orphan)
+        if self._stack:
+            self._stack.pop()
+        self.sink.emit(span)
+
+    def record(
+        self, name: str, wall_seconds: float, cpu_seconds: float = 0.0, **attrs: Any
+    ) -> None:
+        """Emit a completed span of the given duration.
+
+        The pseudo-span is parented under the current innermost span
+        and stamped as ending now (so ``t0 = now - wall``); callers use
+        it to report time *accumulated* across many calls as one node
+        of the profile tree.
+        """
+        parent = self._stack[-1].span_id if self._stack else None
+        now = time.perf_counter() - self._epoch
+        span = Span(self, name, self._next_id, parent, max(0.0, now - wall_seconds), 0.0)
+        self._next_id += 1
+        span.wall_seconds = wall_seconds
+        span.cpu_seconds = cpu_seconds
+        span.attrs.update(attrs)
+        span._tracer = None
+        self.sink.emit(span)
+
+    @property
+    def open_spans(self) -> int:
+        """Number of spans currently open (0 between lifecycle calls)."""
+        return len(self._stack)
+
+    def close(self) -> None:
+        """Close any dangling spans (as errors) and the sink."""
+        while self._stack:
+            span = self._stack[-1]
+            span.__exit__(RuntimeError, None, None)
+        self.sink.close()
+
+
+def as_tracer(trace: object) -> "Tracer | NullTracer":
+    """Coerce a user-facing ``trace=`` value into a tracer.
+
+    ``None`` → :data:`NULL_TRACER` (disabled); a :class:`Tracer` or
+    :class:`NullTracer` passes through; a string/path → a tracer
+    writing JSONL to that file; a sink → a tracer over it.
+    """
+    if trace is None:
+        return NULL_TRACER
+    if isinstance(trace, (Tracer, NullTracer)):
+        return trace
+    if isinstance(trace, (str, os.PathLike)):
+        return Tracer(JsonlSink(trace))
+    if isinstance(trace, (MemorySink, JsonlSink)):
+        return Tracer(trace)
+    raise TypeError(
+        f"trace= expects None, a Tracer, a sink, or a path; got {trace!r}"
+    )
+
+
+# -- trace files ------------------------------------------------------------
+
+
+def read_trace(path: "str | os.PathLike[str]") -> list[dict[str, Any]]:
+    """Load a JSONL trace file into span records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{os.fspath(path)}:{line_number}: not JSON: {exc}"
+                ) from exc
+    return records
+
+
+#: required record fields and their accepted types.
+_SCHEMA: dict[str, tuple[type, ...]] = {
+    "span": (int,),
+    "parent": (int, type(None)),
+    "name": (str,),
+    "t0": (int, float),
+    "wall_ms": (int, float),
+    "cpu_ms": (int, float),
+    "status": (str,),
+    "attrs": (dict,),
+}
+
+#: slack (ms) allowed when checking child-inside-parent containment —
+#: covers float rounding of independently captured clock reads.
+_CONTAINMENT_SLACK_MS = 0.5
+
+
+def validate_trace(records: Iterable[dict[str, Any]]) -> list[str]:
+    """Schema + structural check of span records.
+
+    Returns one error string per violation (empty list = valid):
+    missing/mistyped fields, non-bool-int-float-str-None attribute
+    values, duplicate span ids, unresolvable parents, unknown
+    statuses, and any child interval not contained in its parent's.
+    """
+    errors: list[str] = []
+    by_id: dict[int, dict[str, Any]] = {}
+    records = list(records)
+    for index, record in enumerate(records):
+        where = f"record {index}"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for field, types in _SCHEMA.items():
+            if field not in record:
+                errors.append(f"{where}: missing field {field!r}")
+            elif not isinstance(record[field], types) or (
+                isinstance(record[field], bool) and bool not in types
+            ):
+                errors.append(
+                    f"{where}: field {field!r} has type "
+                    f"{type(record[field]).__name__}"
+                )
+        name = record.get("name")
+        where = f"record {index} ({name})"
+        if record.get("status") not in STATUSES:
+            errors.append(f"{where}: unknown status {record.get('status')!r}")
+        attrs = record.get("attrs")
+        if isinstance(attrs, dict):
+            for key, value in attrs.items():
+                if not isinstance(key, str) or not isinstance(
+                    value, (str, int, float, bool, type(None))
+                ):
+                    errors.append(f"{where}: attr {key!r} not JSON-scalar")
+        span_id = record.get("span")
+        if isinstance(span_id, int):
+            if span_id in by_id:
+                errors.append(f"{where}: duplicate span id {span_id}")
+            else:
+                by_id[span_id] = record
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        parent_id = record.get("parent")
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        name = record.get("name")
+        if parent is None:
+            errors.append(f"span {record.get('span')} ({name}): "
+                          f"parent {parent_id} not in trace")
+            continue
+        try:
+            child_start = float(record["t0"]) * 1e3
+            child_end = child_start + float(record["wall_ms"])
+            parent_start = float(parent["t0"]) * 1e3
+            parent_end = parent_start + float(parent["wall_ms"])
+        except (KeyError, TypeError, ValueError):
+            continue  # field errors already reported above
+        if (
+            child_start < parent_start - _CONTAINMENT_SLACK_MS
+            or child_end > parent_end + _CONTAINMENT_SLACK_MS
+        ):
+            errors.append(
+                f"span {record['span']} ({name}): interval "
+                f"[{child_start:.3f}, {child_end:.3f}]ms outside parent "
+                f"{parent_id} [{parent_start:.3f}, {parent_end:.3f}]ms"
+            )
+    return errors

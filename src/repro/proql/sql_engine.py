@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.errors import ProQLSemanticError
+from repro.obs.trace import NULL_TRACER
 from repro.proql.ast import (
     Evaluation,
     PathCondition,
@@ -107,7 +108,10 @@ class SQLEngine:
         self.storage = storage
         self.cdss = storage.cdss
         self.schema_graph = SchemaGraph.of(self.cdss)
-        self.unfolder = Unfolder(self.cdss, self.schema_graph, max_rules=max_rules)
+        self.tracer = getattr(self.cdss, "tracer", None) or NULL_TRACER
+        self.unfolder = Unfolder(
+            self.cdss, self.schema_graph, max_rules=max_rules, tracer=self.tracer
+        )
         self.rewriter = rewriter
         self.schema_lookup = schema_lookup or default_schema_lookup(self.cdss)
 
@@ -228,6 +232,24 @@ class SQLEngine:
             return rules
         return self.rewriter(rules)
 
+    def _record_pipeline(self, stats: SQLStats) -> None:
+        """Mirror the per-query :class:`SQLStats` timers into the trace.
+
+        Compile/SQL/reconstruct time is accumulated per rule by the
+        existing ``SQLStats`` counters; rather than a span per rule
+        (hundreds on fig08 topologies) the totals become one
+        pseudo-span each at the end of the pipeline.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        tracer.record(
+            "query.compile", stats.compile_seconds, rules=stats.unfolded_rules
+        )
+        tracer.record("query.sql", stats.sql_seconds, rows=stats.rows)
+        if stats.reconstruct_seconds:
+            tracer.record("query.reconstruct", stats.reconstruct_seconds)
+
     # -- public API ------------------------------------------------------------
 
     def run(self, query: str | Query) -> SQLResult:
@@ -241,11 +263,14 @@ class SQLEngine:
         for path in self._all_paths(projection):
             anchors = self._anchor_relations(path.specs[0], var_relations)
             t0 = time.perf_counter()
-            rules = self.unfolder.pattern(path, anchors, step_mappings)
-            rules = self._rewrite(rules)
+            with self.tracer.span("query.unfold") as uspan:
+                rules = self.unfolder.pattern(path, anchors, step_mappings)
+                rules = self._rewrite(rules)
+                uspan.set("mode", "pattern").set("rules", len(rules))
             stats.unfold_seconds += time.perf_counter() - t0
             stats.unfolded_rules += len(rules)
             self._execute_rules(rules, stats, candidate)
+        self._record_pipeline(stats)
         inner = GraphEngine(candidate, self.cdss.catalog).run(ast)
         return SQLResult(
             query=inner.query,
@@ -287,8 +312,10 @@ class SQLEngine:
         stats = SQLStats()
         anchor = ast.projection.for_paths[0].specs[0].relation
         t0 = time.perf_counter()
-        rules = self.unfolder.full_ancestry(anchor)
-        rules = self._rewrite(rules)
+        with self.tracer.span("query.unfold") as uspan:
+            rules = self.unfolder.full_ancestry(anchor)
+            rules = self._rewrite(rules)
+            uspan.set("mode", "full_ancestry").set("rules", len(rules))
         stats.unfold_seconds = time.perf_counter() - t0
         stats.unfolded_rules = len(rules)
         t1 = time.perf_counter()
@@ -301,6 +328,7 @@ class SQLEngine:
         stats.compile_seconds = t2 - t1
         stats.sql_seconds = t3 - t2
         stats.rows = len(rows)
+        self._record_pipeline(stats)
         stats.max_join_width = max((len(r.items) for r in rules), default=0)
         codec = self.storage.codec
         annotations: dict[TupleNode, object] = {}
@@ -334,10 +362,13 @@ class SQLEngine:
         """
         stats = SQLStats()
         t0 = time.perf_counter()
-        rules = self.unfolder.full_ancestry(relation)
-        rules = self._rewrite(rules)
+        with self.tracer.span("query.unfold") as uspan:
+            rules = self.unfolder.full_ancestry(relation)
+            rules = self._rewrite(rules)
+            uspan.set("mode", "full_ancestry").set("rules", len(rules))
         stats.unfold_seconds = time.perf_counter() - t0
         stats.unfolded_rules = len(rules)
         output = ProvenanceGraph() if collect_graph else None
         self._execute_rules(rules, stats, output)
+        self._record_pipeline(stats)
         return stats, output

@@ -29,6 +29,7 @@ the rule count at one-rule-per-derivation-*shape*.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping
 
@@ -38,9 +39,38 @@ from repro.datalog.atoms import Atom
 from repro.datalog.terms import Term, Variable
 from repro.datalog.unification import unify_atoms
 from repro.errors import ProQLSemanticError
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.proql.ast import PathExpr, Step, TupleSpec
 from repro.proql.schema_graph import SchemaGraph
 from repro.relational.schema import local_name
+
+
+class _StageClock:
+    """Per-stage time accumulators of one unfolding run.
+
+    The worklist loop runs thousands of iterations on fig08-sized
+    topologies, so stages are timed with plain guarded ``perf_counter``
+    reads (no span per iteration); the accumulated totals are emitted
+    as three :meth:`~repro.obs.trace.Tracer.record` pseudo-spans at the
+    end of the run.  ``expand`` includes the merge time spent inside
+    :meth:`Unfolder._merge_specs`; the emitter subtracts it so the
+    three reported stages stay disjoint.
+    """
+
+    __slots__ = ("enabled", "expand", "merge", "dedupe")
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.expand = 0.0
+        self.merge = 0.0
+        self.dedupe = 0.0
+
+    def emit(self, tracer: "Tracer | NullTracer") -> None:
+        if not self.enabled:
+            return
+        tracer.record("unfold.expand", max(0.0, self.expand - self.merge))
+        tracer.record("unfold.merge_specs", self.merge)
+        tracer.record("unfold.dedupe", self.dedupe)
 
 KIND_OPEN = "open"
 KIND_PROV = "prov"
@@ -176,6 +206,7 @@ class Unfolder:
         schema_graph: SchemaGraph | None = None,
         has_local_data: Callable[[str], bool] | None = None,
         max_rules: int = 100_000,
+        tracer: "Tracer | NullTracer | None" = None,
     ):
         self.cdss = cdss
         self.graph = schema_graph or SchemaGraph.of(cdss)
@@ -185,6 +216,10 @@ class Unfolder:
             )
         self.has_local_data = has_local_data
         self.max_rules = max_rules
+        if tracer is None:
+            tracer = getattr(cdss, "tracer", None) or NULL_TRACER
+        self.tracer: "Tracer | NullTracer" = tracer
+        self._clock = _StageClock(False)
         self._fresh = itertools.count()
 
     # -- shared helpers ------------------------------------------------------------
@@ -219,6 +254,16 @@ class Unfolder:
         atoms are unified and one copy kept.  Grouping by (mapping,
         key) keeps this linear in the number of specs per pass.
         """
+        clock = self._clock
+        if not clock.enabled:
+            return self._merge_specs_impl(rule)
+        t0 = time.perf_counter()
+        try:
+            return self._merge_specs_impl(rule)
+        finally:
+            clock.merge += time.perf_counter() - t0
+
+    def _merge_specs_impl(self, rule: UnfoldedRule) -> UnfoldedRule:
         while True:
             groups: dict[tuple, list[int]] = {}
             for index, spec in enumerate(rule.specs):
@@ -349,21 +394,29 @@ class Unfolder:
         complete: list[UnfoldedRule] = []
         seen: set[tuple] = set()
         worklist = [start]
+        clock = self._clock = _StageClock(self.tracer.enabled)
         while worklist:
             rule = worklist.pop()
             index = rule.open_index()
             if index is None:
+                t0 = time.perf_counter() if clock.enabled else 0.0
                 key = rule.canonical_key()
                 if key not in seen:
                     seen.add(key)
                     complete.append(rule)
                     self._guard(len(complete))
+                if clock.enabled:
+                    clock.dedupe += time.perf_counter() - t0
                 continue
             if self._already_resolved(rule, rule.items[index]):
                 worklist.append(self._drop_item(rule, index))
                 continue
+            t0 = time.perf_counter() if clock.enabled else 0.0
             worklist.extend(self._alternatives(rule, index, allowed_mappings))
+            if clock.enabled:
+                clock.expand += time.perf_counter() - t0
             self._guard(len(worklist) + len(complete))
+        clock.emit(self.tracer)
         return complete
 
     def _alternatives(
@@ -526,25 +579,33 @@ class Unfolder:
                     (),
                 )
             )
+        clock = self._clock = _StageClock(self.tracer.enabled)
         while worklist:
             rule = worklist.pop()
             index = rule.open_index()
             if index is None:
                 if rule.completed:
+                    t0 = time.perf_counter() if clock.enabled else 0.0
                     key = rule.canonical_key()
                     if key not in seen:
                         seen.add(key)
                         complete.append(rule)
                         self._guard(len(complete))
+                    if clock.enabled:
+                        clock.dedupe += time.perf_counter() - t0
                 continue
             item = rule.items[index]
             if not item.states and self._already_resolved(rule, item):
                 worklist.append(self._drop_item(rule, index))
                 continue
+            t0 = time.perf_counter() if clock.enabled else 0.0
             worklist.extend(
                 self._pattern_alternatives(rule, index, path, get_allowed)
             )
+            if clock.enabled:
+                clock.expand += time.perf_counter() - t0
             self._guard(len(worklist) + len(complete))
+        clock.emit(self.tracer)
         return complete
 
     def _pattern_alternatives(

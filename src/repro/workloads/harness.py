@@ -37,6 +37,10 @@ class ExperimentResult:
     instance_tuples: int
     exchange_seconds: float
     load_seconds: float
+    #: wall-clock seconds of the most recent single ``exchange()`` call
+    #: (:attr:`EvaluationResult.wall_seconds`); unlike the cumulative
+    #: ``exchange_seconds`` this isolates one incremental exchange.
+    last_exchange_seconds: float = 0.0
     asr_rows: int = 0
     plans_compiled: int = 0
     index_hits: int = 0
@@ -144,6 +148,7 @@ def run_target_query(
         instance_tuples=instance_tuple_count(cdss),
         exchange_seconds=cdss.exchange_seconds,
         load_seconds=load_seconds,
+        last_exchange_seconds=exchange.wall_seconds if exchange else 0.0,
         asr_rows=asr_rows,
         plans_compiled=exchange.plans_compiled if exchange else 0,
         index_hits=exchange.index_hits if exchange else 0,

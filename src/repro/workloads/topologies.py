@@ -57,6 +57,9 @@ class TopologySpec:
     #: static-analysis pre-flight mode passed to ``CDSS.exchange``
     #: ("off" | "warn" | "error")
     validate: str = "off"
+    #: observability hookup, forwarded to ``CDSS(trace=...)`` — a
+    #: ``repro.obs`` tracer/sink, a JSONL path, or None (tracing off)
+    trace: object | None = None
 
 
 def chain_edges(num_peers: int) -> list[tuple[int, int]]:
@@ -119,8 +122,11 @@ def build_system(spec: TopologySpec) -> CDSS:
         raise ValueError(f"unknown topology kind {spec.kind!r}")
     spec.edges = tuple(edges)
     cdss = CDSS(
-        Peer.of(peer_name(i), partition_schemas(peer_name(i)))
-        for i in range(spec.num_peers)
+        (
+            Peer.of(peer_name(i), partition_schemas(peer_name(i)))
+            for i in range(spec.num_peers)
+        ),
+        trace=spec.trace,
     )
     for number, (source, target) in enumerate(edges, start=1):
         cdss.add_mapping(_mapping_text(source, target), name=f"m{number}")
@@ -163,6 +169,7 @@ def chain(
     exchange_path: str | None = None,
     resident: bool = False,
     validate: str = "off",
+    trace: object | None = None,
 ) -> CDSS:
     """A chain CDSS (Figure 5).  ``data_peers`` defaults to the two
     most-upstream peers, matching Section 6.3's setting of "data at a
@@ -180,6 +187,7 @@ def chain(
             exchange_path=exchange_path,
             resident=resident,
             validate=validate,
+            trace=trace,
         )
     )
 
@@ -193,6 +201,7 @@ def branched(
     exchange_path: str | None = None,
     resident: bool = False,
     validate: str = "off",
+    trace: object | None = None,
 ) -> CDSS:
     """A branched CDSS (Figure 6) with data at the leaves by default."""
     if data_peers is None:
@@ -208,6 +217,7 @@ def branched(
             exchange_path=exchange_path,
             resident=resident,
             validate=validate,
+            trace=trace,
         )
     )
 

@@ -32,6 +32,25 @@ def test_analysis_code_catalog_matches_docs():
     assert check_docs.check_analysis_catalog(REPO_ROOT) == []
 
 
+def test_span_taxonomy_matches_docs():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    assert check_docs.check_observability_catalog(REPO_ROOT) == []
+
+
+def test_span_catalog_checker_detects_drift(tmp_path):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    # one documented-but-unknown span; everything real is undocumented
+    (docs / "observability.md").write_text(
+        "## Span taxonomy\n\n| `no.such.span` | x | ... |\n",
+        encoding="utf-8",
+    )
+    errors = check_docs.check_observability_catalog(tmp_path)
+    assert any("unknown span no.such.span" in e for e in errors)
+    assert any("span exchange.round is undocumented" in e for e in errors)
+
+
 def test_catalog_checker_detects_drift(tmp_path):
     sys.path.insert(0, str(REPO_ROOT / "src"))
     docs = tmp_path / "docs"

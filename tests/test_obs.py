@@ -1,0 +1,320 @@
+"""Unit tests of the observability layer (repro.obs).
+
+Covers the tracer's structural invariants (nesting, LIFO closing,
+exception safety), the JSONL round trip and its validator, the
+disabled-tracer zero-allocation contract, the metrics registry, the
+profiler rollup math, and the CLI entry points.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    SPANS,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    as_tracer,
+    read_trace,
+    validate_trace,
+)
+from repro.obs.cli import main as obs_main
+from repro.obs.report import (
+    build_rollup,
+    phase_totals,
+    render_report,
+    rollup_rows,
+    top_spans,
+)
+from repro.obs.sqlite_hook import statement_fingerprint
+from repro.obs.trace import _NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_parent_links_follow_with_nesting(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                with tracer.span("c") as c:
+                    pass
+            with tracer.span("d") as d:
+                pass
+        assert tracer.open_spans == 0
+        by_name = {s.name: s for s in sink.spans}
+        assert by_name["a"].parent_id is None
+        assert by_name["b"].parent_id == a.span_id
+        assert by_name["c"].parent_id == b.span_id
+        assert by_name["d"].parent_id == a.span_id
+        # Children close (and are emitted) before their parent.
+        names = [s.name for s in sink.spans]
+        assert names.index("c") < names.index("b") < names.index("a")
+        assert d.wall_seconds >= 0 and c.wall_seconds >= 0
+
+    def test_exception_marks_error_and_leaves_no_dangling_span(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        assert tracer.open_spans == 0
+        statuses = {s.name: s.status for s in sink.spans}
+        assert statuses == {"outer": "error", "inner": "error"}
+        assert validate_trace(sink.records()) == []
+
+    def test_span_left_open_is_closed_as_error_by_parent_exit(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("parent"):
+            tracer.span("forgotten")  # opened without `with`
+        assert tracer.open_spans == 0
+        statuses = {s.name: s.status for s in sink.spans}
+        assert statuses["forgotten"] == "error"
+        assert statuses["parent"] == "ok"
+
+    def test_tracer_close_drains_the_stack(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.span("a")
+        tracer.span("b")
+        tracer.close()
+        assert tracer.open_spans == 0
+        assert {s.name for s in sink.spans} == {"a", "b"}
+        assert all(s.status == "error" for s in sink.spans)
+
+    def test_record_emits_completed_pseudo_span_under_current_parent(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("query.unfold") as parent:
+            time.sleep(0.005)  # the accumulated stage ran inside the parent
+            tracer.record("unfold.expand", 0.002, rules=7)
+        expand = next(s for s in sink.spans if s.name == "unfold.expand")
+        assert expand.parent_id == parent.span_id
+        assert expand.wall_seconds == 0.002
+        assert expand.attrs == {"rules": 7}
+        assert not expand.open
+        assert validate_trace(sink.records()) == []
+
+    def test_attributes_are_typed_and_chainable(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("exchange") as span:
+            span.set("engine", "memory").set("rounds", 3).set("hit", True)
+        record = sink.records()[0]
+        assert record["attrs"] == {"engine": "memory", "rounds": 3, "hit": True}
+        assert validate_trace(sink.records()) == []
+
+
+class TestDisabledTracer:
+    def test_null_tracer_allocates_no_span_objects(self):
+        a = NULL_TRACER.span("exchange")
+        b = NULL_TRACER.span("exchange.round")
+        assert a is b is _NULL_SPAN
+        assert a.set("k", "v") is a
+        with a as entered:
+            assert entered is a
+        assert not NULL_TRACER.enabled
+        NULL_TRACER.record("x", 1.0)  # no-op, no sink
+
+    def test_as_tracer_coercions(self, tmp_path):
+        assert as_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert as_tracer(tracer) is tracer
+        null = NullTracer()
+        assert as_tracer(null) is null
+        sink = MemorySink()
+        assert as_tracer(sink).sink is sink
+        path_tracer = as_tracer(str(tmp_path / "t.jsonl"))
+        assert isinstance(path_tracer.sink, JsonlSink)
+        with pytest.raises(TypeError):
+            as_tracer(42)
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_schema_and_validates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sink)
+        with tracer.span("exchange") as span:
+            span.set("engine", "memory")
+            with tracer.span("exchange.round") as inner:
+                inner.set("round", 1)
+        tracer.close()
+        records = read_trace(path)
+        assert len(records) == 2
+        assert validate_trace(records) == []
+        fields = {"span", "parent", "name", "t0", "wall_ms", "cpu_ms",
+                  "status", "attrs"}
+        assert all(set(r) == fields for r in records)
+        child = next(r for r in records if r["name"] == "exchange.round")
+        root = next(r for r in records if r["name"] == "exchange")
+        assert child["parent"] == root["span"]
+        assert root["parent"] is None
+
+    def test_read_trace_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"span": 1}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_trace(path)
+
+
+class TestValidateTrace:
+    def _ok(self, **overrides):
+        record = {
+            "span": 1, "parent": None, "name": "exchange", "t0": 0.0,
+            "wall_ms": 5.0, "cpu_ms": 1.0, "status": "ok", "attrs": {},
+        }
+        record.update(overrides)
+        return record
+
+    def test_clean_trace_passes(self):
+        assert validate_trace([self._ok()]) == []
+
+    def test_missing_and_mistyped_fields(self):
+        record = self._ok()
+        del record["wall_ms"]
+        assert any("wall_ms" in e for e in validate_trace([record]))
+        # bool is not an acceptable int
+        assert any(
+            "'span'" in e for e in validate_trace([self._ok(span=True)])
+        )
+
+    def test_unknown_status_and_nonscalar_attr(self):
+        assert any(
+            "status" in e for e in validate_trace([self._ok(status="maybe")])
+        )
+        bad = self._ok(attrs={"rows": [1, 2]})
+        assert any("not JSON-scalar" in e for e in validate_trace([bad]))
+
+    def test_duplicate_ids_and_unresolvable_parent(self):
+        dup = [self._ok(), self._ok()]
+        assert any("duplicate span id" in e for e in validate_trace(dup))
+        orphan = self._ok(span=2, parent=99)
+        assert any("parent 99" in e for e in validate_trace([orphan]))
+
+    def test_child_interval_must_nest_inside_parent(self):
+        parent = self._ok(span=1, t0=0.0, wall_ms=2.0)
+        child = self._ok(span=2, parent=1, name="exchange.round",
+                         t0=0.001, wall_ms=50.0)
+        assert any("outside parent" in e for e in validate_trace([parent, child]))
+
+
+class TestMetrics:
+    def test_counters_accumulate_and_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.add("exchange.calls")
+        registry.add("exchange.calls")
+        registry.add("exchange.seconds", 0.5)
+        registry.set("instance.size", 10)
+        registry.set("instance.size", 7)
+        assert registry.value("exchange.calls") == 2
+        assert registry.value("exchange.seconds") == 0.5
+        assert registry.value("instance.size") == 7
+        assert registry.value("never.touched") == 0.0
+        assert registry.snapshot() == {
+            "exchange.calls": 2.0,
+            "exchange.seconds": 0.5,
+            "instance.size": 7.0,
+        }
+
+
+class TestReport:
+    def _trace(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("exchange"):
+            with tracer.span("exchange.round"):
+                pass
+            with tracer.span("exchange.round"):
+                pass
+        return sink.records()
+
+    def test_rollup_aggregates_by_name_path(self):
+        rows = rollup_rows(build_rollup(self._trace()))
+        by_path = {r["path"]: r for r in rows}
+        assert by_path["exchange"]["count"] == 1
+        assert by_path["exchange/exchange.round"]["count"] == 2
+        assert by_path["exchange/exchange.round"]["depth"] == 1
+
+    def test_self_time_is_wall_minus_direct_children(self):
+        records = [
+            {"span": 1, "parent": None, "name": "a", "t0": 0.0,
+             "wall_ms": 10.0, "cpu_ms": 0.0, "status": "ok", "attrs": {}},
+            {"span": 2, "parent": 1, "name": "b", "t0": 0.001,
+             "wall_ms": 4.0, "cpu_ms": 0.0, "status": "ok", "attrs": {}},
+        ]
+        rows = {r["path"]: r for r in rollup_rows(build_rollup(records))}
+        assert rows["a"]["self_ms"] == pytest.approx(6.0)
+        assert rows["a/b"]["self_ms"] == pytest.approx(4.0)
+
+    def test_phase_totals_and_top_spans(self):
+        records = self._trace()
+        totals = phase_totals(records)
+        assert set(totals) == {"exchange", "exchange.round"}
+        assert top_spans(records, 1)[0]["name"] == "exchange"
+
+    def test_render_handles_empty_trace(self):
+        assert render_report([]) == "trace is empty: no spans"
+        text = render_report(self._trace())
+        assert "exchange.round" in text and "self_ms" in text
+
+
+class TestCli:
+    def _write_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        with tracer.span("exchange"):
+            pass
+        tracer.close()
+        return path
+
+    def test_report_and_validate_ok(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert obs_main(["validate", str(path)]) == 0
+        assert "trace check: ok" in capsys.readouterr().out
+        assert obs_main(["report", str(path)]) == 0
+        assert "exchange" in capsys.readouterr().out
+
+    def test_report_json_is_machine_readable(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert obs_main(["report", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] == 1
+        assert payload["phase_totals"].keys() == {"exchange"}
+
+    def test_empty_trace_fails_report(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert obs_main(["report", str(path)]) == 1
+        assert obs_main(["validate", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_invalid_trace_fails_validate(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"span": 1, "name": "x"}\n', encoding="utf-8")
+        assert obs_main(["validate", str(path)]) == 1
+        assert "problem(s)" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_2(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        capsys.readouterr()
+
+
+class TestTaxonomyAndFingerprints:
+    def test_taxonomy_names_are_well_formed(self):
+        for name, description in SPANS.items():
+            assert name == name.strip() and " " not in name
+            assert description.endswith(".")
+
+    def test_statement_fingerprint_normalizes_whitespace(self):
+        a = statement_fingerprint("SELECT  *\n FROM t")
+        b = statement_fingerprint("SELECT * FROM t")
+        c = statement_fingerprint("SELECT * FROM other")
+        assert a == b != c
+        assert len(a) == 8

@@ -13,7 +13,10 @@ Three checks, all cheap enough for every push:
 * **analyzer code catalog** — ``docs/analysis.md`` must document every
   diagnostic code in ``repro.analysis.diagnostics.CODES`` (in a table
   row, with the matching severity) and must not document codes that no
-  longer exist.
+  longer exist;
+* **span taxonomy catalog** — ``docs/observability.md`` must document
+  every span name in ``repro.obs.taxonomy.SPANS`` (in a table row) and
+  must not document spans the instrumentation can no longer emit.
 
 Run:  python tools/check_docs.py   (or  python -m tools.check_docs)
 Exits non-zero with one line per violation.
@@ -116,12 +119,43 @@ def check_analysis_catalog(root: Path) -> list[str]:
     return errors
 
 
+#: documented span names: a table row like ``| `exchange.round` | ... |``.
+_SPAN_ROW = re.compile(r"^\|\s*`([a-z_][a-z0-9_.]*)`\s*\|", re.M)
+
+
+def check_observability_catalog(root: Path) -> list[str]:
+    """Cross-check docs/observability.md against the span taxonomy."""
+    from repro.obs.taxonomy import SPANS
+
+    page = root / "docs" / "observability.md"
+    if not page.exists():
+        return [f"{page.relative_to(root)}: missing (span taxonomy page)"]
+    text = page.read_text("utf-8")
+    # Only the taxonomy section's table rows count (the record-schema
+    # table also has backticked first columns).
+    marker = "## Span taxonomy"
+    if marker not in text:
+        return [f"{page.relative_to(root)}: missing '{marker}' section"]
+    section = text.split(marker, 1)[1].split("\n## ", 1)[0]
+    documented = set(_SPAN_ROW.findall(section))
+    errors = []
+    for name in sorted(set(SPANS) - documented):
+        errors.append(f"docs/observability.md: span {name} is undocumented")
+    for name in sorted(documented - set(SPANS)):
+        errors.append(
+            f"docs/observability.md: documents unknown span {name} "
+            "(removed from repro.obs.taxonomy?)"
+        )
+    return errors
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     errors = (
         check_markdown_links(REPO_ROOT)
         + check_cdss_docstrings()
         + check_analysis_catalog(REPO_ROOT)
+        + check_observability_catalog(REPO_ROOT)
     )
     for error in errors:
         print(error)

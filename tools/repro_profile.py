@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Profile a ``repro.obs`` JSONL trace from the command line.
+
+Convenience wrapper over ``python -m repro.obs`` for checkouts where
+``src/`` is not already on ``PYTHONPATH``::
+
+    python tools/repro_profile.py report trace.jsonl [--top N] [--json]
+    python tools/repro_profile.py validate trace.jsonl
+
+See docs/observability.md for how to produce a trace.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
