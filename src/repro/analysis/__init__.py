@@ -61,10 +61,25 @@ __all__ = [
     "Report",
     "analyze",
     "analyze_program",
+    "analyze_query",
     "build_position_graph",
     "make_report",
     "severity_of",
 ]
+
+
+def analyze_query(cdss: "CDSS", query: str) -> Report:
+    """RA5xx static analysis of one ProQL query (no data needed).
+
+    Checks path reachability over the schema graph (RA501), WHERE
+    satisfiability (RA502), dead membership conditions (RA503), and
+    parse/reference failures (RA504) — see
+    :mod:`repro.analysis.query`.  ``CDSS.query(validate=...)`` and the
+    CLI's ``--query`` flag both route here.
+    """
+    from repro.analysis.query import analyze_query as _analyze_query
+
+    return _analyze_query(cdss, query)
 
 
 def analyze_program(
@@ -88,6 +103,7 @@ def analyze(
     policies: "Iterable[TrustPolicy]" = (),
     lowering: bool = True,
     store: "ExchangeStore | None" = None,
+    query: str | None = None,
 ) -> Report:
     """Full static analysis of *cdss* — without touching any data.
 
@@ -97,7 +113,8 @@ def analyze(
     ``store`` lets the lowering lint run against an existing — e.g.
     reopened on-disk — store instead of a throwaway in-memory one.
     Only ``EXPLAIN`` and idempotent ``CREATE TABLE`` statements ever
-    reach the store.
+    reach the store.  ``query`` additionally runs the RA5xx ProQL
+    analysis of that query against this system's schema graph.
     """
     from repro.analysis.lowering import lowering_pass
 
@@ -125,4 +142,10 @@ def analyze(
         )
         diagnostics.extend(lowering_diagnostics)
         stats.update(lowering_stats)
+    if query is not None:
+        from repro.analysis.query import query_pass
+
+        query_diagnostics, query_stats = query_pass(cdss, query)
+        diagnostics.extend(query_diagnostics)
+        stats.update(query_stats)
     return make_report(diagnostics, stats)

@@ -84,8 +84,16 @@ def _load_file_target(path: Path) -> tuple["CDSS", list]:
     return cdss, policies
 
 
-def analyze_target(target: str, lowering: bool = True) -> Report:
-    """Analyze one CLI target, mapping build failures to RA001."""
+def analyze_target(
+    target: str,
+    lowering: bool = True,
+    queries: list[str] | None = None,
+) -> Report:
+    """Analyze one CLI target, mapping build failures to RA001.
+
+    ``queries`` runs the RA5xx ProQL lint for each given query against
+    the target's schema graph, merged into the one report.
+    """
     try:
         if target.startswith(("chain:", "branched:")):
             cdss = _build_spec_target(target)
@@ -94,7 +102,19 @@ def analyze_target(target: str, lowering: bool = True) -> Report:
             cdss, policies = _load_file_target(Path(target))
     except Exception as exc:  # noqa: BLE001 - CLI boundary
         return _failure(target, f"{type(exc).__name__}: {exc}")
-    return analyze(cdss, policies=policies, lowering=lowering)
+    report = analyze(cdss, policies=policies, lowering=lowering)
+    if not queries:
+        return report
+    from repro.analysis.query import query_pass
+
+    diagnostics = list(report.diagnostics)
+    stats = dict(report.stats)
+    for query in queries:
+        query_diagnostics, query_stats = query_pass(cdss, query)
+        diagnostics.extend(query_diagnostics)
+        for key, value in query_stats.items():
+            stats[key] = stats.get(key, 0) + value
+    return make_report(diagnostics, stats)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -119,9 +139,19 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the SQL EXPLAIN dry-run (the only pass that opens "
         "a SQLite connection)",
     )
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        metavar="PROQL",
+        help="also lint this ProQL query (RA5xx) against each target's "
+        "schema graph; repeatable",
+    )
     args = parser.parse_args(argv)
     reports = {
-        target: analyze_target(target, lowering=not args.no_lowering)
+        target: analyze_target(
+            target, lowering=not args.no_lowering, queries=args.query
+        )
         for target in args.targets
     }
     failed = [target for target, report in reports.items() if not report.ok]

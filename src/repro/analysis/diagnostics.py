@@ -14,6 +14,7 @@ Code blocks by pass:
 * ``RA2xx`` — termination (weak acyclicity, topology reachability).
 * ``RA3xx`` — trust-policy references.
 * ``RA4xx`` — SQL lowering drift (``EXPLAIN`` dry-runs).
+* ``RA5xx`` — ProQL query analysis (reachability, satisfiability).
 """
 
 from __future__ import annotations
@@ -46,6 +47,10 @@ CODES: dict[str, tuple[str, str]] = {
     "RA402": (ERROR, "derivability lowering failed EXPLAIN"),
     "RA403": (ERROR, "graph-query lowering failed EXPLAIN"),
     "RA404": (WARNING, "rule outside the SQL-compilable fragment"),
+    "RA501": (WARNING, "statically empty path (relation unreachable from spec)"),
+    "RA502": (ERROR, "unsatisfiable WHERE condition"),
+    "RA503": (WARNING, "condition on a relation the rewriting never touches"),
+    "RA504": (ERROR, "query failed to parse or references unknown names"),
 }
 
 #: severity sort rank (errors first in reports).
@@ -144,7 +149,7 @@ class Report:
             return
         lines = [str(d) for d in self.errors]
         raise AnalysisError(
-            f"mapping program failed static analysis with "
+            f"static analysis failed with "
             f"{len(lines)} error(s):\n" + "\n".join(lines)
         )
 

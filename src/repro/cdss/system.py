@@ -44,6 +44,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exchange.graph_queries import StoreGraphQueries
     from repro.exchange.sql_executor import ExchangeStore
     from repro.obs.trace import NullTracer, Tracer
+    from repro.proql.graph_engine import ProQLResult
+    from repro.proql.pruning import UnfoldCache
 
 #: EvaluationResult fields mirrored into the metrics registry after
 #: every lifecycle call (prefixed with the call kind: ``exchange.*``,
@@ -108,6 +110,9 @@ class CDSS:
         #: compiled-program cache shared by both exchange engines;
         #: invalidated whenever the mapping program can change.
         self.plan_cache = ProgramCache()
+        #: lazily created unfolded-ProQL-program cache (see
+        #: :attr:`unfold_cache`); None until the first query needs it.
+        self._unfold_cache: "UnfoldCache | None" = None
         #: lazily created SQLite mirror for ``engine="sqlite"``.
         self.exchange_store: "ExchangeStore | None" = None
         self._owns_store = False
@@ -158,6 +163,8 @@ class CDSS:
         for schema in peer.relations:
             self._register_relation(schema)
         self.plan_cache.invalidate()
+        if self._unfold_cache is not None:
+            self._unfold_cache.invalidate()
         return peer
 
     def _register_relation(self, schema: RelationSchema) -> None:
@@ -199,6 +206,8 @@ class CDSS:
                 )
         self.mappings[mapping.name] = mapping
         self.plan_cache.invalidate()
+        if self._unfold_cache is not None:
+            self._unfold_cache.invalidate()
         return mapping
 
     def add_mappings(self, texts: Iterable[str]) -> list[SchemaMapping]:
@@ -803,6 +812,96 @@ class CDSS:
                 mapping_functions=policy.mapping_functions(),
             ),
         )
+
+    # -- ProQL ------------------------------------------------------------
+
+    @property
+    def unfold_cache(self) -> "UnfoldCache":
+        """Memoized unfolded ProQL programs (created on first use).
+
+        Shared by every :class:`~repro.proql.sql_engine.SQLEngine` over
+        this system, keyed per (query fingerprint, order-normalized
+        mapping fingerprint, data-bearing relations) the same way
+        :attr:`plan_cache` keys compiled exchange plans; invalidated
+        whenever the mapping program can change.  Hit/miss totals also
+        land in :attr:`metrics` as ``unfold.cache_hits`` /
+        ``unfold.cache_misses``.
+        """
+        cache = self._unfold_cache
+        if cache is None:
+            from repro.proql.pruning import UnfoldCache
+
+            cache = self._unfold_cache = UnfoldCache()
+        return cache
+
+    def query(
+        self,
+        query: str,
+        engine: str = "memory",
+        storage: "object | None" = None,
+        validate: str = "off",
+    ) -> "ProQLResult":
+        """Run one ProQL query over the exchanged instance.
+
+        ``engine="memory"`` evaluates against the in-memory provenance
+        graph; ``engine="sqlite"`` runs the SQL pipeline (unfold +
+        joins) over *storage* — an already-loaded
+        :class:`~repro.storage.sqlite_backend.SQLiteStorage` — or over
+        a temporary one mirrored from this system when omitted.
+
+        ``validate`` pre-flights the query through the static analyzer
+        (:func:`repro.analysis.analyze_query`): ``"warn"`` reports
+        RA5xx findings as a warning, ``"error"`` raises
+        :class:`~repro.errors.AnalysisError` on errors (e.g. RA502
+        unsatisfiable condition); the report lands in
+        :attr:`last_validation` either way.  Store-resident systems
+        must query through the resident graph-query API instead.
+        """
+        if validate != "off":
+            if validate not in ("warn", "error"):
+                raise ExchangeError(
+                    f"unknown validate mode {validate!r}; "
+                    'expected "off", "warn", or "error"'
+                )
+            from repro.analysis import analyze_query
+
+            report = analyze_query(self, query)
+            self.last_validation = report
+            if validate == "error":
+                report.raise_for_errors()
+            elif report.diagnostics:
+                warnings.warn(
+                    f"query pre-flight:\n{report}", stacklevel=2
+                )
+        if self._resident:
+            raise ExchangeError(
+                "ProQL queries need the materialized instance/graph, "
+                "which a store-resident system does not keep in "
+                "Python; use the resident graph-query API "
+                "(lineage/derivability/trusted) instead"
+            )
+        if engine == "memory":
+            from repro.proql.graph_engine import GraphEngine
+
+            return GraphEngine(self.graph, self.catalog).run(query)
+        if engine != "sqlite":
+            raise ExchangeError(
+                f"unknown query engine {engine!r}; "
+                'expected "memory" or "sqlite"'
+            )
+        from repro.proql.sql_engine import SQLEngine
+        from repro.storage.sqlite_backend import SQLiteStorage
+
+        owned = storage is None
+        if owned:
+            storage = SQLiteStorage(self)
+            storage.load()
+        assert isinstance(storage, SQLiteStorage)
+        try:
+            return SQLEngine(storage).run(query)
+        finally:
+            if owned:
+                storage.close()
 
     # -- stats ------------------------------------------------------------
 

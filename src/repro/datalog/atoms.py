@@ -39,7 +39,14 @@ class Atom:
         return tuple(ground(t, subst) for t in self.terms)
 
     def substitute(self, subst: Mapping[Variable, Term]) -> "Atom":
-        """Apply a term-to-term substitution (rule unfolding)."""
+        """Apply a term-to-term substitution (rule unfolding).
+
+        Returns ``self`` when no variable of the atom is bound, so
+        whole-rule substitutions with narrow domains (spec merging
+        during unfolding) skip the rebuild for untouched atoms.
+        """
+        if not any(v in subst for v in self.variables()):
+            return self
         return Atom(self.relation, tuple(substitute(t, subst) for t in self.terms))
 
     def rename(self, suffix: str) -> "Atom":

@@ -39,4 +39,5 @@ SPANS: dict[str, str] = {
     "unfold.expand": "Unfolding stage: mapping application / alternative expansion.",
     "unfold.merge_specs": "Unfolding stage: merging projection specs into rewritten rules.",
     "unfold.dedupe": "Unfolding stage: canonical-form deduplication of rewritings.",
+    "unfold.prune": "Unfolding stage: oracle pruning + subsumption factorization (attrs: rules).",
 }

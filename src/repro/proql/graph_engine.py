@@ -70,7 +70,7 @@ class ProQLResult:
 class GraphEngine:
     """Evaluates ProQL queries against a provenance graph."""
 
-    def __init__(self, graph: ProvenanceGraph, catalog: Catalog):
+    def __init__(self, graph: ProvenanceGraph, catalog: Catalog) -> None:
         self.graph = graph
         self.catalog = catalog
 

@@ -31,7 +31,7 @@ from repro.proql.lexer import Token, tokenize
 
 
 class _Parser:
-    def __init__(self, tokens: list[Token], text: str):
+    def __init__(self, tokens: list[Token], text: str) -> None:
         self.tokens = tokens
         self.text = text
         self.pos = 0

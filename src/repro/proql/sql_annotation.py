@@ -43,11 +43,11 @@ from repro.proql.ast import (
     VarRef,
 )
 from repro.proql.sql_translator import SchemaLookup
-from repro.proql.unfolding import UnfoldedRule
+from repro.proql.unfolding import DerivSpec, UnfoldedRule
 from repro.relational.schema import public_name
 from repro.semirings.base import Semiring
 from repro.semirings.registry import get_semiring
-from repro.storage.encoding import quote_identifier
+from repro.storage.encoding import ValueCodec, quote_identifier
 
 #: Semirings whose values and operations have direct SQL encodings.
 SQL_SEMIRINGS = {
@@ -86,14 +86,14 @@ class _RuleExpression:
         locations: Mapping[Variable, tuple[str, str]],
         leaf_clause: LeafAssignClause | None,
         mapping_values: Mapping[str, object | None],
-    ):
+    ) -> None:
         self.rule = rule
         self.semiring = semiring
         self.cdss = cdss
         self.locations = locations
         self.leaf_clause = leaf_clause
         self.mapping_values = mapping_values
-        self._head_index = {}
+        self._head_index: dict[Atom, DerivSpec] = {}
         for spec in rule.specs:
             for atom in spec.head:
                 self._head_index.setdefault(atom, spec)
@@ -290,7 +290,7 @@ def compile_annotation_query(
     rules: list[UnfoldedRule],
     cdss: CDSS,
     schema_lookup: SchemaLookup,
-    codec,
+    codec: ValueCodec,
 ) -> AnnotationQuery:
     """Compile an EVALUATE query into one SQL aggregation statement.
 

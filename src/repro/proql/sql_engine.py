@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import ProQLSemanticError
 from repro.obs.trace import NULL_TRACER
@@ -92,7 +92,7 @@ class SQLResult(ProQLResult):
 
 
 #: Rewrites the unfolded rules (identity unless ASRs are registered).
-RuleRewriter = "Callable[[list[UnfoldedRule]], list[UnfoldedRule]]"
+RuleRewriter = Callable[[list[UnfoldedRule]], list[UnfoldedRule]]
 
 
 class SQLEngine:
@@ -101,16 +101,25 @@ class SQLEngine:
     def __init__(
         self,
         storage: SQLiteStorage,
-        rewriter=None,
+        rewriter: RuleRewriter | None = None,
         schema_lookup: SchemaLookup | None = None,
         max_rules: int = 100_000,
-    ):
+        prune: bool = True,
+    ) -> None:
         self.storage = storage
         self.cdss = storage.cdss
         self.schema_graph = SchemaGraph.of(self.cdss)
         self.tracer = getattr(self.cdss, "tracer", None) or NULL_TRACER
+        # The unfolded-program cache lives on the CDSS (like
+        # plan_cache) so repeat queries hit it across engine instances.
+        cache = getattr(self.cdss, "unfold_cache", None)
         self.unfolder = Unfolder(
-            self.cdss, self.schema_graph, max_rules=max_rules, tracer=self.tracer
+            self.cdss,
+            self.schema_graph,
+            max_rules=max_rules,
+            tracer=self.tracer,
+            prune=prune,
+            cache=cache,
         )
         self.rewriter = rewriter
         self.schema_lookup = schema_lookup or default_schema_lookup(self.cdss)
@@ -140,7 +149,10 @@ class SQLEngine:
                     out.setdefault(spec.variable, spec.relation)
         return out
 
-    def _step_mappings(self, projection: Projection):
+    @staticmethod
+    def _step_mappings(
+        projection: Projection,
+    ) -> Callable[[Step], set[str] | None]:
         where = projection.where
 
         def allowed(step: Step) -> set[str] | None:
@@ -152,7 +164,8 @@ class SQLEngine:
 
         return allowed
 
-    def _all_paths(self, projection: Projection) -> list[PathExpr]:
+    @staticmethod
+    def _all_paths(projection: Projection) -> list[PathExpr]:
         paths = list(projection.for_paths)
         paths.extend(projection.include_paths)
         stack = [projection.where] if projection.where is not None else []

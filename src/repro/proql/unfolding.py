@@ -39,8 +39,15 @@ from repro.datalog.atoms import Atom
 from repro.datalog.terms import Term, Variable
 from repro.datalog.unification import unify_atoms
 from repro.errors import ProQLSemanticError
+from repro.exchange.cache import program_fingerprint
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.proql.ast import PathExpr, Step, TupleSpec
+from repro.proql.pruning import (
+    Factorizer,
+    PatternViability,
+    PruningOracle,
+    UnfoldCache,
+)
 from repro.proql.schema_graph import SchemaGraph
 from repro.relational.schema import local_name
 
@@ -51,19 +58,23 @@ class _StageClock:
     The worklist loop runs thousands of iterations on fig08-sized
     topologies, so stages are timed with plain guarded ``perf_counter``
     reads (no span per iteration); the accumulated totals are emitted
-    as three :meth:`~repro.obs.trace.Tracer.record` pseudo-spans at the
-    end of the run.  ``expand`` includes the merge time spent inside
+    as :meth:`~repro.obs.trace.Tracer.record` pseudo-spans at the end
+    of the run.  ``expand`` includes the merge time spent inside
     :meth:`Unfolder._merge_specs`; the emitter subtracts it so the
-    three reported stages stay disjoint.
+    reported stages stay disjoint.  ``prune`` covers the subsumption
+    factorization at rule-completion time; ``pruned_rules`` counts the
+    rewritings it dropped.
     """
 
-    __slots__ = ("enabled", "expand", "merge", "dedupe")
+    __slots__ = ("enabled", "expand", "merge", "dedupe", "prune", "pruned_rules")
 
     def __init__(self, enabled: bool) -> None:
         self.enabled = enabled
         self.expand = 0.0
         self.merge = 0.0
         self.dedupe = 0.0
+        self.prune = 0.0
+        self.pruned_rules = 0
 
     def emit(self, tracer: "Tracer | NullTracer") -> None:
         if not self.enabled:
@@ -71,6 +82,7 @@ class _StageClock:
         tracer.record("unfold.expand", max(0.0, self.expand - self.merge))
         tracer.record("unfold.merge_specs", self.merge)
         tracer.record("unfold.dedupe", self.dedupe)
+        tracer.record("unfold.prune", self.prune, rules=self.pruned_rules)
 
 KIND_OPEN = "open"
 KIND_PROV = "prov"
@@ -90,7 +102,8 @@ class BodyItem:
     states: frozenset = frozenset()
 
     def substitute(self, theta: Mapping[Variable, Term]) -> "BodyItem":
-        return replace(self, atom=self.atom.substitute(theta))
+        atom = self.atom.substitute(theta)
+        return self if atom is self.atom else replace(self, atom=atom)
 
 
 @dataclass(frozen=True)
@@ -115,7 +128,7 @@ class DerivSpec:
 def _substitute_term(term: Term, theta: Mapping[Variable, Term]) -> Term:
     from repro.datalog.terms import substitute
 
-    return substitute(term, dict(theta))
+    return substitute(term, theta)
 
 
 @dataclass
@@ -207,7 +220,9 @@ class Unfolder:
         has_local_data: Callable[[str], bool] | None = None,
         max_rules: int = 100_000,
         tracer: "Tracer | NullTracer | None" = None,
-    ):
+        prune: bool = True,
+        cache: UnfoldCache | None = None,
+    ) -> None:
         self.cdss = cdss
         self.graph = schema_graph or SchemaGraph.of(cdss)
         if has_local_data is None:
@@ -219,15 +234,23 @@ class Unfolder:
         if tracer is None:
             tracer = getattr(cdss, "tracer", None) or NULL_TRACER
         self.tracer: "Tracer | NullTracer" = tracer
+        #: apply the static pruning oracle + subsumption factorization
+        #: (equivalence-preserving; ``False`` gives the exhaustive
+        #: enumeration, kept for the property tests).
+        self.prune = prune
+        #: optional :class:`~repro.proql.pruning.UnfoldCache`; repeat
+        #: queries over unchanged mappings/data skip unfolding.
+        self.cache = cache
         self._clock = _StageClock(False)
         self._fresh = itertools.count()
 
     # -- shared helpers ------------------------------------------------------------
 
-    def _fresh_mapping(
-        self, mapping: SchemaMapping
-    ) -> tuple[Atom | None, tuple[Atom, ...], tuple[Atom, ...], tuple[Term, ...]]:
-        """Rename a mapping apart; return (P-atom|None, head, body, key)."""
+    def _fresh_mapping(self, mapping: SchemaMapping) -> tuple[
+        Atom | None, tuple[Atom, ...], tuple[Atom, ...], tuple[Term, ...], str
+    ]:
+        """Rename a mapping apart; return (P-atom|None, head, body, key,
+        rename suffix)."""
         suffix = f"__u{next(self._fresh)}"
         rule = mapping.rule.rename_variables(suffix)
         key_terms = tuple(
@@ -236,7 +259,54 @@ class Unfolder:
         prov_atom = None
         if not mapping.is_superfluous:
             prov_atom = Atom(provenance_relation_name(mapping.name), key_terms)
-        return prov_atom, rule.head, rule.body, key_terms
+        return prov_atom, rule.head, rule.body, key_terms, suffix
+
+    def _data_relations(self) -> frozenset[str]:
+        """Public relations whose local tables currently hold data."""
+        return frozenset(
+            relation
+            for relation in self.graph.relations
+            if self.has_local_data(relation)
+        )
+
+    def _oracle(self) -> PruningOracle | None:
+        """A fresh pruning oracle for one run (None with pruning off).
+
+        Rebuilt per run because productivity depends on which local
+        tables hold data *now*; the fixpoint is linear in the schema
+        graph and costs microseconds next to the unfolding itself.
+        """
+        if not self.prune:
+            return None
+        return PruningOracle(self.graph, self.has_local_data)
+
+    def _cache_key(self, mode: str, query_fingerprint: tuple) -> tuple:
+        """(query fingerprint, mapping fingerprint, data, prune) key."""
+        return (
+            mode,
+            query_fingerprint,
+            program_fingerprint(m.rule for m in self.cdss.mappings.values()),
+            self._data_relations(),
+            self.prune,
+        )
+
+    def _cache_get(self, key: tuple | None) -> list[UnfoldedRule] | None:
+        if self.cache is None or key is None:
+            return None
+        rules = self.cache.get(key)
+        metrics = getattr(self.cdss, "metrics", None)
+        if metrics is not None:
+            metrics.add(
+                "unfold.cache_hits" if rules is not None
+                else "unfold.cache_misses"
+            )
+        return rules
+
+    def _cache_put(
+        self, key: tuple | None, rules: list[UnfoldedRule]
+    ) -> None:
+        if self.cache is not None and key is not None:
+            self.cache.put(key, rules)
 
     def _anchor_atom(self, relation: str) -> Atom:
         schema = self.cdss.catalog[relation]
@@ -278,7 +348,10 @@ class Unfolder:
             first, second = rule.specs[i], rule.specs[j]
             theta: dict[Variable, Term] = {}
             consistent = True
-            for a, b in zip(first.head + first.body, second.head + second.body):
+            # Unify with the *newer* spec on the left so its (freshly
+            # renamed) variables bind toward the older spec's terms —
+            # the substitution then touches as few atoms as possible.
+            for b, a in zip(first.head + first.body, second.head + second.body):
                 unifier = unify_atoms(a.substitute(theta), b.substitute(theta))
                 if unifier is None:
                     consistent = False
@@ -362,12 +435,40 @@ class Unfolder:
             rule.anchor, tuple(items), rule.specs, rule.not_null, rule.completed
         )
 
-    def _guard(self, count: int) -> None:
+    def _guard(self, count: int, relation: str) -> None:
         if count > self.max_rules:
             raise ProQLSemanticError(
-                f"unfolding exceeded {self.max_rules} rules; the query/"
-                "topology is too complex (see Figure 7's exponential growth)"
+                f"unfolding derivations of {relation!r} exceeded the "
+                f"limit: {count} rules > max_rules={self.max_rules}.  "
+                f"The mapping closure upstream of {relation!r} is too "
+                "complex (see Figure 7's exponential growth); raise "
+                "max_rules=, constrain the path with named mappings/"
+                "relations, or prune the topology"
             )
+
+    def _admit(
+        self,
+        rule: UnfoldedRule,
+        complete: list[UnfoldedRule],
+        factorizer: Factorizer | None,
+        clock: _StageClock,
+    ) -> None:
+        """Append *rule* unless subsumed; evict rules it subsumes.
+
+        The Gottlob et al. factorization step, run incrementally at
+        rule-completion time so the worklist never re-explores a
+        rewriting the factorizer already covered.  ``factorizer.rules``
+        *is* ``complete`` (same list object, mutated in place).
+        """
+        if factorizer is None:
+            complete.append(rule)
+            return
+        t0 = time.perf_counter() if clock.enabled else 0.0
+        before = factorizer.dropped
+        factorizer.admit(rule)
+        clock.pruned_rules += factorizer.dropped - before
+        if clock.enabled:
+            clock.prune += time.perf_counter() - t0
 
     # -- mode B: full ancestry ------------------------------------------------------
 
@@ -380,10 +481,20 @@ class Unfolder:
 
         Every atom unfolds to either its local-contribution table or a
         provenance step through an allowed mapping; rules whose atoms
-        can do neither are dropped (their joins would be empty).
+        can do neither are dropped (their joins would be empty).  With
+        :attr:`prune` on, the oracle cuts such branches *before* they
+        are explored (unproductive relations can have no derivation)
+        and subsumed rewritings are factorized away on completion.
         """
         if allowed_mappings is None:
             allowed_mappings = self.graph.upstream_mappings([anchor_relation])
+        cache_key = self._cache_key(
+            "full", (anchor_relation, tuple(sorted(allowed_mappings)))
+        )
+        cached = self._cache_get(cache_key)
+        if cached is not None:
+            return cached
+        oracle = self._oracle()
         anchor = self._anchor_atom(anchor_relation)
         start = UnfoldedRule(
             anchor,
@@ -391,32 +502,42 @@ class Unfolder:
             (),
             completed=True,
         )
-        complete: list[UnfoldedRule] = []
+        factorizer = Factorizer() if self.prune else None
+        complete: list[UnfoldedRule] = (
+            factorizer.rules if factorizer is not None else []
+        )
         seen: set[tuple] = set()
         worklist = [start]
         clock = self._clock = _StageClock(self.tracer.enabled)
+        if oracle is not None and not oracle.productive(anchor_relation):
+            clock.emit(self.tracer)
+            self._cache_put(cache_key, complete)
+            return complete
         while worklist:
             rule = worklist.pop()
             index = rule.open_index()
             if index is None:
                 t0 = time.perf_counter() if clock.enabled else 0.0
                 key = rule.canonical_key()
-                if key not in seen:
-                    seen.add(key)
-                    complete.append(rule)
-                    self._guard(len(complete))
                 if clock.enabled:
                     clock.dedupe += time.perf_counter() - t0
+                if key not in seen:
+                    seen.add(key)
+                    self._admit(rule, complete, factorizer, clock)
+                    self._guard(len(complete), anchor_relation)
                 continue
             if self._already_resolved(rule, rule.items[index]):
                 worklist.append(self._drop_item(rule, index))
                 continue
             t0 = time.perf_counter() if clock.enabled else 0.0
-            worklist.extend(self._alternatives(rule, index, allowed_mappings))
+            worklist.extend(
+                self._alternatives(rule, index, allowed_mappings, oracle)
+            )
             if clock.enabled:
                 clock.expand += time.perf_counter() - t0
-            self._guard(len(worklist) + len(complete))
+            self._guard(len(worklist) + len(complete), anchor_relation)
         clock.emit(self.tracer)
+        self._cache_put(cache_key, complete)
         return complete
 
     def _alternatives(
@@ -424,15 +545,25 @@ class Unfolder:
         rule: UnfoldedRule,
         index: int,
         allowed_mappings: set[str],
+        oracle: PruningOracle | None = None,
     ) -> list[UnfoldedRule]:
         """Local-stop and mapping-step alternatives for one open atom
         (full-ancestry mode)."""
         item = rule.items[index]
         relation = item.atom.relation
+        if oracle is not None and not oracle.productive(relation):
+            # No derivation can ground this atom: the whole rule is
+            # dead, so stop exploring it (and its sibling atoms) now.
+            return []
         out: list[UnfoldedRule] = []
         if self.has_local_data(relation):
             out.append(self._stop_local(rule, index))
-        for name in self.graph.mappings_into(relation):
+        names = (
+            oracle.useful_mappings(relation)
+            if oracle is not None
+            else self.graph.mappings_into(relation)
+        )
+        for name in names:
             if name not in allowed_mappings or name in item.visited:
                 continue
             mapping = self.cdss.mappings[name]
@@ -482,14 +613,26 @@ class Unfolder:
         item = rule.items[index]
         out: list[UnfoldedRule] = []
         for head_index, _ in enumerate(mapping.head):
-            prov_atom, head, body, key = self._fresh_mapping(mapping)
+            prov_atom, head, body, key, suffix = self._fresh_mapping(mapping)
             head_atom = head[head_index]
             if head_atom.relation != item.atom.relation:
                 continue
-            theta = unify_atoms(item.atom, head_atom)
+            # Unify with the fresh head atom on the left so its renamed
+            # variables bind toward the rule's terms: bindings for the
+            # rule's own variables then only arise from repeated
+            # variables or constants in the mapping head.  Splitting
+            # theta on the rename suffix lets the (usually empty)
+            # rule-side part skip the whole-rule substitution — the
+            # dominant cost on fig08-sized unfoldings.
+            theta = unify_atoms(head_atom, item.atom)
             if theta is None:
                 continue
-            renamed = rule.substitute(theta)
+            rule_theta = {
+                var: term
+                for var, term in theta.items()
+                if not var.name.endswith(suffix)
+            }
+            renamed = rule.substitute(rule_theta) if rule_theta else rule
             new_items = list(renamed.items)
             visited = item.visited | {mapping.name}
             replacement: list[BodyItem] = []
@@ -563,10 +706,35 @@ class Unfolder:
                 rules.extend(self.full_ancestry(relation))
             return rules
         get_allowed = step_mappings or (lambda step: None)
-        complete: list[UnfoldedRule] = []
+        anchors = tuple(anchor_relations)
+        resolved_allowed = tuple(
+            None if (allowed := get_allowed(step)) is None
+            else tuple(sorted(allowed))
+            for step in steps
+        )
+        cache_key = self._cache_key(
+            "pattern", (str(path), tuple(sorted(anchors)), resolved_allowed)
+        )
+        cached = self._cache_get(cache_key)
+        if cached is not None:
+            return cached
+        oracle = self._oracle()
+        viability = (
+            PatternViability(self.graph, path, get_allowed)
+            if self.prune
+            else None
+        )
+        factorizer = Factorizer() if self.prune else None
+        complete: list[UnfoldedRule] = (
+            factorizer.rules if factorizer is not None else []
+        )
         seen: set[tuple] = set()
         worklist: list[UnfoldedRule] = []
-        for relation in anchor_relations:
+        for relation in anchors:
+            if viability is not None and not viability.start_viable(relation):
+                # The path NFA cannot reach a final state from this
+                # anchor over the schema graph: statically empty.
+                continue
             anchor = self._anchor_atom(relation)
             worklist.append(
                 UnfoldedRule(
@@ -587,12 +755,12 @@ class Unfolder:
                 if rule.completed:
                     t0 = time.perf_counter() if clock.enabled else 0.0
                     key = rule.canonical_key()
-                    if key not in seen:
-                        seen.add(key)
-                        complete.append(rule)
-                        self._guard(len(complete))
                     if clock.enabled:
                         clock.dedupe += time.perf_counter() - t0
+                    if key not in seen:
+                        seen.add(key)
+                        self._admit(rule, complete, factorizer, clock)
+                        self._guard(len(complete), rule.anchor.relation)
                 continue
             item = rule.items[index]
             if not item.states and self._already_resolved(rule, item):
@@ -600,12 +768,17 @@ class Unfolder:
                 continue
             t0 = time.perf_counter() if clock.enabled else 0.0
             worklist.extend(
-                self._pattern_alternatives(rule, index, path, get_allowed)
+                self._pattern_alternatives(
+                    rule, index, path, get_allowed, oracle, viability
+                )
             )
             if clock.enabled:
                 clock.expand += time.perf_counter() - t0
-            self._guard(len(worklist) + len(complete))
+            self._guard(
+                len(worklist) + len(complete), rule.anchor.relation
+            )
         clock.emit(self.tracer)
+        self._cache_put(cache_key, complete)
         return complete
 
     def _pattern_alternatives(
@@ -614,30 +787,40 @@ class Unfolder:
         index: int,
         path: PathExpr,
         get_allowed: Callable[[Step], set[str] | None],
+        oracle: PruningOracle | None = None,
+        viability: PatternViability | None = None,
     ) -> list[UnfoldedRule]:
         item = rule.items[index]
         steps = path.steps
         out: list[UnfoldedRule] = []
         final = len(steps)
         # Stop option: pattern complete at this atom -> base atom.
+        # With the oracle on, a base atom over an unproductive relation
+        # is an empty join — skip emitting the rule at all.
         if final in item.states or not item.states:
-            items = list(rule.items)
-            items[index] = BodyItem(item.atom, KIND_BASE)
-            out.append(
-                UnfoldedRule(
-                    rule.anchor,
-                    tuple(items),
-                    rule.specs,
-                    rule.not_null,
-                    rule.completed or final in item.states,
+            if oracle is None or oracle.productive(item.atom.relation):
+                items = list(rule.items)
+                items[index] = BodyItem(item.atom, KIND_BASE)
+                out.append(
+                    UnfoldedRule(
+                        rule.anchor,
+                        tuple(items),
+                        rule.specs,
+                        rule.not_null,
+                        rule.completed or final in item.states,
+                    )
                 )
-            )
         # Continue options: one derivation step through each candidate
         # mapping, continuing the pattern through one source atom.
         active = [p for p in item.states if p < final]
         if not active:
             return out
-        for name in self.graph.mappings_into(item.atom.relation):
+        names = (
+            oracle.useful_mappings(item.atom.relation)
+            if oracle is not None
+            else self.graph.mappings_into(item.atom.relation)
+        )
+        for name in names:
             if name in item.visited:
                 continue
             mapping = self.cdss.mappings[name]
@@ -657,6 +840,14 @@ class Unfolder:
                 new_states = self._transition(
                     usable, steps, path.specs, source_atom.relation
                 )
+                if viability is not None:
+                    # Drop NFA states that can no longer reach a final
+                    # state from this relation over the schema graph.
+                    new_states = frozenset(
+                        q
+                        for q in new_states
+                        if viability.viable(q, source_atom.relation)
+                    )
                 if not new_states:
                     continue
                 out.extend(

@@ -64,6 +64,8 @@ def test_catalog_checker_detects_drift(tmp_path):
     assert any("RA201 is undocumented" in e for e in errors)
     assert any("unknown code RA999" in e for e in errors)
     assert any("RA101 documented as warning" in e for e in errors)
+    # the query-analysis family needs its own catalog section
+    assert any("missing a '### RA5xx' section" in e for e in errors)
 
 
 def test_checker_detects_broken_links(tmp_path):

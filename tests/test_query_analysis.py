@@ -1,0 +1,360 @@
+"""Tests for the RA5xx ProQL query analysis and the pruning oracle.
+
+Three layers:
+
+* unit tests of ``condition_satisfiable`` and the ``query_pass`` codes
+  (RA501-RA504) on deterministic chain topologies;
+* the integration surface — ``analyze(query=)``, the CLI ``--query``
+  flag, ``CDSS.query(validate=...)``, and the unfold cache counters;
+* property tests — pruned and unpruned unfolding agree on answers and
+  annotations on both engines, and injected defects (dead relation,
+  unsatisfiable condition) yield diagnostics, never tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze, analyze_query
+from repro.analysis.query import condition_satisfiable
+from repro.cdss import CDSS, Peer
+from repro.errors import AnalysisError, ExchangeError
+from repro.proql import GraphEngine, SQLEngine, parse_query
+from repro.proql.ast import projection_of
+from repro.relational import RelationSchema
+from repro.workloads import chain, prepare_storage
+from repro.workloads.topologies import TopologySpec, build_topology
+
+TARGET_ALL = "FOR [P0_R1 $x] <-+ [] RETURN $x"
+UNSAT = "FOR [P0_R1 $x] <-+ [] WHERE $x.k = 0 AND $x.k = 1 RETURN $x"
+
+
+@pytest.fixture(scope="module")
+def chain4() -> CDSS:
+    return chain(4, base_size=2)
+
+
+# -- condition satisfiability (RA502's engine) ------------------------------------
+
+
+def where_of(text: str):
+    query = parse_query(f"FOR [R $x] WHERE {text} RETURN $x")
+    return projection_of(query).where
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "$x.k = 0 AND $x.k = 1",
+        "$x.k = 0 AND $x.k != 0",
+        "($x.k = 0 OR $x.k = 1) AND $x.k = 2",
+        "$p = m1 AND $p = m2",  # identifiers are constants
+        "$x in P0_R1 AND $x in P1_R1",  # two different memberships
+        "NOT $x.k = 0 AND $x.k = 0",  # NOT pushed into the compare
+    ],
+)
+def test_unsatisfiable_conditions(text):
+    assert condition_satisfiable(where_of(text)) is False
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "$x.k = 0 OR $x.k = 1",
+        "$x.k = 0 AND $x.v = 1",  # different attributes
+        "$x.k = 0 AND $y.k = 1",  # different variables
+        "$x.k >= 0 AND $x.k <= 0",  # ranges are opaque (sound)
+        "$x.k = $y.k AND $x.k != $y.k",  # var-to-var is opaque
+        "$x in P0_R1 AND NOT $x in P0_R1",  # negated membership opaque
+    ],
+)
+def test_satisfiable_or_opaque_conditions(text):
+    assert condition_satisfiable(where_of(text)) is True
+
+
+def test_none_condition_is_satisfiable():
+    assert condition_satisfiable(None) is True
+
+
+def test_branch_blowup_gives_up_soundly():
+    # Unsatisfiable core, but the OR clauses push the DNF expansion
+    # past the cap — the check must give up (True), not misreport.
+    clauses = " AND ".join(f"($x.a{i} = 0 OR $x.b{i} = 0)" for i in range(7))
+    text = f"$x.k = 0 AND $x.k = 1 AND {clauses}"
+    assert condition_satisfiable(where_of(text)) is True
+
+
+# -- the RA5xx codes --------------------------------------------------------------
+
+
+class TestCodes:
+    def test_clean_query(self, chain4):
+        report = analyze_query(chain4, TARGET_ALL)
+        assert report.ok and not report.diagnostics
+        assert report.stats["queries_analyzed"] == 1
+        assert report.stats["paths_analyzed"] == 1
+
+    def test_ra501_anchor_without_derivations(self, chain4):
+        # P3 is the most-upstream peer: no mapping derives into it, so
+        # a named endpoint can never be reached by backward steps.
+        report = analyze_query(
+            chain4, "FOR [P3_R1 $x] <-+ [P0_R1 $y] RETURN $x"
+        )
+        assert report.codes() == {"RA501"}
+        assert report.ok  # a warning, not an error
+
+    def test_leaf_anchor_with_open_endpoint_is_clean(self, chain4):
+        # The graph engine counts the local-contribution edge as one
+        # derivation step, so `<-+ []` matches even on a relation with
+        # no incoming mappings — RA501 must stay quiet.
+        report = analyze_query(chain4, "FOR [P3_R1 $x] <-+ [] RETURN $x")
+        assert not report.diagnostics
+        report = analyze_query(chain4, "FOR [P3_R1 $x] <- [$y] RETURN $x")
+        assert not report.diagnostics
+
+    def test_ra501_unreachable_endpoint(self, chain4):
+        # One single step from P0 only reaches P1's relations.
+        report = analyze_query(
+            chain4, "FOR [P0_R1 $x] <- [P3_R1 $y] RETURN $x"
+        )
+        assert report.codes() == {"RA501"}
+
+    def test_ra502_unsatisfiable_where(self, chain4):
+        report = analyze_query(chain4, UNSAT)
+        assert report.codes() == {"RA502"}
+        assert not report.ok
+
+    def test_ra503_untouched_membership(self, chain4):
+        report = analyze_query(
+            chain4, "FOR [P0_R1 $x] <- [$y] WHERE $y in P3_R2 RETURN $x"
+        )
+        assert report.codes() == {"RA503"}
+
+    def test_reachable_membership_is_clean(self, chain4):
+        report = analyze_query(
+            chain4, "FOR [P0_R1 $x] <-+ [$y] WHERE $y in P3_R2 RETURN $x"
+        )
+        assert not report.diagnostics
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "FOR [[ RETURN $x",  # syntax error
+            "FOR [Nowhere $x] <-+ [] RETURN $x",  # unknown relation
+            "FOR [P0_R1 $x] <m99 [$y] RETURN $x",  # unknown mapping
+            "FOR [P0_R1 $x] WHERE $y in Nowhere RETURN $x",  # unknown in WHERE
+        ],
+    )
+    def test_ra504_reference_failures(self, chain4, query):
+        report = analyze_query(chain4, query)
+        assert "RA504" in report.codes()
+        assert not report.ok
+
+    def test_analyze_merges_query_pass(self, chain4):
+        report = analyze(chain4, query=UNSAT)
+        assert "RA502" in report.codes()
+        # Both the program stats and the query stats are present.
+        assert report.stats["rules_analyzed"] > 0
+        assert report.stats["queries_analyzed"] == 1
+
+
+# -- CLI --------------------------------------------------------------------------
+
+
+def test_cli_query_flag_reports_ra5xx(capsys):
+    from repro.analysis.cli import main
+
+    rc = main(["chain:4", "--no-lowering", "--query", UNSAT, "--json"])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    codes = {d["code"] for d in payload["chain:4"]["diagnostics"]}
+    assert codes == {"RA502"}
+
+
+def test_cli_query_flag_clean(capsys):
+    from repro.analysis.cli import main
+
+    rc = main(["chain:4", "--no-lowering", "--query", TARGET_ALL])
+    assert rc == 0
+    assert "ok" in capsys.readouterr().out
+
+
+# -- CDSS.query and the validate= pre-flight --------------------------------------
+
+
+class TestCDSSQuery:
+    def test_engines_agree(self):
+        system = chain(4, base_size=2)
+        memory_rows = system.query(TARGET_ALL).rows
+        sqlite_rows = system.query(TARGET_ALL, engine="sqlite").rows
+        assert sorted(map(str, memory_rows)) == sorted(map(str, sqlite_rows))
+        assert memory_rows  # the target query has answers
+
+    def test_validate_error_raises(self):
+        system = chain(3, base_size=1)
+        with pytest.raises(AnalysisError, match="RA502"):
+            system.query(UNSAT, validate="error")
+        assert system.last_validation is not None
+        assert not system.last_validation.ok
+
+    def test_validate_warn_warns_and_runs(self):
+        system = chain(3, base_size=1)
+        with pytest.warns(UserWarning, match="RA501"):
+            result = system.query(
+                "FOR [P2_R1 $x] <- [P0_R1 $y] RETURN $x", validate="warn"
+            )
+        assert result.rows == []
+
+    def test_validate_error_lets_warnings_through(self):
+        system = chain(3, base_size=1)
+        result = system.query(
+            "FOR [P2_R1 $x] <- [P0_R1 $y] RETURN $x", validate="error"
+        )
+        assert result.rows == []
+        assert system.last_validation.codes() == {"RA501"}
+
+    def test_validate_rejects_unknown_mode(self):
+        system = chain(3, base_size=1)
+        with pytest.raises(ExchangeError, match="validate"):
+            system.query(TARGET_ALL, validate="loud")
+
+    def test_unknown_engine_rejected(self):
+        system = chain(3, base_size=1)
+        with pytest.raises(ExchangeError):
+            system.query(TARGET_ALL, engine="postgres")
+
+
+class TestUnfoldCache:
+    def test_repeat_query_hits(self):
+        system = chain(4, base_size=2)
+        storage = prepare_storage(system)
+        try:
+            engine = SQLEngine(storage)
+            engine.run(TARGET_ALL)
+            assert system.unfold_cache.misses >= 1
+            hits = system.unfold_cache.hits
+            first = engine.run(TARGET_ALL).rows
+            assert system.unfold_cache.hits == hits + 1
+            # A fresh engine over the same CDSS shares the cache.
+            other = SQLEngine(storage)
+            assert other.run(TARGET_ALL).rows == first
+            assert system.unfold_cache.hits == hits + 2
+        finally:
+            storage.close()
+
+    def test_metrics_counters(self):
+        system = chain(4, base_size=2)
+        storage = prepare_storage(system)
+        try:
+            engine = SQLEngine(storage)
+            engine.run(TARGET_ALL)
+            engine.run(TARGET_ALL)
+            assert system.metrics.value("unfold.cache_misses") >= 1
+            assert system.metrics.value("unfold.cache_hits") >= 1
+        finally:
+            storage.close()
+
+    def test_program_change_invalidates(self):
+        system = chain(4, base_size=2)
+        storage = prepare_storage(system)
+        try:
+            SQLEngine(storage).run(TARGET_ALL)
+            assert len(system.unfold_cache) > 0
+            system.add_peer(
+                Peer.of("PX", [RelationSchema.of("X_R", ["k"], key=["k"])])
+            )
+            assert len(system.unfold_cache) == 0
+            assert system.unfold_cache.invalidations >= 1
+        finally:
+            storage.close()
+
+    def test_prune_modes_do_not_share_entries(self):
+        system = chain(4, base_size=2)
+        storage = prepare_storage(system)
+        try:
+            SQLEngine(storage, prune=True).run(TARGET_ALL)
+            hits = system.unfold_cache.hits
+            SQLEngine(storage, prune=False).run(TARGET_ALL)
+            assert system.unfold_cache.hits == hits  # miss, not a hit
+        finally:
+            storage.close()
+
+
+# -- property tests: pruning is equivalence-preserving ----------------------------
+
+PROPERTY_QUERIES = [
+    "FOR [P0_R1 $x] INCLUDE PATH [$x] <-+ [] RETURN $x",
+    "FOR [P0_R1 $x] <- [$y] INCLUDE PATH [$x] <- [$y] RETURN $x",
+    "FOR [P0_R1 $x] <-+ [P1_R2 $y] RETURN $x, $y",
+    "EVALUATE DERIVABILITY OF "
+    "{ FOR [P0_R1 $x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
+    "EVALUATE COUNT OF "
+    "{ FOR [P0_R1 $x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
+]
+
+
+def normalized(result):
+    return (
+        sorted(tuple(map(str, row)) for row in result.rows),
+        None
+        if result.annotations is None
+        else {str(k): str(v) for k, v in result.annotations.items()},
+        sorted(str(row) for row in result.annotated_rows),
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    kind=st.sampled_from(["chain", "branched"]),
+    num_peers=st.integers(min_value=2, max_value=4),
+    base_size=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+    query=st.sampled_from(PROPERTY_QUERIES),
+)
+def test_pruned_equals_unpruned_on_both_engines(
+    kind, num_peers, base_size, seed, query
+):
+    data_peers = (num_peers - 1,)
+    system = build_topology(
+        TopologySpec(kind, num_peers, data_peers, base_size, seed=seed)
+    )
+    reference = normalized(
+        GraphEngine(system.graph, system.catalog).run(query)
+    )
+    storage = prepare_storage(system)
+    try:
+        pruned = normalized(SQLEngine(storage, prune=True).run(query))
+        unpruned = normalized(SQLEngine(storage, prune=False).run(query))
+    finally:
+        storage.close()
+    assert pruned == unpruned
+    assert pruned == reference
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    kind=st.sampled_from(["chain", "branched"]),
+    num_peers=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_injected_defects_diagnose_without_traceback(kind, num_peers, seed):
+    system = build_topology(
+        TopologySpec(kind, num_peers, (num_peers - 1,), 1, seed=seed)
+    )
+    # Dead path: the most-upstream peer has no incoming mappings, so
+    # backward steps from it can never reach the named endpoint.
+    dead = f"FOR [P{num_peers - 1}_R1 $x] <-+ [P0_R1 $y] RETURN $x"
+    report = analyze_query(system, dead)
+    assert report.codes() == {"RA501"}
+    assert system.query(dead).rows == []  # empty, not an error
+    # Unsatisfiable condition: contradictory equalities on the target.
+    unsat = (
+        "FOR [P0_R1 $x] <-+ [] WHERE $x.k = 0 AND $x.k = 1 RETURN $x"
+    )
+    report = analyze_query(system, unsat)
+    assert report.codes() == {"RA502"}
+    assert system.query(unsat).rows == []

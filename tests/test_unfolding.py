@@ -1,11 +1,22 @@
 """Tests for rule unfolding (Section 4.2.3-4.2.4): rule counts,
-derivation-spec merging, pattern mode, and guards."""
+derivation-spec merging, pattern mode, guards, and the pruning
+oracle / subsumption factorization / unfold cache."""
 
 import pytest
 
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Variable
 from repro.errors import ProQLSemanticError
 from repro.proql import Unfolder, parse_query
-from repro.proql.unfolding import KIND_BASE, KIND_LOCAL, KIND_PROV
+from repro.proql.pruning import Factorizer, UnfoldCache, factorize, subsumes
+from repro.proql.unfolding import (
+    KIND_BASE,
+    KIND_LOCAL,
+    KIND_PROV,
+    BodyItem,
+    DerivSpec,
+    UnfoldedRule,
+)
 from repro.workloads import chain
 from repro.workloads.topologies import target_relation
 
@@ -80,6 +91,15 @@ class TestFullAncestry:
         unfolder = unfolder_for(acyclic_cdss, max_rules=1)
         with pytest.raises(ProQLSemanticError):
             unfolder.full_ancestry("O")
+
+    def test_rule_guard_message_names_the_bottleneck(self, acyclic_cdss):
+        unfolder = unfolder_for(acyclic_cdss, max_rules=1)
+        with pytest.raises(ProQLSemanticError) as excinfo:
+            unfolder.full_ancestry("O")
+        message = str(excinfo.value)
+        assert "'O'" in message  # the offending target relation
+        assert "max_rules=1" in message  # the configured limit
+        assert "rules" in message  # the offending count
 
     def test_cyclic_mappings_terminate(self, example_cdss):
         # m1/m3 form a schema cycle; per-branch visited sets bound it.
@@ -165,3 +185,164 @@ class TestCanonicalDedup:
         rules = unfolder_for(acyclic_cdss).full_ancestry("O")
         keys = [r.canonical_key() for r in rules]
         assert len(keys) == len(set(keys))
+
+
+def local_rule(anchor_terms, item_terms):
+    """Hand-built rule: R(anchor) :- S_l(t) for each t in item_terms."""
+    return UnfoldedRule(
+        Atom("R", tuple(anchor_terms)),
+        tuple(
+            BodyItem(Atom("S_l", (t,)), KIND_LOCAL) for t in item_terms
+        ),
+        tuple(
+            DerivSpec("L_S", (Atom("S", (t,)),), (Atom("S_l", (t,)),), (t,))
+            for t in item_terms
+        ),
+        completed=True,
+    )
+
+
+class TestSubsumption:
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+    def test_general_subsumes_specialization(self):
+        general = local_rule((self.x, self.y), (self.x, self.y))
+        specific = local_rule((self.z, self.z), (self.z,))
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+    def test_isomorphic_rules_subsume_both_ways(self):
+        first = local_rule((self.x,), (self.x,))
+        second = local_rule((self.y,), (self.y,))
+        assert subsumes(first, second) and subsumes(second, first)
+
+    def test_different_shapes_are_incomparable(self):
+        plain = local_rule((self.x,), (self.x,))
+        with_prov = UnfoldedRule(
+            plain.anchor,
+            plain.items + (BodyItem(Atom("P_m1", (self.x,)), KIND_PROV),),
+            plain.specs,
+            completed=True,
+        )
+        assert not subsumes(plain, with_prov)
+        assert not subsumes(with_prov, plain)
+
+    def test_spec_coverage_is_required(self):
+        # Same atoms, but the candidate carries a derivation spec the
+        # general rule cannot reproduce: answers alone are not enough.
+        general = local_rule((self.x,), (self.x,))
+        specific = local_rule((self.z,), (self.z,))
+        extra = UnfoldedRule(
+            specific.anchor,
+            specific.items,
+            specific.specs
+            + (
+                DerivSpec(
+                    "m9", (Atom("R", (self.z,)),), (Atom("S", (self.z,)),),
+                    (self.z,),
+                ),
+            ),
+            completed=True,
+        )
+        assert not subsumes(general, extra)
+
+    def test_factorize_keeps_the_general_rule(self):
+        general = local_rule((self.x, self.y), (self.x, self.y))
+        specific = local_rule((self.z, self.z), (self.z,))
+        kept, dropped = factorize([specific, general])
+        assert kept == [general] and dropped == 1
+        kept, dropped = factorize([general, specific])
+        assert kept == [general] and dropped == 1
+
+    def test_factorizer_admits_incrementally(self):
+        general = local_rule((self.x, self.y), (self.x, self.y))
+        specific = local_rule((self.z, self.z), (self.z,))
+        factorizer = Factorizer()
+        assert factorizer.admit(general)
+        assert not factorizer.admit(specific)  # rejected as subsumed
+        assert factorizer.rules == [general] and factorizer.dropped == 1
+
+
+class TestPruning:
+    def test_prune_off_matches_on_fixture(self, acyclic_cdss):
+        pruned = unfolder_for(acyclic_cdss, prune=True).full_ancestry("O")
+        unpruned = unfolder_for(acyclic_cdss, prune=False).full_ancestry("O")
+        assert {r.canonical_key() for r in pruned} == {
+            r.canonical_key() for r in unpruned
+        }
+
+    def test_figure7_counts_hold_without_pruning(self):
+        for peers, count in {2: 2, 3: 5, 4: 14}.items():
+            system = chain(peers, data_peers=range(peers), base_size=1)
+            rules = unfolder_for(system, prune=False).full_ancestry(
+                target_relation()
+            )
+            assert len(rules) == count, f"{peers} peers"
+
+    def test_unproductive_anchor_short_circuits(self):
+        system = chain(3, data_peers=(), base_size=0)
+        assert unfolder_for(system).full_ancestry(target_relation()) == []
+        assert (
+            unfolder_for(system, prune=False).full_ancestry(
+                target_relation()
+            )
+            == []
+        )
+
+    def test_pattern_mode_prune_equivalence(self, acyclic_cdss):
+        query = parse_query("FOR [O $x] <-+ [N $y] RETURN $x")
+        pruned = unfolder_for(acyclic_cdss, prune=True).pattern(
+            query.for_paths[0], ["O"]
+        )
+        unpruned = unfolder_for(acyclic_cdss, prune=False).pattern(
+            query.for_paths[0], ["O"]
+        )
+        assert {r.canonical_key() for r in pruned} == {
+            r.canonical_key() for r in unpruned
+        }
+
+
+class TestUnfoldCacheUnit:
+    def test_miss_put_hit_roundtrip(self):
+        cache = UnfoldCache()
+        rule = local_rule((Variable("x"),), (Variable("x"),))
+        assert cache.get(("k",)) is None
+        assert cache.misses == 1
+        cache.put(("k",), [rule])
+        got = cache.get(("k",))
+        assert got == [rule] and cache.hits == 1
+        got.append(rule)  # the cache hands out copies
+        assert cache.get(("k",)) == [rule]
+        assert len(cache) == 1
+
+    def test_invalidate_drops_entries(self):
+        cache = UnfoldCache()
+        cache.put(("k",), [])
+        cache.invalidate()
+        assert len(cache) == 0 and cache.invalidations == 1
+        assert cache.get(("k",)) is None
+
+    def test_unfolder_full_ancestry_uses_cache(self, acyclic_cdss):
+        cache = UnfoldCache()
+        unfolder = unfolder_for(acyclic_cdss, cache=cache)
+        first = unfolder.full_ancestry("O")
+        assert cache.misses == 1 and len(cache) == 1
+        again = unfolder.full_ancestry("O")
+        assert cache.hits == 1
+        assert [r.canonical_key() for r in again] == [
+            r.canonical_key() for r in first
+        ]
+
+    def test_unfolder_pattern_uses_cache(self, acyclic_cdss):
+        cache = UnfoldCache()
+        unfolder = unfolder_for(acyclic_cdss, cache=cache)
+        query = parse_query("FOR [O $x] <- [A $y] RETURN $x")
+        unfolder.pattern(query.for_paths[0], ["O"])
+        unfolder.pattern(query.for_paths[0], ["O"])
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_prune_flag_keys_separate_entries(self, acyclic_cdss):
+        cache = UnfoldCache()
+        unfolder_for(acyclic_cdss, cache=cache, prune=True).full_ancestry("O")
+        unfolder_for(acyclic_cdss, cache=cache, prune=False).full_ancestry("O")
+        assert cache.misses == 2 and cache.hits == 0 and len(cache) == 2

@@ -116,6 +116,15 @@ def check_analysis_catalog(root: Path) -> list[str]:
             f"docs/analysis.md: documents unknown code {code} "
             "(removed from repro.analysis.diagnostics?)"
         )
+    # Every code family (RA1xx, ..., RA5xx) needs its own catalog
+    # section, so a new pass cannot land without a docs home.
+    text = page.read_text("utf-8")
+    for family in sorted({code[:3] for code in CODES}):
+        if f"### {family}xx" not in text:
+            errors.append(
+                f"docs/analysis.md: missing a '### {family}xx' section "
+                f"for the {family}xx code family"
+            )
     return errors
 
 
