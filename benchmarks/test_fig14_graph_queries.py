@@ -11,6 +11,12 @@ topology at growing base sizes, asserts the engines agree
 **node-for-node** at every point, and records the relational engine's
 ``iterations`` / ``pm_rows_scanned`` columns (threaded through
 ``EvaluationResult`` → ``ExperimentResult``).
+
+Each query is measured twice per point: **cold** is the first call
+after the exchange (the resident side answers from the maintained
+reachability index its run just brought current — see
+``docs/graph-index.md``), **warm** is an immediate repeat (the
+resident side answers from the index's per-epoch result cache).
 """
 
 import time
@@ -75,26 +81,37 @@ def test_fig14_point(benchmark, recorder, tmp_path, base):
     policy = trust_policy()
     answers = {}
     for label, system in (("memory", memory), ("sqlite", resident)):
-        lineage, lineage_ms = timed(lambda: system.lineage(node))
+        lineage, lineage_cold_ms = timed(lambda: system.lineage(node))
         lineage_stats = system.last_graph_query
-        derivability, derivability_ms = timed(system.derivability)
-        trusted, trusted_ms = timed(lambda: system.trusted(policy))
+        _, lineage_warm_ms = timed(lambda: system.lineage(node))
+        derivability, deriv_cold_ms = timed(system.derivability)
+        _, deriv_warm_ms = timed(system.derivability)
+        trusted, trusted_cold_ms = timed(lambda: system.trusted(policy))
+        _, trusted_warm_ms = timed(lambda: system.trusted(policy))
         answers[label] = (lineage, derivability, trusted)
         recorder.record(
             f"chain base={base} engine={label}",
-            lineage_ms=round(lineage_ms, 1),
-            derivability_ms=round(derivability_ms, 1),
-            trusted_ms=round(trusted_ms, 1),
+            lineage_cold_ms=round(lineage_cold_ms, 2),
+            lineage_warm_ms=round(lineage_warm_ms, 2),
+            deriv_cold_ms=round(deriv_cold_ms, 2),
+            deriv_warm_ms=round(deriv_warm_ms, 2),
+            trusted_cold_ms=round(trusted_cold_ms, 2),
+            trusted_warm_ms=round(trusted_warm_ms, 2),
             nodes=len(derivability),
             walk_iters=lineage_stats.iterations,
             pm_scanned=lineage_stats.pm_rows_scanned,
+            index_hit=getattr(system.last_graph_query, "index_hit", 0),
         )
     # Node-for-node agreement on every answer at every point.
     assert answers["memory"][0] == answers["sqlite"][0]
     assert answers["memory"][1] == answers["sqlite"][1]
     assert answers["memory"][2] == answers["sqlite"][2]
-    # The resident side answered without ever building a graph.
+    # The resident side answered without ever building a graph, from
+    # the maintained index its exchange run brought current.
     assert resident.graph.size() == (0, 0)
+    assert resident.last_graph_query.index_hit == 1
+    assert resident.metrics.value("graph_query.index_hit") == 6
+    assert "graph_query.index_miss" not in resident.metrics.snapshot()
 
 
 def test_fig14_stats_thread_into_experiment_result(

@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from typing import Callable
 
     from repro.analysis import Report
+    from repro.exchange.cache import CompiledExchangeProgram
     from repro.exchange.graph_queries import StoreGraphQueries
     from repro.exchange.sql_executor import ExchangeStore
     from repro.obs.trace import NullTracer, Tracer
@@ -62,6 +63,8 @@ _METRIC_FIELDS = (
     "rows_deleted",
     "pm_rows_collected",
     "pm_rows_scanned",
+    "index_hit",
+    "index_miss",
 )
 
 
@@ -110,6 +113,10 @@ class CDSS:
         #: compiled-program cache shared by both exchange engines;
         #: invalidated whenever the mapping program can change.
         self.plan_cache = ProgramCache()
+        #: (invalidation counter, entry) memo over
+        #: :meth:`_fetch_program`, so warm graph queries skip both the
+        #: program rebuild and its fingerprint hash.
+        self._program_memo: "tuple[int, CompiledExchangeProgram] | None" = None
         #: lazily created unfolded-ProQL-program cache (see
         #: :attr:`unfold_cache`); None until the first query needs it.
         self._unfold_cache: "UnfoldCache | None" = None
@@ -227,6 +234,18 @@ class CDSS:
         (engine-independent metadata; safe in any mode)."""
         return Program(self.local_rules() + [m.rule for m in self.mappings.values()])
 
+    def _fetch_program(self) -> "CompiledExchangeProgram":
+        """The compiled exchange program, memoized against the plan
+        cache's invalidation counter: warm graph queries (the indexed
+        sub-millisecond path) must not rebuild and re-hash the rule
+        list on every call."""
+        memo = self._program_memo
+        if memo is not None and memo[0] == self.plan_cache.invalidations:
+            return memo[1]
+        entry, _ = self.plan_cache.fetch(self.program())
+        self._program_memo = (self.plan_cache.invalidations, entry)
+        return entry
+
     # -- data ------------------------------------------------------------
 
     def insert_local(self, relation: str, row: Sequence[object]) -> bool:
@@ -238,11 +257,19 @@ class CDSS:
         authoritative store; until then it is invisible to graph
         queries, exactly as it would be absent from a non-resident
         system's graph.
+
+        Float NaNs in *row* are canonicalized to the system's single
+        NaN object (:data:`~repro.storage.encoding.CANONICAL_NAN`), so
+        NaN joins identically on both engines — by value, not IEEE
+        ``nan != nan`` (see ``docs/architecture.md``).
         """
+        # Local import: repro.storage's package init imports CDSS back.
+        from repro.storage.encoding import canonical_row
+
         if relation not in self.catalog:
             raise SchemaError(f"unknown relation {relation}")
         target = relation if is_local_name(relation) else local_name(relation)
-        row = tuple(row)
+        row = canonical_row(row)
         if self.instance.insert(target, row):
             self._pending.setdefault(target, set()).add(row)
             return True
@@ -304,7 +331,15 @@ class CDSS:
         firing history, and the graph queries (:meth:`lineage`,
         :meth:`derivability`, :meth:`trusted`) are answered by
         recursive joins over that same history
-        (:mod:`repro.exchange.graph_queries`).
+        (:mod:`repro.exchange.graph_queries`).  Every successful
+        resident run also maintains the store's reachability index
+        (under an ``index.maintain`` span): a full run replaces it, an
+        incremental run over a *current* index extends it with just the
+        new firings, and any other combination rebuilds it from the
+        stored history — so the next graph query starts from a current
+        index (``docs/graph-index.md``).  A run that dies mid-flight
+        leaves the index marked stale; nothing is lost, the next graph
+        query or run rebuilds it.
 
         **Pre-flight** (``validate=``): ``"warn"`` or ``"error"`` runs
         the static analyzer (:func:`repro.analysis.analyze`) over the
@@ -518,12 +553,23 @@ class CDSS:
         SQL: the row is removed from the authoritative store's
         local-contribution table (with the sync high-water mark
         fast-forwarded when possible, so the deletion does not force a
-        full reload of the relation on the next exchange).
+        full reload of the relation on the next exchange).  When the
+        maintained reachability index is current, the store-side
+        victim marking also removes the victim's incident firings from
+        the index in the same transaction, keeping it *current* — see
+        ``docs/graph-index.md``.
+
+        Float NaNs in *row* are canonicalized exactly as in
+        :meth:`insert_local`, so a NaN-carrying row deletes the row it
+        inserted.
         """
+        # Local import: repro.storage's package init imports CDSS back.
+        from repro.storage.encoding import canonical_row
+
         if relation not in self.catalog:
             raise SchemaError(f"unknown relation {relation}")
         target = relation if is_local_name(relation) else local_name(relation)
-        row = tuple(row)
+        row = canonical_row(row)
         if self._resident:
             return self._resident_delete(target, row)
         self._pending.get(target, set()).discard(row)
@@ -569,6 +615,14 @@ class CDSS:
         Python.  Dead ``P_m`` rows are garbage-collected alongside (for
         a non-resident system with a SQLite mirror too), so the stored
         firing history tracks the surviving derivations.
+
+        In resident mode a *current* reachability index survives the
+        sweep: the kill transaction prunes exactly the dead firings
+        from the index (the fixpoint already computed the live set).
+        Only when the dead cone is a large fraction of the index does
+        the call fall back to marking it stale (``index.invalidate``
+        span) — the next graph query then rebuilds it once.  See
+        ``docs/graph-index.md``.
 
         Returns the number of removed tuples; the full statistics
         (``rows_deleted``, ``pm_rows_collected``, ``iterations``,
@@ -663,7 +717,7 @@ class CDSS:
         from repro.exchange.sql_executor import SQLiteExchangeEngine
 
         store = self._open_resident_store("deletion propagation")
-        program, _ = self.plan_cache.fetch(self.program())
+        program = self._fetch_program()
         return SQLiteExchangeEngine(
             store, tracer=self.tracer
         ).propagate_deletions(
@@ -691,7 +745,7 @@ class CDSS:
         from repro.exchange.graph_queries import StoreGraphQueries
 
         store = self._open_resident_store(operation)
-        program, _ = self.plan_cache.fetch(self.program())
+        program = self._fetch_program()
         return StoreGraphQueries(
             store, program, self.catalog, self.mappings, tracer=self.tracer
         )
@@ -740,7 +794,12 @@ class CDSS:
         history is annotated by the same SQL liveness fixpoint that
         drives :meth:`propagate_deletions`, with every stored tuple's
         verdict read off its membership in the live set; no
-        :class:`ProvenanceGraph` is materialized.  Non-resident systems
+        :class:`ProvenanceGraph` is materialized.  When the store's
+        maintained reachability index is current the fixpoint runs over
+        the compact index tables and repeat calls answer from a cached
+        verdict (``index_hit == 1`` on the stats); a stale index is
+        rebuilt once at query time (``index_miss == 1``), after which
+        it stays current until the next mutation.  Non-resident systems
         annotate the in-memory graph.  Both engines answer over the
         state of the last exchange/propagation.
         """
@@ -758,7 +817,12 @@ class CDSS:
         backward transitive-closure walk over the stored firing
         history's join columns
         (:meth:`repro.exchange.graph_queries.StoreGraphQueries.lineage`);
-        no :class:`ProvenanceGraph` is materialized.  Non-resident
+        no :class:`ProvenanceGraph` is materialized.  With a current
+        maintained reachability index the walk collapses to an indexed
+        ancestor-closure probe — an interval containment test when the
+        DAG is tree-shaped, one recursive CTE otherwise — reported as
+        ``index_hit == 1`` on the stats; a stale index is rebuilt once
+        at query time first (``index_miss == 1``).  Non-resident
         systems annotate *node*'s ancestor closure of the in-memory
         graph in the LINEAGE semiring.  Both raise :class:`KeyError`
         for a node the last exchange never derived.
@@ -796,8 +860,12 @@ class CDSS:
         conditions select which local rows seed the live set,
         distrusted mappings are excluded from the firing joins), so
         trust never materializes a :class:`ProvenanceGraph` either.
-        Non-resident systems annotate the in-memory graph in the TRUST
-        semiring.
+        With a current maintained reachability index the fixpoint runs
+        over the index tables, and repeat calls under the same policy
+        answer from a cached verdict (``index_hit == 1`` on the
+        stats); a stale index is rebuilt once at query time
+        (``index_miss == 1``).  Non-resident systems annotate the
+        in-memory graph in the TRUST semiring.
         """
         if isinstance(policy, TrustPolicy):
             self._validate_trust_policy(policy)

@@ -76,11 +76,14 @@ def match_tuple(
     out = dict(binding)
     for term, value in zip(atom.terms, row):
         if isinstance(term, Constant):
-            if term.value != value:
+            # Identity first: the canonical NaN must match itself, the
+            # same semantics tuple comparison gives it in hash joins.
+            if term.value is not value and term.value != value:
                 return None
         elif isinstance(term, Variable):
             if term in out:
-                if out[term] != value:
+                bound = out[term]
+                if bound is not value and bound != value:
                     return None
             else:
                 out[term] = value

@@ -164,6 +164,16 @@ class EvaluationResult:
     #: stored ``P_m`` join columns; 0 on the memory engine, whose graph
     #: walks count nothing relational.
     pm_rows_scanned: int = 0
+    #: 1 when a resident graph query was answered from the *maintained*
+    #: reachability index (``docs/graph-index.md``) without a rebuild;
+    #: 0 for the memory engine and for unindexed store queries.
+    #: Distinct from :attr:`index_hits` (the memory engine's hash-index
+    #: probe counter).
+    index_hit: int = 0
+    #: 1 when a resident graph query found the reachability index
+    #: stale/absent and had to rebuild it from the store before
+    #: answering (the ``index.rebuild`` span brackets that work).
+    index_miss: int = 0
     #: wall-clock duration of the CDSS call that produced this result
     #: (set by :class:`~repro.cdss.system.CDSS`, not by the engines) —
     #: the per-call complement of the cumulative metrics counters.
@@ -268,7 +278,10 @@ def _run_plan(
             if checks:
                 ok = True
                 for pos, slot in checks:
-                    if row[pos] != slots[slot]:
+                    bound = slots[slot]
+                    # Identity first: the canonical NaN must match
+                    # itself, as it does inside tuple comparisons.
+                    if row[pos] is not bound and row[pos] != bound:
                         ok = False
                         break
                 if not ok:
@@ -298,7 +311,9 @@ def _run_plan(
         if checks:
             ok = True
             for pos, slot in checks:
-                if row[pos] != slots[slot]:
+                bound = slots[slot]
+                # Identity first, for the canonical NaN (see above).
+                if row[pos] is not bound and row[pos] != bound:
                     ok = False
                     break
             if not ok:

@@ -37,6 +37,7 @@ from repro.datalog.rules import Program, Rule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exchange.graph_queries import LineageSQL
+    from repro.exchange.reach_index import ReachSQL
     from repro.exchange.sql_plans import DerivabilitySQL, ProgramSQL
 
 
@@ -77,6 +78,10 @@ class CompiledExchangeProgram:
     #: SQL lowering of the backward lineage walk, attached lazily by
     #: the first store-resident ``lineage`` query.
     lineage: "LineageSQL | None" = field(default=None, repr=False)
+    #: SQL lowering of the maintained reachability index
+    #: (:mod:`repro.exchange.reach_index`), attached lazily by the
+    #: first store-resident exchange or indexed graph query.
+    reach: "ReachSQL | None" = field(default=None, repr=False)
 
     @property
     def plan_count(self) -> int:

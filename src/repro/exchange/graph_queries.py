@@ -319,8 +319,16 @@ class StoreGraphQueries:
 
     One instance is built per query from the compiled program cache
     entry; the lowered SQL (``program.derivability`` /
-    ``program.lineage``) is attached to that entry, so repeated queries
-    over an unchanged program lower nothing.
+    ``program.lineage`` / ``program.reach``) is attached to that entry,
+    so repeated queries over an unchanged program lower nothing.
+
+    With ``use_index=True`` (the default) queries answer from the
+    store's maintained reachability index
+    (:mod:`repro.exchange.reach_index`): a current index is used
+    directly (``index_hit``), a stale or absent one is rebuilt first
+    under an ``index.rebuild`` span (``index_miss``) — either way the
+    answers equal the unindexed paths', which ``use_index=False`` keeps
+    available verbatim as the testing oracle.
     """
 
     def __init__(
@@ -330,6 +338,7 @@ class StoreGraphQueries:
         catalog: Catalog,
         mappings: TMapping[str, SchemaMapping],
         tracer: "Tracer | NullTracer" = NULL_TRACER,
+        use_index: bool = True,
     ):
         if store.closed:
             raise ExchangeError("exchange store is closed")
@@ -337,6 +346,7 @@ class StoreGraphQueries:
         self.program = program
         self.catalog = catalog
         self.mappings = mappings
+        self.use_index = use_index
         #: lifecycle tracer (:mod:`repro.obs`): the fixpoint and walk
         #: loops emit per-round spans through it.
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -347,17 +357,43 @@ class StoreGraphQueries:
         # Peers/mappings may have been added since the last exchange;
         # their (empty) tables must exist before the walks join them —
         # the same idempotent guarantee propagate_deletions relies on.
-        store.ensure_schema(catalog, mappings, program.sql)
+        store.ensure_schema(catalog, mappings, program.sql, program.fingerprint)
 
     # -- shared plumbing ----------------------------------------------------
 
-    def _result(self, iterations: int, scanned: int) -> EvaluationResult:
+    def _result(
+        self, iterations: int, scanned: int, hit: int = 0, miss: int = 0
+    ) -> EvaluationResult:
         result = EvaluationResult(
             Instance(self.catalog), ProvenanceGraph(), engine="sqlite"
         )
         result.iterations = iterations
         result.pm_rows_scanned = scanned
+        result.index_hit = hit
+        result.index_miss = miss
         return result
+
+    def _ready_index(self):
+        """The (index, lowering, miss-flag) triple for an indexed
+        query, rebuilding a stale/absent index first; None when this
+        instance runs unindexed."""
+        if not self.use_index:
+            return None
+        from repro.exchange.reach_index import lower_reach_program
+
+        program = self.program
+        if program.reach is None:
+            program.reach = lower_reach_program(
+                program.compiled, self.catalog, self.store.codec
+            )
+        rsql = program.reach
+        index = self.store.reach_index
+        index.ensure_schema(rsql)
+        miss = 0
+        if not index.current:
+            index.rebuild(rsql, self.tracer)
+            miss = 1
+        return index, rsql, miss
 
     def _derivability_sql(self) -> DerivabilitySQL:
         program = self.program
@@ -482,6 +518,55 @@ class StoreGraphQueries:
             store.reset_derivability(dsql)
         return values, self._result(iterations, scanned)
 
+    def _annotate_indexed(
+        self,
+        index,
+        rsql,
+        seeds: dict[str, object],
+        distrusted: "frozenset[str]",
+        max_iterations: int | None,
+    ) -> tuple[dict[TupleNode, bool], int, int]:
+        """Indexed derivability/trust body: integer fixpoint over the
+        fire/body tables, verdicts via the per-epoch node cache."""
+        conn = self.store.connection
+        catalog = self.catalog
+
+        def seed(relation: str, base: int) -> int:
+            spec = seeds.get(relation)
+            if spec is SEED_NOTHING:
+                return 0
+            if spec is None:
+                for table in ("__rq_live", "__rq_delta"):
+                    conn.execute(
+                        f'INSERT INTO "{table}" '
+                        f"SELECT rowid + ? FROM {_q(relation)}",
+                        (base,),
+                    )
+                return self.store.cached_count(relation)
+            ids = [
+                (node_id,)
+                for node_id, node in index.nodes_with_ids(relation, catalog)
+                if spec(node.values)
+            ]
+            for table in ("__rq_live", "__rq_delta"):
+                conn.executemany(
+                    f'INSERT OR IGNORE INTO "{table}" VALUES (?)', ids
+                )
+            return len(ids)
+
+        try:
+            iterations, scanned = index.annotate_fixpoint(
+                seed, rsql.edb_relations, distrusted, max_iterations
+            )
+            values: dict[TupleNode, bool] = {}
+            for relation in rsql.relations:
+                live = index.live_ids(relation)
+                for node_id, node in index.nodes_with_ids(relation, catalog):
+                    values[node] = node_id in live
+        finally:
+            index.reset_temp_state()
+        return values, iterations, scanned
+
     # -- the three queries --------------------------------------------------
 
     def derivability(
@@ -496,7 +581,22 @@ class StoreGraphQueries:
         ``True``, and after un-propagated deletions the verdicts
         reflect the already-shrunk leaf tables.
         """
-        return self._annotate_by_liveness({}, None, max_iterations)
+        ready = self._ready_index()
+        if ready is None:
+            return self._annotate_by_liveness({}, None, max_iterations)
+        index, rsql, miss = ready
+        key = ("derivability",)
+        cached = index.cached_result(key)
+        if cached is not None:
+            values, iterations, scanned = cached
+            return dict(values), self._result(iterations, scanned, hit=1)
+        values, iterations, scanned = self._annotate_indexed(
+            index, rsql, {}, frozenset(), max_iterations
+        )
+        index.cache_result(key, values, iterations, scanned)
+        return dict(values), self._result(
+            iterations, scanned, hit=0 if miss else 1, miss=miss
+        )
 
     def trusted(
         self, policy: "TrustPolicy", max_iterations: int | None = None
@@ -508,8 +608,47 @@ class StoreGraphQueries:
         (decoding only the relations that actually carry a condition)
         and distrusted mappings' rules never join at all.
         """
+        ready = self._ready_index()
+        if ready is not None:
+            index, rsql, miss = ready
+            seeds: dict[str, object] = {}
+            conditions = []
+            for relation in rsql.edb_relations:
+                condition = policy.condition_for(relation)
+                if condition is None:
+                    if not policy.default_trust:
+                        seeds[relation] = SEED_NOTHING
+                    continue
+                seeds[relation] = condition
+                conditions.append((relation, condition))
+            distrusted = frozenset(policy.distrusted_mappings)
+            # Conditions key by object identity, and the cache entry
+            # holds strong references to them (below) so a collected
+            # callable's id cannot alias a new one.  Conditions are
+            # assumed pure — a closure over mutated state must not be
+            # reused across calls anyway.
+            key = (
+                "trusted",
+                policy.default_trust,
+                distrusted,
+                tuple(sorted((rel, id(cond)) for rel, cond in conditions)),
+            )
+            cached = index.cached_result(key)
+            if cached is not None:
+                values, iterations, scanned, _refs = cached
+                return dict(values), self._result(iterations, scanned, hit=1)
+            values, iterations, scanned = self._annotate_indexed(
+                index, rsql, seeds, distrusted, max_iterations
+            )
+            index.cache_result(
+                key, values, iterations, scanned,
+                tuple(cond for _rel, cond in conditions),
+            )
+            return dict(values), self._result(
+                iterations, scanned, hit=0 if miss else 1, miss=miss
+            )
         dsql = self._derivability_sql()
-        seeds: dict[str, object] = {}
+        seeds = {}
         for relation in dsql.edb_relations:
             condition = policy.condition_for(relation)
             if condition is None:
@@ -536,6 +675,9 @@ class StoreGraphQueries:
         catalog = self.catalog
         if node.relation not in catalog:
             raise KeyError(node)
+        ready = self._ready_index()
+        if ready is not None:
+            return self._lineage_indexed(node, *ready)
         lsql = self._lineage_sql()
         if node.relation not in lsql.relations:
             raise KeyError(node)
@@ -564,6 +706,53 @@ class StoreGraphQueries:
         finally:
             store.reset_graph_query(lsql)
         return leaves, self._result(iterations, scanned)
+
+    def _lineage_indexed(
+        self, node: TupleNode, index, rsql, miss: int
+    ) -> tuple[frozenset[TupleNode], EvaluationResult]:
+        """Indexed lineage: resolve the query row to its node id, fill
+        the ancestor closure (interval predicate or one recursive CTE),
+        and decode the leaf-relation slice of the closure."""
+        if node.relation not in rsql.relations:
+            raise KeyError(node)
+        store = self.store
+        schema = self.catalog[node.relation]
+        encoded = store.codec.encode_row(tuple(node.values))
+        condition = " AND ".join(
+            f"{_q(c)} IS ?" for c in schema.attribute_names
+        )
+        found = store.connection.execute(
+            store.prepared(
+                ("rowid", node.relation),
+                lambda: (
+                    f"SELECT rowid FROM {_q(node.relation)} "
+                    f"WHERE {condition}"
+                ),
+            ),
+            encoded,
+        ).fetchone()
+        if found is None:
+            raise KeyError(node)
+        key = ("lineage", node.relation, tuple(node.values))
+        cached = index.cached_result(key)
+        if cached is not None:
+            leaves, iterations, scanned = cached
+            return leaves, self._result(iterations, scanned, hit=1)
+        qid = index.id_base(node.relation) + int(found[0])
+        try:
+            index.fill_ancestors(qid)
+            scanned = index.closure_scanned()
+            leaves = frozenset(
+                TupleNode(relation, row)
+                for relation in rsql.edb_relations
+                for row in index.closure_leaf_rows(relation, self.catalog)
+            )
+        finally:
+            index.reset_temp_state()
+        index.cache_result(key, leaves, 1, scanned)
+        return leaves, self._result(
+            1, scanned, hit=0 if miss else 1, miss=miss
+        )
 
     def _walk_lineage(
         self,

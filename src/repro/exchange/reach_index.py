@@ -1,0 +1,953 @@
+"""The maintained reachability index over the stored provenance graph.
+
+The per-call graph queries of :mod:`repro.exchange.graph_queries`
+recompute an ancestor (lineage) or liveness (derivability/trust)
+closure from scratch on every call — correct, but a fixed ~tens-of-ms
+cost per resident query that dwarfs the memory engine.  This module
+maintains the closure *substrate* instead: a compact, integer-keyed
+copy of the firing hypergraph that is kept current across
+``exchange``/``propagate_deletions`` and answered from directly.
+
+Design (documented in full in ``docs/graph-index.md``):
+
+* every stored tuple gets a stable integer **node id**
+  ``relno * REL_SHIFT + rowid`` (``relno`` is a small per-relation
+  number persisted in ``__ridx_rel``; ``rowid`` is the row's SQLite
+  rowid in its relation table);
+* every recorded firing becomes one ``__ridx_fire`` row
+  ``(fid, rule, head)`` plus one ``__ridx_body`` row per distinct body
+  tuple — the hypergraph edge set, one integer row per endpoint
+  instead of one wide slot-row join per traversal step;
+* **maintenance** is incremental: after a resident exchange the fresh
+  ``__fired_*`` log rows are translated into new fire/body rows
+  (:meth:`ReachabilityIndex.extend_from_log`); a targeted deletion
+  removes exactly the incident fires; deletion propagation prunes the
+  dead cone set-at-a-time, falling back to a stale-mark (and a later
+  query-time rebuild) when the cone exceeds
+  :data:`PRUNE_FALLBACK_RATIO` of the index;
+* the index **epoch** and state live in the store's ``__meta`` table,
+  so a store reopened by path knows whether its index is current;
+* a per-epoch **interval encoding** (``__ridx_info``: pre/post-order
+  windows + topological layer, XPath-accelerator style) turns the
+  ancestor test into a range predicate whenever the provenance DAG is
+  a forest (every tuple derived by at most one single-body firing);
+  general DAGs use a recursive-CTE closure over the integer edge
+  set — still orders of magnitude cheaper than the slot-row walk.
+
+Queries over the index run as integer fixpoints/lookups in
+:class:`ReachabilityIndex` and are wired into
+:class:`~repro.exchange.graph_queries.StoreGraphQueries`; the unindexed
+paths survive untouched as the testing oracle (``use_index=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.datalog.planner import CompiledRule, _assign_slots, _compile_term
+from repro.errors import EvaluationError
+from repro.exchange.sql_plans import (
+    _ParamAllocator,
+    _extractor_sql,
+    _plan_firing_sql,
+    _slot_types,
+    Statement,
+    fired_table,
+    live_table,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.relational.instance import Catalog
+from repro.storage.encoding import ValueCodec, quote_identifier as _q
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exchange.sql_executor import ExchangeStore
+
+#: node-id stride between relations: id = relno * REL_SHIFT + rowid.
+#: 2^40 rowids per relation — far beyond any resident working set —
+#: while products stay well inside SQLite's signed 64-bit integers.
+REL_SHIFT = 1 << 40
+
+#: deletion-propagation fallback: when more than 1/PRUNE_FALLBACK_RATIO
+#: of all stored tuples died, targeted pruning would touch most of the
+#: index anyway — mark it stale and let the next query rebuild.
+PRUNE_FALLBACK_RATIO = 4
+
+#: interval encodings are skipped above this edge count (the DFS is
+#: a Python-side pass; the CTE path stays available regardless).
+ENCODING_CAP = 2_000_000
+
+#: per-relation cap on the decoded-node cache (ids + TupleNodes).
+NODE_CACHE_CAP = 200_000
+
+#: entries kept in the per-epoch query-result cache (FIFO).
+RESULT_CACHE_CAP = 64
+
+#: permanent index tables.
+REL_TABLE = "__ridx_rel"
+FIRE_TABLE = "__ridx_fire"
+BODY_TABLE = "__ridx_body"
+INFO_TABLE = "__ridx_info"
+
+#: TEMP work tables (connection-local, cleared between uses).
+_ID_TEMPS = ("__rq_live", "__rq_delta", "__rq_new", "__rq_anc", "__rq_dead")
+
+
+# -- lowering ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReachHeadSQL:
+    """Index maintenance for one (rule, head atom) pair."""
+
+    relation: str
+    #: fresh ``__fired_*`` rows -> ``__ridx_fire`` (runtime: wm, base,
+    #: hbase — the head relation's id base).
+    fire_insert: Statement
+    #: per body atom: (relation, fresh fires -> ``__ridx_body``;
+    #: runtime: wm, base, bbase).
+    body_inserts: tuple[tuple[str, Statement], ...]
+
+
+@dataclass(frozen=True)
+class ReachRuleSQL:
+    """Index maintenance for one rule of the program."""
+
+    rule_name: str
+    firing_table: str
+    #: re-enumerates the rule's *entire* firing history into its firing
+    #: table (index rebuild; seeds from the full stored relation).
+    enumerate_all: Statement
+    heads: tuple[ReachHeadSQL, ...]
+
+
+@dataclass(frozen=True)
+class ReachSQL:
+    """SQL lowering of the whole program's index maintenance."""
+
+    rules: tuple[ReachRuleSQL, ...]
+    #: every relation whose rows get node ids.
+    relations: tuple[str, ...]
+    #: the leaf (local-contribution) relations — lineage answers are
+    #: the closure's intersection with these.
+    edb_relations: tuple[str, ...]
+
+
+def _endpoint_insert(
+    crule: CompiledRule,
+    target: str,
+    id_column: str,
+    base_param: str,
+    relation: str,
+    extractors: Sequence[tuple[int, object]],
+    slot_types: Sequence[str],
+    catalog: Catalog,
+    codec: ValueCodec,
+    rule_param: str | None = None,
+    or_ignore: bool = False,
+) -> Statement:
+    """Fresh firings -> one endpoint row per firing.
+
+    Joins the firing log against *relation* on the atom's extractor
+    expressions (Skolems rebuilt in SQL, so equal labeled nulls match)
+    to resolve each firing's endpoint tuple to its rowid, then shifts
+    it into the relation's id range.  ``rule_param`` additionally emits
+    the fire row's rule-name column (head endpoints only).
+    """
+    alloc = _ParamAllocator(codec)
+    exprs = _extractor_sql(extractors, alloc, slot_types)
+    cols = catalog[relation].attribute_names
+    on = " AND ".join(
+        f'r.{_q(c)} IS {e}' for c, e in zip(cols, exprs)
+    ) or "1"
+    select = [":base + f.rowid"]
+    columns = ["fid"]
+    if rule_param is not None:
+        select.append(alloc.bind(rule_param))
+        columns.append("rule")
+    select.append(f"r.rowid + :{base_param}")
+    columns.append(id_column)
+    verb = "INSERT OR IGNORE" if or_ignore else "INSERT"
+    sql = (
+        f"{verb} INTO {_q(target)} ({', '.join(columns)})\n"
+        f"SELECT {', '.join(select)}\n"
+        f"FROM {_q(fired_table(crule.rule.name))} AS f\n"
+        f"JOIN {_q(relation)} AS r ON {on}\n"
+        f"WHERE f.rowid > :wm"
+    )
+    return Statement(sql, alloc.params, runtime=("wm", "base", base_param))
+
+
+def lower_reach_program(
+    compiled: Sequence[CompiledRule],
+    catalog: Catalog,
+    codec: ValueCodec,
+) -> ReachSQL:
+    """Lower every rule's index-maintenance statements.
+
+    Only reachable after :func:`~repro.exchange.sql_plans.lower_program`
+    succeeded for the same program, so every rule has at least one plan
+    and the shared leaf model (local relations are pure EDB leaves)
+    already holds.
+    """
+    relations: dict[str, None] = {}
+    heads: set[str] = set()
+    for crule in compiled:
+        for rel in crule.body_relations:
+            relations.setdefault(rel, None)
+        for rel, _extractors in crule.head:
+            relations.setdefault(rel, None)
+            heads.add(rel)
+    rules = []
+    for crule in compiled:
+        name = crule.rule.name
+        slot_types = _slot_types(crule, catalog)
+        slot_of = _assign_slots(crule.rule)
+        body_atoms = tuple(
+            (
+                atom.relation,
+                tuple(_compile_term(term, slot_of) for term in atom.terms),
+            )
+            for atom in crule.rule.body
+        )
+        head_sqls = []
+        for relation, extractors in crule.head:
+            fire = _endpoint_insert(
+                crule, FIRE_TABLE, "head", "hbase", relation,
+                tuple(extractors), slot_types, catalog, codec,
+                rule_param=name,
+            )
+            body_inserts = tuple(
+                (
+                    body_rel,
+                    # OR IGNORE: two body atoms of one rule may match
+                    # the same stored row — one hyperedge endpoint.
+                    _endpoint_insert(
+                        crule, BODY_TABLE, "body", "bbase", body_rel,
+                        body_extractors, slot_types, catalog, codec,
+                        or_ignore=True,
+                    ),
+                )
+                for body_rel, body_extractors in body_atoms
+            )
+            head_sqls.append(ReachHeadSQL(relation, fire, body_inserts))
+        # Any one plan gives a valid join order for re-enumerating the
+        # complete firing history: seeded from the full stored seed
+        # relation with no guards, the joins recover every recorded
+        # firing (the store holds an exchange fixpoint).
+        plan = crule.plans[0]
+        alloc = _ParamAllocator(codec)
+        enum_sql = _plan_firing_sql(
+            crule,
+            plan,
+            catalog,
+            alloc,
+            seed_from=plan.seed.relation,
+            join_of=lambda rel: rel,
+            guards=False,
+            target=fired_table(name),
+        )
+        rules.append(
+            ReachRuleSQL(
+                name,
+                fired_table(name),
+                Statement(enum_sql, alloc.params),
+                tuple(head_sqls),
+            )
+        )
+    return ReachSQL(
+        tuple(rules),
+        tuple(relations),
+        tuple(r for r in relations if r not in heads),
+    )
+
+
+# -- the index ---------------------------------------------------------------
+
+
+class ReachabilityIndex:
+    """Maintains and answers the integer reachability index of a store.
+
+    One instance per :class:`~repro.exchange.sql_executor.ExchangeStore`
+    (``store.reach_index``).  All persistent state — the fire/body
+    tables, relation-number registry, interval encoding, epoch, and
+    current/stale flag — lives in the store file, so a store reopened
+    by path resumes with a usable (or correctly stale-marked) index.
+    """
+
+    def __init__(self, store: "ExchangeStore"):
+        self.store = store
+        self._relnos: dict[str, int] = {}
+        self._schema_ready = False
+        self._temps_ready = False
+        #: set when the store renumbered rowids under the index (full
+        #: relation reload): node ids are invalid even though the run
+        #: itself would otherwise have been incremental.
+        self._renumbered = False
+        #: per-relation decoded nodes [(id, TupleNode)], valid for
+        #: :attr:`_node_cache_epoch` only.
+        self._node_cache: dict[str, list] = {}
+        self._node_cache_epoch = -1
+        #: FIFO query-result cache: key -> (epoch, payload...).
+        self._result_cache: dict[object, tuple] = {}
+
+    # -- persistent state ----------------------------------------------------
+
+    @property
+    def state(self) -> str | None:
+        """``'current'``, ``'stale'``, or ``None`` (never built)."""
+        value = self.store.meta_get("index_state")
+        return str(value) if value is not None else None
+
+    @property
+    def epoch(self) -> int:
+        """Monotone content version; bumped by every maintenance event
+        that may change the index (caches key on it)."""
+        value = self.store.meta_get("index_epoch")
+        return int(value) if value is not None else 0
+
+    @property
+    def current(self) -> bool:
+        return self.state == "current" and not self._renumbered
+
+    def mark_stale(self) -> None:
+        """Persist that the index no longer matches the store."""
+        if self.store.meta_get("index_state") != "stale":
+            self.store.meta_set("index_state", "stale")
+
+    def note_content_shipped(self) -> None:
+        """Rows were mirrored into the store outside a maintained run
+        (e.g. the sync inside a deletion propagation).  New base rows
+        carry no firings, so the index structure stays valid — but the
+        epoch must bump so cached query results (which enumerate
+        stored rows) go cold."""
+        if self.state is not None:
+            self._bump_epoch()
+
+    def note_renumbered(self) -> None:
+        """A relation table was reloaded in full (rowids renumbered):
+        every node id may now point at a different tuple.  Marks the
+        index stale; the flag also defeats the incremental path of the
+        surrounding run's :meth:`on_run_complete`."""
+        if self.state is not None:
+            self._renumbered = True
+            self.mark_stale()
+
+    def _bump_epoch(self) -> int:
+        epoch = self.epoch + 1
+        self.store.meta_set("index_epoch", epoch)
+        return epoch
+
+    # -- schema --------------------------------------------------------------
+
+    def ensure_schema(self, rsql: ReachSQL) -> None:
+        """Create (idempotently) the permanent index tables and
+        register a relation number for every relation of *rsql*."""
+        conn = self.store.connection
+        if not self._schema_ready:
+            conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {_q(REL_TABLE)} "
+                "(name TEXT PRIMARY KEY, relno INTEGER NOT NULL)"
+            )
+            conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {_q(FIRE_TABLE)} "
+                "(fid INTEGER PRIMARY KEY, rule TEXT NOT NULL, "
+                "head INTEGER NOT NULL)"
+            )
+            conn.execute(
+                f"CREATE INDEX IF NOT EXISTS {_q('__ix_' + FIRE_TABLE + '_head')} "
+                f"ON {_q(FIRE_TABLE)} (head)"
+            )
+            conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {_q(BODY_TABLE)} "
+                "(fid INTEGER NOT NULL, body INTEGER NOT NULL, "
+                "PRIMARY KEY (fid, body)) WITHOUT ROWID"
+            )
+            conn.execute(
+                f"CREATE INDEX IF NOT EXISTS {_q('__ix_' + BODY_TABLE + '_body')} "
+                f"ON {_q(BODY_TABLE)} (body)"
+            )
+            conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {_q(INFO_TABLE)} "
+                "(id INTEGER PRIMARY KEY, layer INTEGER NOT NULL, "
+                "tin INTEGER NOT NULL, tout INTEGER NOT NULL)"
+            )
+            conn.execute(
+                f"CREATE INDEX IF NOT EXISTS {_q('__ix_' + INFO_TABLE + '_tin')} "
+                f"ON {_q(INFO_TABLE)} (tin)"
+            )
+            conn.commit()
+            self._schema_ready = True
+        missing = [r for r in rsql.relations if r not in self._relnos]
+        if missing:
+            self._load_relnos()
+            missing = [r for r in rsql.relations if r not in self._relnos]
+        if missing:
+            with conn:
+                next_no = (
+                    max(self._relnos.values()) + 1 if self._relnos else 0
+                )
+                for name in missing:
+                    conn.execute(
+                        f"INSERT INTO {_q(REL_TABLE)} (name, relno) "
+                        "VALUES (?, ?)",
+                        (name, next_no),
+                    )
+                    self._relnos[name] = next_no
+                    next_no += 1
+
+    def _load_relnos(self) -> None:
+        for name, relno in self.store.connection.execute(
+            f"SELECT name, relno FROM {_q(REL_TABLE)}"
+        ):
+            self._relnos[name] = int(relno)
+
+    def _ensure_temps(self) -> None:
+        if self._temps_ready:
+            return
+        conn = self.store.connection
+        for name in _ID_TEMPS:
+            conn.execute(
+                f"CREATE TEMP TABLE IF NOT EXISTS {_q(name)} "
+                "(id INTEGER PRIMARY KEY)"
+            )
+        conn.execute(
+            'CREATE TEMP TABLE IF NOT EXISTS "__rq_distrust" '
+            "(rule TEXT PRIMARY KEY)"
+        )
+        conn.execute(
+            'CREATE TEMP TABLE IF NOT EXISTS "__rq_deadfid" '
+            "(fid INTEGER PRIMARY KEY)"
+        )
+        self._temps_ready = True
+
+    def relno(self, relation: str) -> int | None:
+        """The relation's persistent number, or None if unregistered."""
+        if relation not in self._relnos:
+            self._load_relnos()
+        return self._relnos.get(relation)
+
+    def id_base(self, relation: str) -> int | None:
+        relno = self.relno(relation)
+        return None if relno is None else relno * REL_SHIFT
+
+    def maintains(self, relation: str) -> bool:
+        """True iff the index is current and covers *relation* — i.e.
+        a targeted mutation of that relation must (and can) keep the
+        index in lockstep."""
+        return (
+            self.current
+            and self.store.has_table(FIRE_TABLE)
+            and self.relno(relation) is not None
+        )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def on_run_complete(
+        self,
+        rsql: ReachSQL,
+        full_log: bool,
+        was_current: bool,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+    ) -> None:
+        """Bring the index up to date after a successful resident run.
+
+        *full_log* says the run was seeded from the whole store (its
+        ``__fired_*`` logs are the complete firing history — the run
+        re-enumerated everything); *was_current* says the index matched
+        the store when the run started (so the incremental logs are
+        exactly the genuinely new firings).  Chooses, in order: replace
+        content from the full log / extend from the incremental log /
+        rebuild by re-enumerating the history.  Always bumps the epoch
+        and finishes ``'current'``.
+        """
+        if self._renumbered:
+            was_current = False
+        with tracer.span("index.maintain") as span:
+            if full_log:
+                mode = "replace"
+                with self.store.connection:
+                    self._clear_content()
+                    fires = self._extend_from_log(rsql)
+            elif was_current:
+                mode = "extend"
+                with self.store.connection:
+                    fires = self._extend_from_log(rsql)
+            else:
+                mode = "rebuild"
+                fires = self.rebuild_from_store(rsql)
+            self._finalize_epoch()
+            span.set("mode", mode).set("fires", fires)
+
+    def _finalize_epoch(self) -> None:
+        self._bump_epoch()
+        self.store.meta_set("index_state", "current")
+        self._renumbered = False
+
+    def _clear_content(self) -> None:
+        conn = self.store.connection
+        conn.execute(f"DELETE FROM {_q(FIRE_TABLE)}")
+        conn.execute(f"DELETE FROM {_q(BODY_TABLE)}")
+
+    def _extend_from_log(self, rsql: ReachSQL) -> int:
+        """Translate every ``__fired_*`` log row into fire/body rows.
+
+        Caller supplies the transaction.  Allocates one fid block per
+        (rule, head atom): fid = block base + firing rowid, so the fire
+        insert and every body insert of the pair correlate without any
+        join-back.  Returns the number of fire rows added.
+        """
+        conn = self.store.connection
+        next_fid = int(self.store.meta_get("index_next_fid") or 0)
+        added = 0
+        for rule in rsql.rules:
+            top = self.store.max_rowid(rule.firing_table)
+            if top <= 0:
+                continue
+            for head in rule.heads:
+                hbase = self.id_base(head.relation)
+                runtime = {"wm": 0, "base": next_fid, "hbase": hbase}
+                cursor = conn.execute(
+                    head.fire_insert.sql,
+                    {**head.fire_insert.params, **runtime},
+                )
+                added += max(cursor.rowcount, 0)
+                for body_rel, statement in head.body_inserts:
+                    runtime = {
+                        "wm": 0,
+                        "base": next_fid,
+                        "bbase": self.id_base(body_rel),
+                    }
+                    conn.execute(
+                        statement.sql, {**statement.params, **runtime}
+                    )
+                next_fid += top
+        self.store.meta_set("index_next_fid", next_fid)
+        return added
+
+    def rebuild_from_store(self, rsql: ReachSQL) -> int:
+        """Rebuild the whole index by re-enumerating the firing history
+        from the stored relations (one transaction).  The ``__fired_*``
+        logs are borrowed as scratch and left empty."""
+        conn = self.store.connection
+        with conn:
+            for rule in rsql.rules:
+                conn.execute(f"DELETE FROM {_q(rule.firing_table)}")
+                conn.execute(
+                    rule.enumerate_all.sql, dict(rule.enumerate_all.params)
+                )
+            self._clear_content()
+            fires = self._extend_from_log(rsql)
+            for rule in rsql.rules:
+                conn.execute(f"DELETE FROM {_q(rule.firing_table)}")
+        return fires
+
+    def rebuild(
+        self, rsql: ReachSQL, tracer: "Tracer | NullTracer" = NULL_TRACER
+    ) -> int:
+        """Query-time recovery: rebuild a stale/absent index from the
+        stored firing history and mark it current (the ``index.rebuild``
+        span brackets the work).  Queries answer over the store as it
+        stands — the same window the unindexed paths see — so this is
+        always safe, even over a dirty (aborted-run) store."""
+        with tracer.span("index.rebuild") as span:
+            fires = self.rebuild_from_store(rsql)
+            self._finalize_epoch()
+            span.set("fires", fires)
+        return fires
+
+    def reset_temp_state(self) -> None:
+        """Clear the TEMP work tables after a query's verdict read."""
+        if self._temps_ready:
+            self._clear_ids(*_ID_TEMPS, "__rq_distrust", "__rq_deadfid")
+
+    def on_row_deleted(self, relation: str, rowid: int) -> None:
+        """Targeted maintenance for one deleted stored row (caller
+        supplies the transaction and has checked :meth:`maintains`).
+        Removes the fires incident to the node — they reference a tuple
+        that no longer exists, so the unindexed join paths would not
+        enumerate them either — and bumps the epoch."""
+        self._ensure_temps()
+        conn = self.store.connection
+        node = self.id_base(relation) + rowid
+        conn.execute('DELETE FROM "__rq_deadfid"')
+        conn.execute(
+            'INSERT OR IGNORE INTO "__rq_deadfid" '
+            f"SELECT fid FROM {_q(FIRE_TABLE)} WHERE head = ?",
+            (node,),
+        )
+        conn.execute(
+            'INSERT OR IGNORE INTO "__rq_deadfid" '
+            f"SELECT fid FROM {_q(BODY_TABLE)} WHERE body = ?",
+            (node,),
+        )
+        conn.execute(
+            f"DELETE FROM {_q(FIRE_TABLE)} "
+            'WHERE fid IN (SELECT fid FROM "__rq_deadfid")'
+        )
+        conn.execute(
+            f"DELETE FROM {_q(BODY_TABLE)} "
+            'WHERE fid IN (SELECT fid FROM "__rq_deadfid")'
+        )
+        conn.execute('DELETE FROM "__rq_deadfid"')
+        self._bump_epoch()
+
+    def begin_prune(
+        self, derived_relations: Iterable[str], catalog: Catalog
+    ) -> None:
+        """Capture the about-to-die derived rows (inside the caller's
+        kill transaction, *before* the kill sweeps run): every stored
+        row with no live-set match goes into ``__rq_dead`` as a node
+        id.  Leaf victims were already cleaned per-delete."""
+        self._ensure_temps()
+        conn = self.store.connection
+        conn.execute('DELETE FROM "__rq_dead"')
+        for relation in derived_relations:
+            base = self.id_base(relation)
+            if base is None:
+                continue
+            cols = catalog[relation].attribute_names
+            match = " AND ".join(
+                f'l.{_q(c)} IS r.{_q(c)}' for c in cols
+            )
+            conn.execute(
+                f'INSERT INTO "__rq_dead" '
+                f"SELECT r.rowid + {base} FROM {_q(relation)} AS r "
+                f"WHERE NOT EXISTS (SELECT 1 FROM "
+                f"{_q(live_table(relation))} AS l WHERE {match})"
+            )
+
+    def finish_prune(
+        self, tracer: "Tracer | NullTracer" = NULL_TRACER
+    ) -> None:
+        """Prune the captured dead cone (same transaction as the kill
+        sweeps).  Exact, no cascade: the liveness fixpoint computed the
+        full live set, so every fire not incident to a dead node has
+        all endpoints alive.  Falls back to a stale-mark when the cone
+        is a large fraction of the index (see
+        :data:`PRUNE_FALLBACK_RATIO`)."""
+        conn = self.store.connection
+        (dead,) = conn.execute('SELECT COUNT(*) FROM "__rq_dead"').fetchone()
+        if not dead:
+            return
+        (fires,) = conn.execute(
+            f"SELECT COUNT(*) FROM {_q(FIRE_TABLE)}"
+        ).fetchone()
+        if dead * PRUNE_FALLBACK_RATIO > fires:
+            with tracer.span("index.invalidate") as span:
+                span.set("dead", dead).set("fires", fires)
+                self.mark_stale()
+            conn.execute('DELETE FROM "__rq_dead"')
+            return
+        conn.execute('DELETE FROM "__rq_deadfid"')
+        conn.execute(
+            'INSERT OR IGNORE INTO "__rq_deadfid" '
+            f'SELECT fid FROM {_q(FIRE_TABLE)} '
+            'WHERE head IN (SELECT id FROM "__rq_dead")'
+        )
+        conn.execute(
+            'INSERT OR IGNORE INTO "__rq_deadfid" '
+            f'SELECT fid FROM {_q(BODY_TABLE)} '
+            'WHERE body IN (SELECT id FROM "__rq_dead")'
+        )
+        conn.execute(
+            f"DELETE FROM {_q(FIRE_TABLE)} "
+            'WHERE fid IN (SELECT fid FROM "__rq_deadfid")'
+        )
+        conn.execute(
+            f"DELETE FROM {_q(BODY_TABLE)} "
+            'WHERE fid IN (SELECT fid FROM "__rq_deadfid")'
+        )
+        conn.execute('DELETE FROM "__rq_dead"')
+        conn.execute('DELETE FROM "__rq_deadfid"')
+        self._bump_epoch()
+
+    # -- interval encoding ---------------------------------------------------
+
+    def ensure_encoding(self) -> bool:
+        """(Re)build the interval table if the epoch moved; returns
+        whether the current encoding is tree-exact (ancestor tests may
+        use the range predicate).  Lazy: only the first query of an
+        epoch pays, and non-forest graphs fail the cheap probes fast
+        and fall back to the recursive-CTE path."""
+        conn = self.store.connection
+        epoch = self.epoch
+        if int(self.store.meta_get("index_enc_epoch") or -1) == epoch:
+            return bool(int(self.store.meta_get("index_tree_exact") or 0))
+        tree_exact = self._try_encode()
+        self.store.meta_set("index_enc_epoch", epoch)
+        self.store.meta_set("index_tree_exact", 1 if tree_exact else 0)
+        if not tree_exact:
+            with conn:
+                conn.execute(f"DELETE FROM {_q(INFO_TABLE)}")
+        return tree_exact
+
+    def _try_encode(self) -> bool:
+        """Attempt the forest interval encoding.  Tree-exact iff every
+        fire has exactly one body (a multi-body rule makes the
+        derivation a true hyperedge) and every tuple is the head of at
+        most one fire (multiple derivations merge cones)."""
+        conn = self.store.connection
+        # Body probe first: it fails immediately on any multi-body
+        # rule, so e.g. join-shaped programs pay two cheap probes and
+        # nothing else.
+        multi_body = conn.execute(
+            f"SELECT 1 FROM {_q(BODY_TABLE)} GROUP BY fid "
+            "HAVING COUNT(*) > 1 LIMIT 1"
+        ).fetchone()
+        if multi_body:
+            return False
+        multi_head = conn.execute(
+            f"SELECT 1 FROM {_q(FIRE_TABLE)} GROUP BY head "
+            "HAVING COUNT(*) > 1 LIMIT 1"
+        ).fetchone()
+        if multi_head:
+            return False
+        (edges,) = conn.execute(
+            f"SELECT COUNT(*) FROM {_q(FIRE_TABLE)}"
+        ).fetchone()
+        if edges > ENCODING_CAP:
+            return False
+        # parent(head) = body: each derived tuple hangs under its one
+        # supporting tuple; roots are the EDB leaves.  An iterative
+        # DFS assigns pre/post-order windows — n is an ancestor-or-self
+        # of q iff tin[n] <= tin[q] <= tout[n].
+        parent: dict[int, int] = {}
+        children: dict[int, list[int]] = {}
+        nodes: set[int] = set()
+        for head, body in conn.execute(
+            f"SELECT f.head, b.body FROM {_q(FIRE_TABLE)} AS f "
+            f"JOIN {_q(BODY_TABLE)} AS b ON b.fid = f.fid"
+        ):
+            parent[head] = body
+            children.setdefault(body, []).append(head)
+            nodes.add(head)
+            nodes.add(body)
+        roots = sorted(n for n in nodes if n not in parent)
+        info: list[tuple[int, int, int, int]] = []
+        clock = 0
+        for root in roots:
+            # (node, layer, child cursor) — iterative to survive long
+            # derivation chains.
+            stack: list[list[int]] = [[root, 0, 0]]
+            tin: dict[int, int] = {}
+            while stack:
+                frame = stack[-1]
+                node, layer, cursor = frame
+                if cursor == 0:
+                    clock += 1
+                    tin[node] = clock
+                kids = children.get(node, ())
+                if cursor < len(kids):
+                    frame[2] += 1
+                    stack.append([kids[cursor], layer + 1, 0])
+                else:
+                    info.append((node, layer, tin[node], clock))
+                    stack.pop()
+        # Nodes reached by no root (cycles) get no info row; queries on
+        # them fall back to the CTE per-query.  That is only possible
+        # with cyclic programs, which the forest probes usually reject
+        # earlier anyway.
+        with conn:
+            conn.execute(f"DELETE FROM {_q(INFO_TABLE)}")
+            conn.executemany(
+                f"INSERT INTO {_q(INFO_TABLE)} (id, layer, tin, tout) "
+                "VALUES (?, ?, ?, ?)",
+                info,
+            )
+        return True
+
+    # -- query substrate -----------------------------------------------------
+
+    def _clear_ids(self, *tables: str) -> None:
+        conn = self.store.connection
+        for table in tables:
+            conn.execute(f"DELETE FROM {_q(table)}")
+
+    def fill_ancestors(self, qid: int) -> None:
+        """Fill ``__rq_anc`` with the ancestor-or-self closure of the
+        node *qid* — via the interval predicate when the encoding is
+        tree-exact and covers the node, else one recursive CTE over
+        the integer edge set."""
+        self._ensure_temps()
+        conn = self.store.connection
+        self._clear_ids("__rq_anc")
+        if self.ensure_encoding():
+            row = conn.execute(
+                f"SELECT tin FROM {_q(INFO_TABLE)} WHERE id = ?", (qid,)
+            ).fetchone()
+            if row is not None:
+                (t,) = row
+                conn.execute(
+                    f'INSERT INTO "__rq_anc" SELECT id FROM {_q(INFO_TABLE)} '
+                    "WHERE tin <= ? AND tout >= ?",
+                    (t, t),
+                )
+                return
+            # A stored node with no info row has no edges at all: its
+            # closure is itself.
+            conn.execute('INSERT INTO "__rq_anc" VALUES (?)', (qid,))
+            return
+        conn.execute(
+            'INSERT INTO "__rq_anc" '
+            "WITH RECURSIVE anc(id) AS (VALUES(?) UNION "
+            f"SELECT b.body FROM {_q(FIRE_TABLE)} AS f "
+            f"JOIN {_q(BODY_TABLE)} AS b ON b.fid = f.fid "
+            "JOIN anc AS a ON f.head = a.id) "
+            "SELECT id FROM anc",
+            (qid,),
+        )
+
+    def annotate_fixpoint(
+        self,
+        seed: Callable[[str, int], int],
+        edb_relations: Sequence[str],
+        distrusted: Iterable[str] = (),
+        max_iterations: int | None = None,
+    ) -> tuple[int, int]:
+        """Integer liveness fixpoint over the index.
+
+        *seed* stages each EDB relation's seed ids into
+        ``__rq_live``/``__rq_delta`` (given the relation and its id
+        base; returns the count).  Each round promotes every fire whose
+        rule is trusted, whose body touches the delta, and whose body
+        ids are all live.  Returns ``(iterations, live_fires)`` —
+        matching the unindexed fixpoint's ``(iterations,
+        pm_rows_scanned)`` shape.
+        """
+        self._ensure_temps()
+        conn = self.store.connection
+        self._clear_ids("__rq_live", "__rq_delta", "__rq_new", "__rq_distrust")
+        seeded = 0
+        for relation in edb_relations:
+            base = self.id_base(relation)
+            if base is None:
+                continue
+            seeded += seed(relation, base)
+        conn.executemany(
+            'INSERT OR IGNORE INTO "__rq_distrust" VALUES (?)',
+            [(name,) for name in distrusted],
+        )
+        round_sql = (
+            'INSERT OR IGNORE INTO "__rq_new" '
+            f"SELECT f.head FROM {_q(FIRE_TABLE)} AS f "
+            f"WHERE f.fid IN (SELECT b.fid FROM {_q(BODY_TABLE)} AS b "
+            '  JOIN "__rq_delta" AS d ON b.body = d.id) '
+            'AND f.rule NOT IN (SELECT rule FROM "__rq_distrust") '
+            'AND NOT EXISTS (SELECT 1 FROM "__rq_live" AS l '
+            "  WHERE l.id = f.head) "
+            f'AND NOT EXISTS (SELECT 1 FROM {_q(BODY_TABLE)} AS b2 '
+            "  WHERE b2.fid = f.fid AND NOT EXISTS ("
+            '    SELECT 1 FROM "__rq_live" AS l2 WHERE l2.id = b2.body))'
+        )
+        iterations = 0
+        delta = seeded
+        while delta:
+            iterations += 1
+            if max_iterations is not None and iterations > max_iterations:
+                raise EvaluationError(
+                    f"derivability fixpoint did not converge within "
+                    f"{max_iterations} iterations"
+                )
+            conn.execute(round_sql)
+            conn.execute(
+                'INSERT OR IGNORE INTO "__rq_live" '
+                'SELECT id FROM "__rq_new"'
+            )
+            self._clear_ids("__rq_delta")
+            conn.execute(
+                'INSERT INTO "__rq_delta" SELECT id FROM "__rq_new"'
+            )
+            (delta,) = conn.execute(
+                'SELECT COUNT(*) FROM "__rq_new"'
+            ).fetchone()
+            self._clear_ids("__rq_new")
+        (live_fires,) = conn.execute(
+            f"SELECT COUNT(*) FROM {_q(FIRE_TABLE)} AS f "
+            'WHERE f.rule NOT IN (SELECT rule FROM "__rq_distrust") '
+            f"AND NOT EXISTS (SELECT 1 FROM {_q(BODY_TABLE)} AS b "
+            "  WHERE b.fid = f.fid AND NOT EXISTS ("
+            '    SELECT 1 FROM "__rq_live" AS l WHERE l.id = b.body))'
+        ).fetchone()
+        return iterations, int(live_fires)
+
+    def live_ids(self, relation: str) -> set[int]:
+        """The ``__rq_live`` ids in *relation*'s id range (PK range
+        scan on the temp table)."""
+        base = self.id_base(relation)
+        if base is None:
+            return set()
+        return {
+            int(i)
+            for (i,) in self.store.connection.execute(
+                'SELECT id FROM "__rq_live" WHERE id >= ? AND id < ?',
+                (base, base + REL_SHIFT),
+            )
+        }
+
+    def closure_scanned(self) -> int:
+        """Fires whose head is in the filled ancestor closure — the
+        indexed analogue of the walk's visited-firing count."""
+        (scanned,) = self.store.connection.execute(
+            f"SELECT COUNT(*) FROM {_q(FIRE_TABLE)} "
+            'WHERE head IN (SELECT id FROM "__rq_anc")'
+        ).fetchone()
+        return int(scanned)
+
+    def closure_leaf_rows(
+        self, relation: str, catalog: Catalog
+    ) -> list:
+        """Decoded rows of *relation* in the ancestor closure."""
+        base = self.id_base(relation)
+        if base is None:
+            return []
+        schema = catalog[relation]
+        codec = self.store.codec
+        cursor = self.store.connection.execute(
+            f"SELECT r.* FROM {_q(relation)} AS r "
+            'JOIN "__rq_anc" AS a ON a.id = r.rowid + ?',
+            (base,),
+        )
+        return [codec.decode_row(raw, schema) for raw in cursor]
+
+    # -- caches --------------------------------------------------------------
+
+    def nodes_with_ids(self, relation: str, catalog: Catalog) -> list:
+        """``[(id, TupleNode), ...]`` for every stored row of
+        *relation*, cached per epoch (the decode is the dominant cost
+        of whole-instance annotation queries; relations above
+        :data:`NODE_CACHE_CAP` rows are streamed uncached)."""
+        from repro.provenance.graph import TupleNode
+
+        epoch = self.epoch
+        if self._node_cache_epoch != epoch:
+            self._node_cache.clear()
+            self._node_cache_epoch = epoch
+        cached = self._node_cache.get(relation)
+        if cached is not None:
+            return cached
+        base = self.id_base(relation)
+        schema = catalog[relation]
+        codec = self.store.codec
+        rows = [
+            (base + rowid, TupleNode(relation, codec.decode_row(raw, schema)))
+            for rowid, *raw in self.store.connection.execute(
+                f"SELECT rowid, * FROM {_q(relation)}"
+            )
+        ]
+        if len(rows) <= NODE_CACHE_CAP:
+            self._node_cache[relation] = rows
+        return rows
+
+    def cached_result(self, key: object) -> tuple | None:
+        """The cached payload for *key* if it was stored under the
+        current epoch, else None."""
+        entry = self._result_cache.get(key)
+        if entry is not None and entry[0] == self.epoch:
+            return entry[1:]
+        return None
+
+    def cache_result(self, key: object, *payload: object) -> None:
+        if len(self._result_cache) >= RESULT_CACHE_CAP:
+            self._result_cache.pop(next(iter(self._result_cache)))
+        self._result_cache[key] = (self.epoch, *payload)

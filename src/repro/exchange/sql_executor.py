@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import os
 import sqlite3
-from typing import Iterable, Mapping as TMapping
+from typing import Callable, Iterable, Mapping as TMapping
 
 from repro.cdss.mapping import SchemaMapping
 from repro.datalog.evaluation import EvaluationResult
@@ -43,6 +43,7 @@ from repro.datalog.terms import SkolemValue
 from repro.errors import EvaluationError, ExchangeError
 from repro.exchange.cache import CompiledExchangeProgram
 from repro.exchange.graph_queries import LineageSQL, run_liveness_fixpoint
+from repro.exchange.reach_index import ReachabilityIndex, lower_reach_program
 from repro.exchange.sql_plans import (
     DerivabilitySQL,
     ProgramSQL,
@@ -136,7 +137,12 @@ class ExchangeStore:
     def __init__(self, path: str = ":memory:"):
         self.path = normalize_store_path(path)
         self.codec = ValueCodec()
-        self.connection = sqlite3.connect(self.path)
+        # A large statement cache: the maintained-index query paths
+        # re-execute a small set of SQL strings on every call, and
+        # sqlite3 skips re-preparing a statement whose exact text is
+        # cached — the "prepared statement reuse" half of the index's
+        # warm-query latency (see :meth:`prepared`).
+        self.connection = sqlite3.connect(self.path, cached_statements=512)
         self.connection.execute("PRAGMA synchronous = OFF")
         self.connection.execute("PRAGMA journal_mode = MEMORY")
         self.connection.create_function(
@@ -155,6 +161,16 @@ class ExchangeStore:
         #: resident-mode exchanges never rescan whole tables with
         #: COUNT(*) (see :meth:`cached_count`).
         self._row_counts: dict[str, int] = {}
+        #: program fingerprints whose :meth:`ensure_schema` DDL already
+        #: ran on this connection (tables are never dropped, so one
+        #: pass per program suffices — repeated graph queries skip the
+        #: whole CREATE TABLE IF NOT EXISTS sweep).
+        self._schema_ready: set[str] = set()
+        #: built-SQL cache backing :meth:`prepared`, plus its counters.
+        self._prepared: dict[object, str] = {}
+        self.prepared_hits = 0
+        self.prepared_misses = 0
+        self._reach_index: ReachabilityIndex | None = None
         # The dirty-run flag lives in the database file, not on this
         # object: an aborted resident run must still trigger recovery
         # after the store is reopened by path (or in a new process).
@@ -198,12 +214,58 @@ class ExchangeStore:
     @dirty_run.setter
     def dirty_run(self, value: bool) -> None:
         self._dirty_run = bool(value)
-        with self.connection:
-            self.connection.execute(
-                'INSERT OR REPLACE INTO "__meta" (key, value) '
-                "VALUES ('dirty_run', ?)",
-                (1 if value else 0,),
-            )
+        self.meta_set("dirty_run", 1 if value else 0)
+
+    def meta_get(self, key: str) -> object:
+        """One value from the store's persisted ``__meta`` table (None
+        when absent).  This is durable, per-store-file state: a store
+        reopened by path (resident mode's recovery story) reads the
+        same values, which is how the reachability index's epoch and
+        current/stale flag survive a process restart."""
+        row = self.connection.execute(
+            'SELECT value FROM "__meta" WHERE key = ?', (key,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def meta_set(self, key: str, value: object) -> None:
+        """Persist one ``__meta`` value.  Transaction-aware: inside an
+        open transaction the write rides it (so e.g. an index-epoch
+        bump commits or rolls back atomically with the maintenance that
+        caused it); outside one it commits immediately."""
+        sql = 'INSERT OR REPLACE INTO "__meta" (key, value) VALUES (?, ?)'
+        if self.connection.in_transaction:
+            self.connection.execute(sql, (key, value))
+        else:
+            with self.connection:
+                self.connection.execute(sql, (key, value))
+
+    @property
+    def reach_index(self) -> ReachabilityIndex:
+        """The store's maintained reachability index handle
+        (:mod:`repro.exchange.reach_index`), created lazily.  Creating
+        the handle touches nothing: all index state lives in the store
+        file, so on a reopened store the handle simply adopts whatever
+        epoch/state the file recorded (``docs/graph-index.md``)."""
+        if self._reach_index is None:
+            self._reach_index = ReachabilityIndex(self)
+        return self._reach_index
+
+    def prepared(self, key: object, builder: "Callable[[], str]") -> str:
+        """The SQL string built by *builder*, cached under *key*.
+
+        Reusing the identical string object lets sqlite3's
+        statement cache (sized in ``__init__``) skip re-preparing it —
+        the per-call overhead that dominates sub-millisecond indexed
+        graph queries.  Keys follow the lowering caches' convention:
+        a tuple of (purpose, relation/rule, ...) identifying the shape.
+        """
+        sql = self._prepared.get(key)
+        if sql is None:
+            sql = self._prepared[key] = builder()
+            self.prepared_misses += 1
+        else:
+            self.prepared_hits += 1
+        return sql
 
     # -- schema ------------------------------------------------------------
 
@@ -222,8 +284,18 @@ class ExchangeStore:
         catalog: Catalog,
         mappings: TMapping[str, SchemaMapping],
         sql: ProgramSQL,
+        token: str | None = None,
     ) -> None:
-        """Create (idempotently) every table and index the program needs."""
+        """Create (idempotently) every table and index the program needs.
+
+        *token* (the compiled program's fingerprint, which covers the
+        catalog via the per-relation local rules) memoizes the sweep:
+        once it has run on this connection for a given program, later
+        calls return immediately — this keeps warm graph queries from
+        re-issuing a few hundred ``CREATE TABLE IF NOT EXISTS``
+        statements per call."""
+        if token is not None and token in self._schema_ready:
+            return
         for schema in catalog:
             for name in (
                 schema.name,
@@ -269,6 +341,8 @@ class ExchangeStore:
                 f"ON {_q(relation)} ({cols})"
             )
         self.connection.commit()
+        if token is not None:
+            self._schema_ready.add(token)
 
     def ensure_derivability_schema(
         self, catalog: Catalog, dsql: DerivabilitySQL
@@ -434,6 +508,10 @@ class ExchangeStore:
                     self.connection.execute(f"DELETE FROM {_q(name)}")
                     appended = sorted(instance[name], key=repr)
                     new_counts[name] = len(appended)
+                    # The full reload renumbers the relation's rowids,
+                    # invalidating every node id the reachability index
+                    # may hold for it.
+                    self.reach_index.note_renumbered()
                 elif name in self._row_counts:
                     new_counts[name] = self._row_counts[name] + len(appended)
                 if appended:
@@ -445,6 +523,12 @@ class ExchangeStore:
                 rows_mirrored += len(appended)
                 relations_synced += 1
                 new_marks[name] = current
+            if rows_mirrored:
+                # Stored content changed: epoch-keyed query caches
+                # over the reachability index must go cold, even when
+                # the index structure itself is untouched (appended
+                # base rows have no firings yet).
+                self.reach_index.note_content_shipped()
         self._marks.update(new_marks)
         self._row_counts.update(new_counts)
         return rows_mirrored, relations_synced
@@ -512,15 +596,35 @@ class ExchangeStore:
 
     def delete_relation_row(self, schema: RelationSchema, row: Row) -> bool:
         """Delete one row from *schema*'s table (deletion-victim
-        marking), keeping the count cache current."""
+        marking), keeping the count cache current.
+
+        When the maintained reachability index is current and covers
+        the relation, the victim's incident fires are removed in the
+        same transaction (``docs/graph-index.md``), so the index stays
+        *current* across targeted resident deletions — queries issued
+        before ``propagate_deletions`` answer from it without a
+        rebuild, over exactly the store the unindexed paths would see.
+        """
         condition = " AND ".join(
             f"{_q(c)} IS ?" for c in schema.attribute_names
         )
+        encoded = self.codec.encode_row(row)
         with self.connection:
+            rowid = None
+            index = self.reach_index
+            if index.maintains(schema.name):
+                found = self.connection.execute(
+                    f"SELECT rowid FROM {_q(schema.name)} WHERE {condition}",
+                    encoded,
+                ).fetchone()
+                if found is not None:
+                    rowid = int(found[0])
             cursor = self.connection.execute(
                 f"DELETE FROM {_q(schema.name)} WHERE {condition}",
-                self.codec.encode_row(row),
+                encoded,
             )
+            if cursor.rowcount > 0 and rowid is not None:
+                index.on_row_deleted(schema.name, rowid)
         removed = max(cursor.rowcount, 0)
         if removed:
             self.note_rows_removed(schema.name, removed)
@@ -644,7 +748,7 @@ class SQLiteExchangeEngine:
         sql = program.sql
         if resident:
             self.store.ensure_durable()
-        self.store.ensure_schema(catalog, mappings, sql)
+        self.store.ensure_schema(catalog, mappings, sql, program.fingerprint)
         self.store.reset_run(catalog, sql)
         if resident and self.store.dirty_run:
             # A previous resident run aborted after committing some
@@ -657,11 +761,30 @@ class SQLiteExchangeEngine:
             # committed.  (Non-resident runs heal differently: the full
             # mirror reload after invalidate_sync deletes the orphans.)
             initial_delta = None
+        was_current = False
         if resident:
             # Only resident runs consume the flag (non-resident aborts
             # heal via the full mirror reload), so only they pay the
             # two persisted writes.
             self.store.dirty_run = True
+            # Resident runs maintain the reachability index: note
+            # whether it matched the store *before* this run mutates
+            # anything, then persist the stale mark — a crash anywhere
+            # below leaves the index correctly marked for a query-time
+            # rebuild.
+            if program.reach is None:
+                program.reach = lower_reach_program(
+                    program.compiled, catalog, self.store.codec
+                )
+            index = self.store.reach_index
+            index.ensure_schema(program.reach)
+            was_current = index.current
+            index.mark_stale()
+        elif self.store.meta_get("index_state") is not None:
+            # A non-resident run mutates relations without maintaining
+            # the index (mirror stores normally have none; this guards
+            # a store that once ran resident).
+            self.store.reach_index.mark_stale()
         try:
             with StatementTrace(
                 self.store.connection, self.tracer
@@ -677,6 +800,12 @@ class SQLiteExchangeEngine:
             self.store.invalidate_sync()
             raise
         if resident:
+            self.store.reach_index.on_run_complete(
+                program.reach,
+                full_log=initial_delta is None,
+                was_current=was_current,
+                tracer=self.tracer,
+            )
             self.store.dirty_run = False
         return result
 
@@ -859,7 +988,9 @@ class SQLiteExchangeEngine:
                 program.compiled, catalog, mappings, self.store.codec
             )
         dsql = program.derivability
-        self.store.ensure_schema(catalog, mappings, program.sql)
+        self.store.ensure_schema(
+            catalog, mappings, program.sql, program.fingerprint
+        )
         self.store.ensure_derivability_schema(catalog, dsql)
         self.store.reset_derivability(dsql)
         try:
@@ -927,7 +1058,16 @@ class SQLiteExchangeEngine:
         # firing-history rows are garbage-collected alongside.
         pm_collected = 0
         removed_counts: dict[str, int] = {}
+        index = self.store.reach_index
+        prune = index.current
         with tracer.span("deletion.kill") as kspan, conn:
+            if prune:
+                # Capture the dying derived rows (by node id) while
+                # they are still present; the index prunes exactly
+                # their incident fires after the sweeps — or marks
+                # itself stale when the cone is too large.  Leaf
+                # victims were already cleaned per-delete.
+                index.begin_prune(dsql.derived_relations, catalog)
             for relation in dsql.derived_relations:
                 cursor = conn.execute(kill_sql(catalog, relation))
                 removed = max(cursor.rowcount, 0)
@@ -936,6 +1076,8 @@ class SQLiteExchangeEngine:
             for _name, pm_table, live_pm, columns in dsql.pm_tables:
                 cursor = conn.execute(pm_gc_sql(pm_table, live_pm, columns))
                 pm_collected += max(cursor.rowcount, 0)
+            if prune:
+                index.finish_prune(tracer)
             kspan.set(
                 "rows_deleted", sum(removed_counts.values())
             ).set("pm_rows_collected", pm_collected)

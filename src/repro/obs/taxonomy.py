@@ -5,6 +5,11 @@ table, and ``tools/check_docs.py`` cross-checks the two (both ways) —
 the same contract ``docs/analysis.md`` has with the analyzer's
 diagnostic codes.  Instrumentation code must not invent names outside
 this dict; tests assert that traced lifecycles emit a subset of it.
+
+:data:`METRICS` plays the same role for the *named* metrics counters a
+docs page commits to (beyond the generic ``{kind}.{field}`` mirroring
+of ``EvaluationResult`` stats): ``docs/graph-index.md`` documents each
+one and ``tools/check_docs.py`` cross-checks that table too.
 """
 
 from __future__ import annotations
@@ -31,6 +36,10 @@ SPANS: dict[str, str] = {
     # -- graph queries ------------------------------------------------------
     "graph_query": "One CDSS.{derivability,lineage,trusted} call (attrs: query, engine).",
     "walk.round": "One backward-walk round of the resident lineage query (attrs: round).",
+    # -- maintained reachability index ---------------------------------------
+    "index.maintain": "Post-run maintenance of the reachability index (attrs: mode, fires).",
+    "index.invalidate": "Deletion cone exceeded the threshold: index marked stale (attrs: dead, fires).",
+    "index.rebuild": "Query-time index rebuild from the stored firing history (attrs: fires).",
     # -- ProQL --------------------------------------------------------------
     "query.unfold": "ProQL-to-datalog unfolding of one query (attrs: rules, mode).",
     "query.compile": "Datalog-to-SQL translation, accumulated across unfolded rules.",
@@ -40,4 +49,10 @@ SPANS: dict[str, str] = {
     "unfold.merge_specs": "Unfolding stage: merging projection specs into rewritten rules.",
     "unfold.dedupe": "Unfolding stage: canonical-form deduplication of rewritings.",
     "unfold.prune": "Unfolding stage: oracle pruning + subsumption factorization (attrs: rules).",
+}
+
+#: metric name -> one-line description (mirrors docs/graph-index.md).
+METRICS: dict[str, str] = {
+    "graph_query.index_hit": "Resident graph query answered from the maintained (current) reachability index.",
+    "graph_query.index_miss": "Resident graph query forced a query-time index rebuild before answering.",
 }

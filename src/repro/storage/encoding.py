@@ -21,11 +21,18 @@ Three more tagged encodings keep round-trips exact on edge values:
   ``@float:<repr>`` strings: SQLite silently stores a bound NaN as
   NULL, which would round-trip as ``None`` and collide with
   labeled-null semantics, so they must never reach the binding layer
-  raw (the rendering is canonical, hence equality-joinable — note SQL
-  equality on the tag therefore treats NaN as equal to itself, whereas
-  the in-memory engine follows Python/IEEE semantics where NaN joins
-  only by object identity; NaN used as a *join variable* is the one
-  known cross-engine divergence, recorded in ROADMAP);
+  raw.  The rendering is canonical, hence equality-joinable — SQL
+  equality on the tag treats NaN as equal to itself.  The engines
+  *share* that semantics: every NaN entering a CDSS is canonicalized
+  to the single :data:`CANONICAL_NAN` object
+  (:func:`canonical_value` / :func:`canonical_row`, applied at the
+  ``insert_local``/``delete_local`` boundary), so the in-memory
+  engine's hash joins — which compare tuple elements by identity
+  before ``==`` — also see NaN as self-equal, and :meth:`decode`
+  returns the same object for a stored ``@float:nan``.  A NaN used as
+  a join variable therefore behaves identically on both engines
+  (value semantics, not IEEE ``nan != nan``); see
+  ``docs/architecture.md``;
 * ordinary strings that *happen* to start with one of the tag prefixes
   are escaped with ``@str:`` so decoding is unambiguous.
 """
@@ -49,6 +56,31 @@ _TAGS = (_SKOLEM_TAG, _INT_TAG, _STR_TAG, _FLOAT_TAG)
 #: SQLite INTEGER is a signed 64-bit value.
 _INT64_MIN = -(2**63)
 _INT64_MAX = 2**63 - 1
+
+#: the one NaN object of the whole system.  CPython compares tuple
+#: elements by identity before ``==`` and (since 3.10) hashes NaN by
+#: object id, so funneling every NaN through this single object makes
+#: NaN behave as an ordinary self-equal value in hash joins, dict
+#: keys, and set membership — exactly the semantics the SQL engine
+#: gets from the canonical ``@float:nan`` string encoding.
+CANONICAL_NAN: float = float("nan")
+
+
+def canonical_value(value: object) -> object:
+    """*value*, with any float NaN replaced by :data:`CANONICAL_NAN`.
+
+    Applied at CDSS data boundaries (local insertion/deletion) so both
+    engines join NaN by value; all other values pass through untouched.
+    """
+    if isinstance(value, float) and math.isnan(value):
+        return CANONICAL_NAN
+    return value
+
+
+def canonical_row(row: Sequence[object]) -> tuple[object, ...]:
+    """Tuple of *row* with NaNs canonicalized (see
+    :func:`canonical_value`)."""
+    return tuple(canonical_value(v) for v in row)
 
 
 def _skolem_to_jsonable(value: SkolemValue) -> dict:
@@ -129,7 +161,11 @@ class ValueCodec:
             if value.startswith(_INT_TAG):
                 return int(value[len(_INT_TAG):])
             if value.startswith(_FLOAT_TAG):
-                return float(value[len(_FLOAT_TAG):])
+                decoded = float(value[len(_FLOAT_TAG):])
+                # All NaNs decode to the one canonical object so
+                # decoded rows compare equal to in-memory rows (see
+                # CANONICAL_NAN).
+                return CANONICAL_NAN if math.isnan(decoded) else decoded
             if value.startswith(_STR_TAG):
                 return value[len(_STR_TAG):]
         if attribute_type == "bool" and isinstance(value, int):

@@ -1207,7 +1207,11 @@ class TestResidentGraphQueries:
 
     def test_queries_clear_work_tables(self, tmp_path):
         # Ancestor closures and live sets can rival the instance in
-        # size; they must not linger on disk after the answer is read.
+        # size; they must not linger after the answer is read.  The
+        # indexed paths work in the __rq_* temp tables; the legacy
+        # paths keep their per-relation work-table contract.
+        from repro.exchange.graph_queries import StoreGraphQueries
+        from repro.exchange.reach_index import _ID_TEMPS
         from repro.exchange.sql_plans import anc_table, live_table
 
         memory, resident = build_resident_deletion_pair(tmp_path)
@@ -1215,7 +1219,18 @@ class TestResidentGraphQueries:
         resident.lineage(node)
         resident.derivability()
         store = resident.exchange_store
+        for table in _ID_TEMPS:
+            assert store.count(table) == 0, table
         program, _ = resident.plan_cache.fetch(resident.program())
+        legacy = StoreGraphQueries(
+            store,
+            program,
+            resident.catalog,
+            resident.mappings,
+            use_index=False,
+        )
+        legacy.lineage(node)
+        legacy.derivability()
         for relation in program.lineage.relations:
             assert store.count(anc_table(relation)) == 0, relation
         for relation in program.derivability.relations:

@@ -183,6 +183,8 @@ class TestResidentTracing:
         assert validate_trace(records) == []
         names = {r["name"] for r in records}
         assert {"exchange.statement", "exchange.sqlite", "deletion.fixpoint",
-                "deletion.kill", "fixpoint.round", "walk.round"} <= names
+                "deletion.kill", "fixpoint.round", "index.maintain"} <= names
+        # The indexed lineage answers without a backward walk.
+        assert "walk.round" not in names
         statements = [r for r in records if r["name"] == "exchange.statement"]
         assert all("fingerprint" in r["attrs"] for r in statements)

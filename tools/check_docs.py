@@ -16,7 +16,11 @@ Three checks, all cheap enough for every push:
   longer exist;
 * **span taxonomy catalog** — ``docs/observability.md`` must document
   every span name in ``repro.obs.taxonomy.SPANS`` (in a table row) and
-  must not document spans the instrumentation can no longer emit.
+  must not document spans the instrumentation can no longer emit;
+* **graph-index catalog** — ``docs/graph-index.md`` must document
+  exactly the reachability-index vocabulary: the ``index.*`` spans
+  from ``repro.obs.taxonomy.SPANS`` plus every named counter in
+  ``repro.obs.taxonomy.METRICS``, and nothing else.
 
 Run:  python tools/check_docs.py   (or  python -m tools.check_docs)
 Exits non-zero with one line per violation.
@@ -158,6 +162,31 @@ def check_observability_catalog(root: Path) -> list[str]:
     return errors
 
 
+def check_graph_index_catalog(root: Path) -> list[str]:
+    """Cross-check docs/graph-index.md against the index vocabulary."""
+    from repro.obs.taxonomy import METRICS, SPANS
+
+    expected = {n for n in SPANS if n.startswith("index.")} | set(METRICS)
+    page = root / "docs" / "graph-index.md"
+    if not page.exists():
+        return [f"{page.relative_to(root)}: missing (index protocol page)"]
+    text = page.read_text("utf-8")
+    marker = "## Spans and metrics"
+    if marker not in text:
+        return [f"{page.relative_to(root)}: missing '{marker}' section"]
+    section = text.split(marker, 1)[1].split("\n## ", 1)[0]
+    documented = set(_SPAN_ROW.findall(section))
+    errors = []
+    for name in sorted(expected - documented):
+        errors.append(f"docs/graph-index.md: {name} is undocumented")
+    for name in sorted(documented - expected):
+        errors.append(
+            f"docs/graph-index.md: documents unknown name {name} "
+            "(removed from repro.obs.taxonomy?)"
+        )
+    return errors
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     errors = (
@@ -165,6 +194,7 @@ def main() -> int:
         + check_cdss_docstrings()
         + check_analysis_catalog(REPO_ROOT)
         + check_observability_catalog(REPO_ROOT)
+        + check_graph_index_catalog(REPO_ROOT)
     )
     for error in errors:
         print(error)
