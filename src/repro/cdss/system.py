@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.trace import NullTracer, Tracer
     from repro.proql.graph_engine import ProQLResult
     from repro.proql.pruning import UnfoldCache
+    from repro.serve import ReaderSession, StoreServer
 
 #: EvaluationResult fields mirrored into the metrics registry after
 #: every lifecycle call (prefixed with the call kind: ``exchange.*``,
@@ -880,6 +881,71 @@ class CDSS:
                 mapping_functions=policy.mapping_functions(),
             ),
         )
+
+    # -- concurrent serving ------------------------------------------------
+
+    def _serving_path(self, operation: str) -> str:
+        """The on-disk path read-only serving connections attach to."""
+        if not self._resident:
+            raise ExchangeError(
+                f"{operation} needs a store-resident system "
+                "(exchange(resident=True) on an on-disk path); a "
+                "mirrored store may be rebuilt mid-query and is not "
+                "safe to serve from"
+            )
+        store = self.exchange_store
+        if store is None or store.path == ":memory:":
+            raise ExchangeError(
+                f"{operation} needs an on-disk resident store; an "
+                "in-memory store is private to the writer's connection"
+            )
+        return store.path
+
+    def serving_session(self) -> "ReaderSession":
+        """A read-only query session over the resident store's file.
+
+        The session opens its own ``mode=ro`` WAL connection to the
+        store path and answers :meth:`lineage` / :meth:`derivability` /
+        :meth:`trusted` from the persisted reachability index at the
+        epoch its snapshot observes — concurrently with this system's
+        writer connection, which keeps exchanging and propagating
+        deletions undisturbed (see docs/serving.md).  The session
+        shares this system's :attr:`metrics` registry and tracer; for
+        many concurrent clients use :meth:`serve`, which hands out one
+        session per worker instead.  Requires a completed
+        ``exchange(resident=True)`` on an on-disk path; close the
+        session when done (it is a context manager).
+        """
+        from repro.serve import ReaderSession
+
+        path = self._serving_path("serving_session")
+        return ReaderSession(
+            path, self.catalog, metrics=self.metrics, tracer=self.tracer
+        )
+
+    def serve(self, readers: int = 4) -> "StoreServer":
+        """A started :class:`~repro.serve.StoreServer` over this store.
+
+        Builds a :class:`~repro.serve.ReaderPool` of *readers*
+        read-only sessions against the resident store's path and
+        returns the server handle, already started: submit queries
+        from any thread and receive futures; the single writer (this
+        system) keeps running exchanges concurrently.  The caller owns
+        the handle — close it (or use it as a context manager) to
+        drain in-flight queries and release the connections.  Pool
+        counters land in this system's :attr:`metrics` registry
+        (approximate under concurrency; see ``serve.*`` in
+        docs/serving.md).
+        """
+        from repro.serve import ReaderPool, StoreServer
+
+        path = self._serving_path("serve")
+        pool = ReaderPool(
+            path, self.catalog, size=readers, metrics=self.metrics
+        )
+        server = StoreServer(pool)
+        server.start()
+        return server
 
     # -- ProQL ------------------------------------------------------------
 

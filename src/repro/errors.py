@@ -70,6 +70,26 @@ class IndexingError(ReproError):
     """Invalid ASR definition (e.g. overlapping ASRs) or rewrite failure."""
 
 
+class ServeError(ReproError):
+    """Concurrent serving tier failure (:mod:`repro.serve`): reader
+    misuse (e.g. attaching to an in-memory path) or a store that is not
+    servable."""
+
+
+class StaleSnapshotError(ServeError):
+    """A reader snapshot observed a stale or in-flight index state.
+
+    Internal retry signal: the reader releases the snapshot, backs off,
+    and pins a fresh one.  Only surfaces (wrapped in
+    :class:`ServeUnavailable`) when the retry budget runs out."""
+
+
+class ServeUnavailable(ServeError):
+    """A reader exhausted its retry budget without pinning a servable
+    snapshot (the writer held the index stale for too long, or the
+    store file could not be opened read-only)."""
+
+
 class AnalysisError(ReproError):
     """Static analysis rejected a mapping program (``validate="error"``
     pre-flight or :meth:`repro.analysis.Report.raise_for_errors`)."""

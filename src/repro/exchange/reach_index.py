@@ -42,6 +42,7 @@ paths survive untouched as the testing oracle (``use_index=False``).
 
 from __future__ import annotations
 
+import sqlite3
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
@@ -91,6 +92,110 @@ INFO_TABLE = "__ridx_info"
 
 #: TEMP work tables (connection-local, cleared between uses).
 _ID_TEMPS = ("__rq_live", "__rq_delta", "__rq_new", "__rq_anc", "__rq_dead")
+
+
+# -- read-path substrate -----------------------------------------------------
+#
+# Pure-SELECT shapes over the permanent index tables, shared between the
+# writer-side :class:`ReachabilityIndex` and the read-only sessions in
+# :mod:`repro.serve`.  Read-only (``mode=ro``) connections cannot create
+# the TEMP work tables above, so everything here must run as plain
+# SELECTs on an arbitrary connection.
+
+#: ancestor-or-self closure of one node as a recursive CTE.
+ANCESTOR_CTE_SQL = (
+    "WITH RECURSIVE anc(id) AS (VALUES(?) UNION "
+    f"SELECT b.body FROM {_q(FIRE_TABLE)} AS f "
+    f"JOIN {_q(BODY_TABLE)} AS b ON b.fid = f.fid "
+    "JOIN anc AS a ON f.head = a.id) "
+    "SELECT id FROM anc"
+)
+
+#: ``tin`` probe for one node in the interval encoding.
+INTERVAL_PROBE_SQL = f"SELECT tin FROM {_q(INFO_TABLE)} WHERE id = ?"
+
+#: ancestor-or-self window of a probe time in a tree-exact encoding.
+INTERVAL_WINDOW_SQL = (
+    f"SELECT id FROM {_q(INFO_TABLE)} WHERE tin <= ? AND tout >= ?"
+)
+
+
+def load_relnos(connection: sqlite3.Connection) -> dict[str, int]:
+    """Relation-name -> relno map from ``__ridx_rel`` on any connection."""
+    return {
+        str(name): int(relno)
+        for name, relno in connection.execute(
+            f"SELECT name, relno FROM {_q(REL_TABLE)}"
+        )
+    }
+
+
+def load_edges(
+    connection: sqlite3.Connection,
+) -> tuple[dict[int, tuple[str, int]], dict[int, tuple[int, ...]]]:
+    """The full integer edge set from any connection.
+
+    Returns ``(fires, bodies)`` where ``fires[fid] = (rule, head_id)``
+    and ``bodies[fid]`` is the tuple of body node ids.  This is the
+    read-only counterpart of the TEMP-table fixpoint machinery: small
+    enough to hold in Python for resident working sets, and usable on
+    ``mode=ro`` connections that cannot write TEMP tables.
+    """
+    fires: dict[int, tuple[str, int]] = {}
+    for fid, rule, head in connection.execute(
+        f"SELECT fid, rule, head FROM {_q(FIRE_TABLE)}"
+    ):
+        fires[int(fid)] = (str(rule), int(head))
+    grouped: dict[int, list[int]] = {}
+    for fid, body in connection.execute(
+        f"SELECT fid, body FROM {_q(BODY_TABLE)}"
+    ):
+        grouped.setdefault(int(fid), []).append(int(body))
+    bodies = {fid: tuple(ids) for fid, ids in grouped.items()}
+    return fires, bodies
+
+
+def liveness_over_edges(
+    fires: dict[int, tuple[str, int]],
+    bodies: dict[int, tuple[int, ...]],
+    seed_ids: Iterable[int],
+    distrusted: Iterable[str] = (),
+) -> set[int]:
+    """Least liveness fixpoint over an in-memory edge set.
+
+    A node is live iff it is a seed or some fire (whose rule is not
+    distrusted) has it as head with every body node live — the same
+    semantics as :meth:`ReachabilityIndex.annotate_fixpoint`, computed
+    in Python so read-only sessions can run it without TEMP tables.
+    """
+    skip = set(distrusted)
+    incident: dict[int, list[int]] = {}
+    need: dict[int, int] = {}
+    live = set(seed_ids)
+    queue = list(live)
+    for fid, (rule, head) in fires.items():
+        if rule in skip:
+            continue
+        body = bodies.get(fid, ())
+        if not body:
+            # A fire with no recorded body is vacuously supported.
+            if head not in live:
+                live.add(head)
+                queue.append(head)
+            continue
+        need[fid] = len(body)
+        for node in body:
+            incident.setdefault(node, []).append(fid)
+    while queue:
+        node = queue.pop()
+        for fid in incident.get(node, ()):
+            need[fid] -= 1
+            if need[fid] == 0:
+                head = fires[fid][1]
+                if head not in live:
+                    live.add(head)
+                    queue.append(head)
+    return live
 
 
 # -- lowering ----------------------------------------------------------------
@@ -397,10 +502,7 @@ class ReachabilityIndex:
                     next_no += 1
 
     def _load_relnos(self) -> None:
-        for name, relno in self.store.connection.execute(
-            f"SELECT name, relno FROM {_q(REL_TABLE)}"
-        ):
-            self._relnos[name] = int(relno)
+        self._relnos.update(load_relnos(self.store.connection))
 
     def _ensure_temps(self) -> None:
         if self._temps_ready:
@@ -773,14 +875,11 @@ class ReachabilityIndex:
         conn = self.store.connection
         self._clear_ids("__rq_anc")
         if self.ensure_encoding():
-            row = conn.execute(
-                f"SELECT tin FROM {_q(INFO_TABLE)} WHERE id = ?", (qid,)
-            ).fetchone()
+            row = conn.execute(INTERVAL_PROBE_SQL, (qid,)).fetchone()
             if row is not None:
                 (t,) = row
                 conn.execute(
-                    f'INSERT INTO "__rq_anc" SELECT id FROM {_q(INFO_TABLE)} '
-                    "WHERE tin <= ? AND tout >= ?",
+                    'INSERT INTO "__rq_anc" ' + INTERVAL_WINDOW_SQL,
                     (t, t),
                 )
                 return
@@ -788,15 +887,7 @@ class ReachabilityIndex:
             # closure is itself.
             conn.execute('INSERT INTO "__rq_anc" VALUES (?)', (qid,))
             return
-        conn.execute(
-            'INSERT INTO "__rq_anc" '
-            "WITH RECURSIVE anc(id) AS (VALUES(?) UNION "
-            f"SELECT b.body FROM {_q(FIRE_TABLE)} AS f "
-            f"JOIN {_q(BODY_TABLE)} AS b ON b.fid = f.fid "
-            "JOIN anc AS a ON f.head = a.id) "
-            "SELECT id FROM anc",
-            (qid,),
-        )
+        conn.execute('INSERT INTO "__rq_anc" ' + ANCESTOR_CTE_SQL, (qid,))
 
     def annotate_fixpoint(
         self,

@@ -73,6 +73,13 @@ from repro.relational.schema import RelationSchema, is_local_name
 from repro.storage.encoding import ValueCodec, quote_identifier as _q
 
 
+#: writer-side SQLITE_BUSY grace period for durable (WAL) stores, in
+#: milliseconds.  Readers in repro.serve never hold write locks, so the
+#: timeout only matters for rare shm/recovery contention; bounded
+#: exponential-backoff retries on top of it live in repro.serve.retry.
+BUSY_TIMEOUT_MS = 5_000
+
+
 def normalize_store_path(path: "str | os.PathLike[str]") -> str:
     """Canonical identity of a store file.
 
@@ -200,7 +207,37 @@ class ExchangeStore:
             return
         self.connection.execute("PRAGMA journal_mode = WAL")
         self.connection.execute("PRAGMA synchronous = NORMAL")
+        # Read-only serving sessions (repro.serve) may share the file;
+        # give writer statements a grace period instead of failing the
+        # first SQLITE_BUSY (bounded retries on top live in repro.serve).
+        self.connection.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
         self._durable = True
+
+    def checkpoint(self, mode: str = "PASSIVE") -> tuple[int, int, int]:
+        """Run ``PRAGMA wal_checkpoint`` and report SQLite's result.
+
+        Returns ``(busy, wal_pages, moved_pages)``: ``busy`` is 1 when a
+        concurrent reader's pinned snapshot prevented the checkpoint
+        from completing (SQLite reports this in the result row rather
+        than raising).  Writers serving concurrent readers should
+        checkpoint ``PASSIVE`` during traffic and reserve blocking modes
+        (``TRUNCATE``/``RESTART``) for quiescent points, retrying with
+        backoff while ``busy`` is set — see docs/serving.md.
+        """
+        if mode not in ("PASSIVE", "FULL", "RESTART", "TRUNCATE"):
+            raise ExchangeError(f"unknown checkpoint mode: {mode!r}")
+        if self.connection.in_transaction:
+            # Graph queries populate TEMP work tables, which opens an
+            # implicit transaction the dbapi never closes; a checkpoint
+            # on a connection with an open transaction raises instead
+            # of reporting busy.  All real mutations commit at their
+            # own boundaries, so ending the dangling transaction here
+            # is safe — and required for the discipline to work.
+            self.connection.commit()
+        row = self.connection.execute(
+            f"PRAGMA wal_checkpoint({mode})"
+        ).fetchone()
+        return (int(row[0]), int(row[1]), int(row[2]))
 
     @property
     def dirty_run(self) -> bool:

@@ -40,6 +40,9 @@ SPANS: dict[str, str] = {
     "index.maintain": "Post-run maintenance of the reachability index (attrs: mode, fires).",
     "index.invalidate": "Deletion cone exceeded the threshold: index marked stale (attrs: dead, fires).",
     "index.rebuild": "Query-time index rebuild from the stored firing history (attrs: fires).",
+    # -- concurrent serving --------------------------------------------------
+    "serve.query": "One read-only reader answer (attrs: kind, epoch, cache_hit, path).",
+    "serve.checkpoint": "Writer WAL checkpoint under checkpoint_with_retry (attrs: mode, busy, retries).",
     # -- ProQL --------------------------------------------------------------
     "query.unfold": "ProQL-to-datalog unfolding of one query (attrs: rules, mode).",
     "query.compile": "Datalog-to-SQL translation, accumulated across unfolded rules.",
@@ -55,4 +58,18 @@ SPANS: dict[str, str] = {
 METRICS: dict[str, str] = {
     "graph_query.index_hit": "Resident graph query answered from the maintained (current) reachability index.",
     "graph_query.index_miss": "Resident graph query forced a query-time index rebuild before answering.",
+}
+
+#: serving-tier metric name -> one-line description (mirrors
+#: docs/serving.md; kept separate from :data:`METRICS` because each
+#: docs page cross-checks exactly its own catalog).
+SERVE_METRICS: dict[str, str] = {
+    "serve.queries": "Reader queries answered (any path, including cache hits).",
+    "serve.cache_hits": "Reader queries answered from the session's per-epoch result cache.",
+    "serve.snapshot_refreshes": "Snapshots that observed a new epoch and dropped the session caches.",
+    "serve.stale_retries": "Snapshot attempts refused because the index was stale or a run was dirty.",
+    "serve.busy_retries": "SQLITE_BUSY/LOCKED attempts retried while opening or reading.",
+    "serve.unavailable": "Queries that exhausted the retry budget (ServeUnavailable raised).",
+    "serve.checkpoints": "Writer checkpoints issued through checkpoint_with_retry.",
+    "serve.checkpoint_retries": "Checkpoint attempts repeated because a reader snapshot pinned the WAL.",
 }

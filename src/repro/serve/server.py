@@ -1,0 +1,96 @@
+"""A thread-based query server over a :class:`ReaderPool`.
+
+:class:`StoreServer` is the convenience front end of the serving tier:
+clients submit ``lineage`` / ``derivability`` / ``trusted`` requests
+and get :class:`concurrent.futures.Future` handles back; a worker
+thread checks a session out of the pool, answers at whatever epoch its
+snapshot observes, and checks it back in.  Concurrency is bounded by
+``min(workers, pool.size)`` — the pool is the actual resource, the
+executor merely queues excess clients instead of failing them.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ServeError
+from repro.obs.metrics import MetricsRegistry
+from repro.provenance.graph import TupleNode
+from repro.serve.reader import ReaderPool, ReaderSession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cdss.trust import TrustPolicy
+
+__all__ = ["StoreServer"]
+
+
+class StoreServer:
+    """Dispatch concurrent index queries against one resident store.
+
+    The server owns neither the store nor the writer: it is a pure
+    read-side fan-out, safe to run while a writer exchanges in another
+    thread or process.  Use as a context manager; :meth:`close` waits
+    for in-flight queries, then closes the pool.
+    """
+
+    def __init__(self, pool: ReaderPool, *, workers: int | None = None):
+        self.pool = pool
+        count = pool.size if workers is None else min(workers, pool.size)
+        if count < 1:
+            raise ServeError("server needs at least one worker")
+        self.workers = count
+        self._executor: ThreadPoolExecutor | None = None
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The pool's shared metrics registry (``serve.*`` counters)."""
+        return self.pool.metrics
+
+    def __enter__(self) -> "StoreServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def start(self) -> None:
+        """Spin up the worker threads (idempotent)."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-serve",
+            )
+
+    def close(self) -> None:
+        """Drain in-flight queries, stop workers, close the pool."""
+        executor = self._executor
+        if executor is not None:
+            self._executor = None
+            executor.shutdown(wait=True)
+        self.pool.close()
+
+    def _submit(
+        self, fn: Callable[..., object], *args: object
+    ) -> "Future[object]":
+        executor = self._executor
+        if executor is None:
+            raise ServeError("server is not started")
+
+        def task() -> object:
+            with self.pool.session() as session:
+                return fn(session, *args)
+
+        return executor.submit(task)
+
+    def lineage(self, node: TupleNode) -> "Future[object]":
+        """Future of :meth:`ReaderSession.lineage` for *node*."""
+        return self._submit(ReaderSession.lineage, node)
+
+    def derivability(self) -> "Future[object]":
+        """Future of :meth:`ReaderSession.derivability`."""
+        return self._submit(ReaderSession.derivability)
+
+    def trusted(self, policy: "TrustPolicy") -> "Future[object]":
+        """Future of :meth:`ReaderSession.trusted` under *policy*."""
+        return self._submit(ReaderSession.trusted, policy)

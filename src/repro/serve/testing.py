@@ -1,0 +1,54 @@
+"""Deterministic interleaving harness for reader/writer tests.
+
+Thread schedules are the enemy of reproducible concurrency tests; the
+:class:`StepGate` here replaces sleeps with explicit barriers.  A
+participant thread calls ``gate.reach("label")`` at the point being
+scheduled and blocks; the orchestrating test ``wait_reached("label")``s
+to know the participant is parked, performs writer steps against the
+held state, and ``release("label")``s to let the participant continue.
+Labels are one-shot latches: releasing before the participant arrives
+is fine (it passes straight through), and every wait carries a timeout
+so a scheduling bug fails the test instead of hanging it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ServeError
+
+__all__ = ["StepGate"]
+
+
+class StepGate:
+    """Named one-shot barriers coordinating test threads."""
+
+    def __init__(self, timeout: float = 10.0):
+        self.timeout = timeout
+        self._lock = threading.Condition()
+        self._reached: set[str] = set()
+        self._released: set[str] = set()
+
+    def reach(self, label: str) -> None:
+        """Announce arrival at *label* and block until released."""
+        with self._lock:
+            self._reached.add(label)
+            self._lock.notify_all()
+            if not self._lock.wait_for(
+                lambda: label in self._released, self.timeout
+            ):
+                raise ServeError(f"gate {label!r} never released")
+
+    def wait_reached(self, label: str) -> None:
+        """Block until some thread has arrived at *label*."""
+        with self._lock:
+            if not self._lock.wait_for(
+                lambda: label in self._reached, self.timeout
+            ):
+                raise ServeError(f"gate {label!r} never reached")
+
+    def release(self, label: str) -> None:
+        """Let the thread parked at *label* (now or later) continue."""
+        with self._lock:
+            self._released.add(label)
+            self._lock.notify_all()

@@ -57,6 +57,26 @@ def test_graph_index_checker_detects_drift(tmp_path):
     assert any("graph_query.index_hit is undocumented" in e for e in errors)
 
 
+def test_serving_catalog_matches_docs():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    assert check_docs.check_serving_catalog(REPO_ROOT) == []
+
+
+def test_serving_checker_detects_drift(tmp_path):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    # one documented-but-unknown name; everything real is undocumented
+    (docs / "serving.md").write_text(
+        "## Spans and metrics\n\n| `no.such.name` | span | ... |\n",
+        encoding="utf-8",
+    )
+    errors = check_docs.check_serving_catalog(tmp_path)
+    assert any("unknown name no.such.name" in e for e in errors)
+    assert any("serve.query is undocumented" in e for e in errors)
+    assert any("serve.checkpoints is undocumented" in e for e in errors)
+
+
 def test_span_catalog_checker_detects_drift(tmp_path):
     sys.path.insert(0, str(REPO_ROOT / "src"))
     docs = tmp_path / "docs"

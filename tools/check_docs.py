@@ -20,7 +20,11 @@ Three checks, all cheap enough for every push:
 * **graph-index catalog** — ``docs/graph-index.md`` must document
   exactly the reachability-index vocabulary: the ``index.*`` spans
   from ``repro.obs.taxonomy.SPANS`` plus every named counter in
-  ``repro.obs.taxonomy.METRICS``, and nothing else.
+  ``repro.obs.taxonomy.METRICS``, and nothing else;
+* **serving catalog** — ``docs/serving.md`` must document exactly the
+  serving-tier vocabulary: the ``serve.*`` spans from
+  ``repro.obs.taxonomy.SPANS`` plus every counter in
+  ``repro.obs.taxonomy.SERVE_METRICS``, and nothing else.
 
 Run:  python tools/check_docs.py   (or  python -m tools.check_docs)
 Exits non-zero with one line per violation.
@@ -187,6 +191,33 @@ def check_graph_index_catalog(root: Path) -> list[str]:
     return errors
 
 
+def check_serving_catalog(root: Path) -> list[str]:
+    """Cross-check docs/serving.md against the serving vocabulary."""
+    from repro.obs.taxonomy import SERVE_METRICS, SPANS
+
+    expected = {n for n in SPANS if n.startswith("serve.")} | set(
+        SERVE_METRICS
+    )
+    page = root / "docs" / "serving.md"
+    if not page.exists():
+        return [f"{page.relative_to(root)}: missing (serving tier page)"]
+    text = page.read_text("utf-8")
+    marker = "## Spans and metrics"
+    if marker not in text:
+        return [f"{page.relative_to(root)}: missing '{marker}' section"]
+    section = text.split(marker, 1)[1].split("\n## ", 1)[0]
+    documented = set(_SPAN_ROW.findall(section))
+    errors = []
+    for name in sorted(expected - documented):
+        errors.append(f"docs/serving.md: {name} is undocumented")
+    for name in sorted(documented - expected):
+        errors.append(
+            f"docs/serving.md: documents unknown name {name} "
+            "(removed from repro.obs.taxonomy?)"
+        )
+    return errors
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     errors = (
@@ -195,6 +226,7 @@ def main() -> int:
         + check_analysis_catalog(REPO_ROOT)
         + check_observability_catalog(REPO_ROOT)
         + check_graph_index_catalog(REPO_ROOT)
+        + check_serving_catalog(REPO_ROOT)
     )
     for error in errors:
         print(error)
